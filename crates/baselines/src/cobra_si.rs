@@ -1,0 +1,243 @@
+//! CobraSI: checking SI by reduction to a serializability-style acyclicity
+//! problem, as the PolySI paper does to obtain an SI baseline from Cobra
+//! (Section 5.4: "the incremental algorithm [7, Section 4.3] for reducing
+//! checking SI to checking serializability").
+//!
+//! The reduction doubles every transaction into a read point and a write
+//! point; in our infrastructure that is exactly the *layered* graph of
+//! `polysi_polygraph::KnownGraph` (boundary/mid nodes), so CobraSI here is:
+//! plain (uncompacted) constraints + Cobra's optimizations (RMW inference,
+//! WW reachability pruning — *without* PolySI's anti-dependency pruning
+//! rule of Figure 4b) + the same SAT-modulo-acyclicity backend on the
+//! doubled graph. It is sound and complete for SI but carries more
+//! constraints and prunes less than PolySI, which is what the paper's
+//! Figure 6 measures. No GPU variant exists here (documented in
+//! EXPERIMENTS.md).
+
+use polysi_history::{Facts, History, TxnId};
+use polysi_polygraph::{Constraint, Edge, KnownGraph, KnownGraphResult, Label};
+use polysi_solver::{Lit, SolveResult, Solver};
+
+/// Outcome of a CobraSI run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiVerdict {
+    /// The history satisfies SI.
+    Si,
+    /// The history violates SI (or fails the non-cyclic axioms).
+    NotSi,
+}
+
+/// Statistics of a CobraSI run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CobraSiStats {
+    /// Constraints generated (plain form).
+    pub constraints: usize,
+    /// Constraints resolved by inference + pruning.
+    pub resolved: usize,
+    /// Solver decisions.
+    pub decisions: u64,
+}
+
+/// Check SI via the doubled-graph reduction.
+pub fn cobra_si_check(h: &History) -> (SiVerdict, CobraSiStats) {
+    let mut stats = CobraSiStats::default();
+    let facts = Facts::analyze(h);
+    if !facts.axioms_ok() {
+        return (SiVerdict::NotSi, stats);
+    }
+    let n = h.len();
+
+    let mut known: Vec<Edge> = Vec::new();
+    for (a, b) in h.so_edges() {
+        known.push(Edge::new(a, b, Label::So));
+    }
+    for (w, r, key) in facts.wr_edges() {
+        known.push(Edge::new(w, r, Label::Wr(key)));
+        // RMW inference holds under SI too: first-committer-wins forces the
+        // read version to immediately precede the reader's own write.
+        if facts.writes_key(r, key) {
+            known.push(Edge::new(w, r, Label::Ww(key)));
+        }
+    }
+    for (&key, readers) in &facts.init_readers {
+        if let Some(writers) = facts.writers.get(&key) {
+            for &r in readers {
+                for &w in writers {
+                    if w != r {
+                        known.push(Edge::new(r, w, Label::Rw(key)));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut constraints: Vec<Constraint> = Vec::new();
+    for (&key, writers) in &facts.writers {
+        for (i, &t) in writers.iter().enumerate() {
+            for &s in &writers[i + 1..] {
+                constraints.extend(Constraint::plain(key, t, s, |w: TxnId| {
+                    facts.readers_of(key, w)
+                }));
+            }
+        }
+    }
+    stats.constraints = constraints.len();
+
+    // Cobra-style pruning: only the direct reachability rule, applied to
+    // WW edges over the doubled graph.
+    loop {
+        let kg = match KnownGraph::build(n, &known) {
+            KnownGraphResult::Acyclic(g) => g,
+            KnownGraphResult::Cyclic(_) => return (SiVerdict::NotSi, stats),
+        };
+        let mut changed = false;
+        let mut remaining = Vec::with_capacity(constraints.len());
+        for cons in constraints.drain(..) {
+            let bad = |side: &[Edge]| {
+                side.iter()
+                    .any(|e| matches!(e.label, Label::Ww(_)) && kg.reaches(e.to, e.from))
+            };
+            match (bad(&cons.either), bad(&cons.or)) {
+                (true, true) => return (SiVerdict::NotSi, stats),
+                (true, false) => {
+                    known.extend(cons.or.iter().copied());
+                    stats.resolved += 1;
+                    changed = true;
+                }
+                (false, true) => {
+                    known.extend(cons.either.iter().copied());
+                    stats.resolved += 1;
+                    changed = true;
+                }
+                (false, false) => remaining.push(cons),
+            }
+        }
+        constraints = remaining;
+        if !changed {
+            break;
+        }
+    }
+
+    // Encode on the doubled (layered) graph; seed phases along the known
+    // topological order.
+    let topo: Option<Vec<u32>> = match KnownGraph::build(n, &known) {
+        KnownGraphResult::Acyclic(kg) => Some(kg.topo_positions()),
+        KnownGraphResult::Cyclic(_) => None,
+    };
+    let mut solver = Solver::with_graph(2 * n);
+    let add_known = |solver: &mut Solver, e: &Edge| {
+        let (f, t) = (e.from.0, e.to.0);
+        if e.label.is_dep() {
+            solver.add_known_edge(f, t);
+            solver.add_known_edge(f, n as u32 + t);
+        } else {
+            solver.add_known_edge(n as u32 + f, t);
+        }
+    };
+    let add_sym = |solver: &mut Solver, guard: Lit, e: &Edge| {
+        let (f, t) = (e.from.0, e.to.0);
+        if e.label.is_dep() {
+            solver.add_symbolic_edge(guard, f, t);
+            solver.add_symbolic_edge(guard, f, n as u32 + t);
+        } else {
+            solver.add_symbolic_edge(guard, n as u32 + f, t);
+        }
+    };
+    for e in &known {
+        add_known(&mut solver, e);
+    }
+    for cons in &constraints {
+        let var = solver.new_var();
+        let s = Lit::pos(var);
+        if let Some(topo) = &topo {
+            let score = |side: &[Edge]| -> i64 {
+                side.iter()
+                    .filter(|e| matches!(e.label, Label::Ww(_)))
+                    .map(|e| if topo[e.from.idx()] < topo[e.to.idx()] { 1i64 } else { -1 })
+                    .sum()
+            };
+            solver.set_phase(var, score(&cons.either) >= score(&cons.or));
+        }
+        for e in &cons.either {
+            add_sym(&mut solver, s, e);
+        }
+        for e in &cons.or {
+            add_sym(&mut solver, !s, e);
+        }
+    }
+    let verdict = match solver.solve() {
+        SolveResult::Sat(_) => SiVerdict::Si,
+        SolveResult::Unsat | SolveResult::Unknown => SiVerdict::NotSi,
+    };
+    stats.decisions = solver.stats().decisions;
+    (verdict, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysi_history::{HistoryBuilder, Key, Value};
+
+    fn k(n: u64) -> Key {
+        Key(n)
+    }
+    fn v(n: u64) -> Value {
+        Value(n)
+    }
+
+    #[test]
+    fn write_skew_is_si() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).write(k(2), v(2)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(2), v(22)).commit();
+        b.session();
+        b.begin().read(k(2), v(2)).write(k(1), v(11)).commit();
+        assert_eq!(cobra_si_check(&b.build()).0, SiVerdict::Si);
+    }
+
+    #[test]
+    fn lost_update_is_not_si() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(3)).commit();
+        assert_eq!(cobra_si_check(&b.build()).0, SiVerdict::NotSi);
+    }
+
+    #[test]
+    fn long_fork_is_not_si() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(10)).write(k(2), v(20)).commit();
+        b.session();
+        b.begin().write(k(1), v(11)).commit();
+        b.session();
+        b.begin().write(k(2), v(21)).commit();
+        b.session();
+        b.begin().read(k(1), v(11)).read(k(2), v(20)).commit();
+        b.session();
+        b.begin().read(k(1), v(10)).read(k(2), v(21)).commit();
+        assert_eq!(cobra_si_check(&b.build()).0, SiVerdict::NotSi);
+    }
+
+    #[test]
+    fn plain_constraints_outnumber_generalized() {
+        // Sanity: CobraSI carries at least as many constraints as PolySI
+        // would (the paper's compaction argument, Section 3.1).
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+        b.session();
+        b.begin().read(k(1), v(2)).write(k(1), v(3)).commit();
+        let h = b.build();
+        let (_, stats) = cobra_si_check(&h);
+        assert!(stats.constraints >= 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-checker agreement: PolySI, dbcop, and CobraSI must return the same
+//! SI verdict on simulator histories; Cobra's SER verdict must imply SI
+//! (the isolation-level hierarchy of the paper's Figure 1).
+
+use polysi_baselines::{
+    cobra_check_ser, cobra_si_check, dbcop_check_si, CobraOptions, DbcopVerdict, SerVerdict,
+    SiVerdict,
+};
+use polysi_checker::{check_si, CheckOptions};
+use polysi_dbsim::{run, IsolationLevel, SimConfig};
+use polysi_workloads::{generate, GeneralParams};
+
+fn sims() -> impl Iterator<Item = polysi_history::History> {
+    let levels = [
+        IsolationLevel::Serializable,
+        IsolationLevel::SnapshotIsolation,
+        IsolationLevel::NoWriteConflictDetection,
+        IsolationLevel::StaleSnapshot,
+        IsolationLevel::PerKeySnapshot,
+        IsolationLevel::ReadCommitted,
+    ];
+    (0..12u64).flat_map(move |seed| {
+        levels.into_iter().map(move |level| {
+            let plan = generate(&GeneralParams {
+                sessions: 3,
+                txns_per_session: 5,
+                ops_per_txn: 3,
+                keys: 4,
+                read_pct: 50,
+                seed,
+                ..Default::default()
+            });
+            run(&plan, &SimConfig::new(level, seed)).history
+        })
+    })
+}
+
+#[test]
+fn polysi_dbcop_cobrasi_agree() {
+    for (i, h) in sims().enumerate() {
+        let poly = check_si(&h, &CheckOptions::default()).is_si();
+        let dbcop = dbcop_check_si(&h, 5_000_000);
+        let cobrasi = cobra_si_check(&h).0;
+        match dbcop.verdict {
+            DbcopVerdict::Si => assert!(poly, "case {i}: dbcop=Si polysi=NotSi\n{h:?}"),
+            DbcopVerdict::NotSi => assert!(!poly, "case {i}: dbcop=NotSi polysi=Si\n{h:?}"),
+            DbcopVerdict::Timeout => {}
+        }
+        assert_eq!(
+            cobrasi == SiVerdict::Si,
+            poly,
+            "case {i}: CobraSI disagrees with PolySI\n{h:?}"
+        );
+    }
+}
+
+#[test]
+fn serializability_implies_si() {
+    for (i, h) in sims().enumerate() {
+        let (ser, _) = cobra_check_ser(&h, &CobraOptions::default());
+        if ser == SerVerdict::Serializable {
+            assert!(
+                check_si(&h, &CheckOptions::default()).is_si(),
+                "case {i}: SER but not SI — hierarchy violated\n{h:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn serializable_sim_runs_pass_cobra() {
+    for seed in 0..10u64 {
+        let plan = generate(&GeneralParams {
+            sessions: 4,
+            txns_per_session: 10,
+            ops_per_txn: 4,
+            keys: 6,
+            seed,
+            ..Default::default()
+        });
+        let out = run(&plan, &SimConfig::new(IsolationLevel::Serializable, seed));
+        let (verdict, _) = cobra_check_ser(&out.history, &CobraOptions::default());
+        assert_eq!(verdict, SerVerdict::Serializable, "seed {seed}");
+    }
+}
+
+#[test]
+fn si_sim_runs_can_violate_ser_but_not_si() {
+    // Write skew should eventually appear: SI accepts, SER rejects.
+    let mut saw_skew = false;
+    for seed in 0..25u64 {
+        let plan = generate(&GeneralParams {
+            sessions: 4,
+            txns_per_session: 10,
+            ops_per_txn: 4,
+            keys: 4,
+            read_pct: 60,
+            seed,
+            ..Default::default()
+        });
+        let out = run(&plan, &SimConfig::new(IsolationLevel::SnapshotIsolation, seed));
+        assert!(check_si(&out.history, &CheckOptions::default()).is_si(), "seed {seed}");
+        let (ser, _) = cobra_check_ser(&out.history, &CobraOptions::default());
+        if ser == SerVerdict::NotSerializable {
+            saw_skew = true;
+        }
+    }
+    assert!(saw_skew, "no SI-but-not-SER run in 25 seeds (write skew expected)");
+}

@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks for the building blocks of the checker:
+//! polygraph construction, pruning, the end-to-end pipeline, the
+//! acyclicity solver, and PolySI-List inference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polysi_checker::{check_si, CheckOptions};
+use polysi_dbsim::{run, IsolationLevel, SimConfig};
+use polysi_history::Facts;
+use polysi_polygraph::{ConstraintMode, Polygraph};
+use polysi_solver::{Lit, Solver};
+use polysi_workloads::{generate, GeneralParams};
+
+fn history(sessions: usize, txns: usize) -> polysi_history::History {
+    let plan = generate(&GeneralParams {
+        sessions,
+        txns_per_session: txns,
+        ops_per_txn: 8,
+        keys: 500,
+        read_pct: 50,
+        seed: 42,
+        ..Default::default()
+    });
+    run(&plan, &SimConfig::new(IsolationLevel::SnapshotIsolation, 42)).history
+}
+
+fn bench_construct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polygraph-construct");
+    for &txns in &[25usize, 50, 100] {
+        let h = history(10, txns);
+        let facts = Facts::analyze(&h);
+        g.bench_with_input(BenchmarkId::from_parameter(10 * txns), &txns, |b, _| {
+            b.iter(|| Polygraph::from_history(&h, &facts, ConstraintMode::Generalized))
+        });
+    }
+    g.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polygraph-prune");
+    for &txns in &[25usize, 50, 100] {
+        let h = history(10, txns);
+        let facts = Facts::analyze(&h);
+        g.bench_with_input(BenchmarkId::from_parameter(10 * txns), &txns, |b, _| {
+            b.iter_batched(
+                || Polygraph::from_history(&h, &facts, ConstraintMode::Generalized),
+                |mut pg| pg.prune(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_check_si(c: &mut Criterion) {
+    let mut g = c.benchmark_group("check-si-end-to-end");
+    g.sample_size(10);
+    for &txns in &[25usize, 50, 100] {
+        let h = history(10, txns);
+        let opts = CheckOptions { interpret: false, ..Default::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(10 * txns), &txns, |b, _| {
+            b.iter(|| check_si(&h, &opts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver-acyclicity");
+    for &n in &[50u32, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // A chain of n nodes with per-pair orientation choices on a
+                // band of width 3: SAT, exercises theory propagation.
+                let mut s = Solver::with_graph(n as usize);
+                for i in 0..n - 1 {
+                    s.add_known_edge(i, i + 1);
+                }
+                for i in 0..n.saturating_sub(3) {
+                    let f = Lit::pos(s.new_var());
+                    s.add_symbolic_edge(f, i, i + 3);
+                    s.add_symbolic_edge(!f, i + 3, i);
+                }
+                assert!(matches!(s.solve(), polysi_solver::SolveResult::Sat(_)));
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_list_mode(c: &mut Criterion) {
+    use polysi_checker::list::{check_si_list, ListHistory, ListOp, ListTxn};
+    use polysi_workloads::list_append::{generate_list_history, ListOpRecord};
+    let rec = generate_list_history(&GeneralParams {
+        sessions: 10,
+        txns_per_session: 100,
+        ops_per_txn: 8,
+        keys: 200,
+        seed: 5,
+        ..Default::default()
+    });
+    let h = ListHistory {
+        sessions: rec
+            .sessions
+            .iter()
+            .map(|sess| {
+                sess.iter()
+                    .map(|t| ListTxn {
+                        ops: t
+                            .ops
+                            .iter()
+                            .map(|op| match op {
+                                ListOpRecord::Append { key, value } => {
+                                    ListOp::Append { key: *key, value: *value }
+                                }
+                                ListOpRecord::Read { key, list } => {
+                                    ListOp::Read { key: *key, list: list.clone() }
+                                }
+                            })
+                            .collect(),
+                        status: t.status,
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+    c.bench_function("polysi-list-1k-txns", |b| b.iter(|| check_si_list(&h)));
+}
+
+criterion_group!(
+    benches,
+    bench_construct,
+    bench_prune,
+    bench_check_si,
+    bench_solver,
+    bench_list_mode
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! A byte-counting global allocator for the memory experiments
+//! (Figures 7, 8b and 11 report checker memory).
+//!
+//! Wraps the system allocator and tracks current and peak live bytes with
+//! relaxed atomics. Each figure binary installs it:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: polysi_bench::CountingAllocator = polysi_bench::CountingAllocator;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// The counting allocator (zero-sized; state is global).
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// Live bytes right now.
+    pub fn current() -> usize {
+        CURRENT.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last [`CountingAllocator::reset_peak`].
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// Reset the peak to the current live size (call before a measurement).
+    pub fn reset_peak() {
+        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+fn add(n: usize) {
+    let cur = CURRENT.fetch_add(n, Ordering::Relaxed) + n;
+    PEAK.fetch_max(cur, Ordering::Relaxed);
+}
+
+fn sub(n: usize) {
+    CURRENT.fetch_sub(n, Ordering::Relaxed);
+}
+
+// SAFETY: defers entirely to the system allocator; the bookkeeping uses
+// only relaxed atomics and never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            add(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        sub(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            sub(layout.size());
+            add(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The allocator is not installed in unit tests (that would affect the
+    // whole test binary); exercise the counters directly.
+    #[test]
+    fn counters_track_and_peak() {
+        let before = CountingAllocator::current();
+        add(1000);
+        assert_eq!(CountingAllocator::current(), before + 1000);
+        assert!(CountingAllocator::peak() >= before + 1000);
+        sub(1000);
+        assert_eq!(CountingAllocator::current(), before);
+        CountingAllocator::reset_peak();
+        assert_eq!(CountingAllocator::peak(), CountingAllocator::current());
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 10: differential analysis — full PolySI vs. PolySI without
+//! pruning (w/o P) vs. PolySI without compaction and pruning (w/o C+P) on
+//! the six benchmarks. The unpruned variants blow up combinatorially (the
+//! paper reports memory-exhausted runs on TPC-C), so this binary applies an
+//! extra 0.5× scale on top of `POLYSI_SCALE` and caps the unpruned
+//! variants' input sizes.
+
+use polysi_bench::sweeps::six_benchmarks;
+use polysi_bench::{csv_append, measure, scale, Checker, CountingAllocator, Timeout};
+use polysi_dbsim::IsolationLevel;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    println!("# Figure 10: differential analysis, seconds (scale {} x 0.5)", scale());
+    println!(
+        "{:<12} {:>12} {:>14} {:>14}",
+        "benchmark", "PolySI", "PolySI w/o P", "PolySI w/o C+P"
+    );
+    std::env::set_var(
+        "POLYSI_SCALE",
+        format!("{}", (scale() * 0.5).max(0.02)),
+    );
+    let timeout = Timeout::default();
+    let mut rows = Vec::new();
+    for (name, h) in six_benchmarks(IsolationLevel::SnapshotIsolation, 10) {
+        let mut cells = Vec::new();
+        for c in [
+            Checker::PolySi,
+            Checker::PolySiNoPruning,
+            Checker::PolySiNoCompactionNoPruning,
+        ] {
+            let m = measure(c, &h, &timeout);
+            cells.push(format!("{:.3}", m.elapsed.as_secs_f64()));
+            rows.push(format!(
+                "{name},{},{:.6},{}",
+                c.name(),
+                m.elapsed.as_secs_f64(),
+                m.peak_bytes
+            ));
+        }
+        println!("{:<12} {:>12} {:>14} {:>14}", name, cells[0], cells[1], cells[2]);
+    }
+    csv_append("fig10", "benchmark,checker,seconds,peak_bytes", &rows);
+    println!("\nCSV appended to bench_results/fig10.csv");
+}

@@ -1,0 +1,49 @@
+//! Figure 6: checking-time comparison of PolySI, CobraSI (no GPU here) and
+//! dbcop under the six workload sweeps, on valid SI histories produced by
+//! the simulator (the paper uses PostgreSQL `repeatable read`).
+//!
+//! Run with `POLYSI_SCALE=1` for paper-sized workloads (slow); the default
+//! scale is 0.25.
+
+use polysi_bench::sweeps::fig6_sweeps;
+use polysi_bench::{csv_append, measure, scale, Checker, CountingAllocator, Timeout};
+use polysi_dbsim::{run, IsolationLevel, SimConfig};
+use polysi_workloads::generate;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let checkers = [Checker::PolySi, Checker::CobraSi, Checker::Dbcop];
+    let timeout = Timeout::default();
+    println!("# Figure 6: time (s) under workload sweeps (scale {})", scale());
+    let mut rows = Vec::new();
+    for (sweep, points) in fig6_sweeps(6) {
+        println!("\n== sweep: {sweep} ==");
+        println!("{:<10} {:>12} {:>16} {:>12}", "x", "PolySI", "CobraSI w/o GPU", "dbcop");
+        for pt in points {
+            let plan = generate(&pt.params);
+            let sim = run(&plan, &SimConfig::new(IsolationLevel::SnapshotIsolation, pt.params.seed));
+            let mut cells = Vec::new();
+            for &c in &checkers {
+                let m = measure(c, &sim.history, &timeout);
+                let cell = match m.verdict {
+                    None => "timeout".to_string(),
+                    Some(_) => format!("{:.3}", m.elapsed.as_secs_f64()),
+                };
+                rows.push(format!(
+                    "{sweep},{},{},{:.6},{},{}",
+                    pt.x,
+                    c.name(),
+                    m.elapsed.as_secs_f64(),
+                    m.peak_bytes,
+                    m.verdict.map_or("timeout".into(), |v| v.to_string())
+                ));
+                cells.push(cell);
+            }
+            println!("{:<10} {:>12} {:>16} {:>12}", pt.x, cells[0], cells[1], cells[2]);
+        }
+    }
+    csv_append("fig6", "sweep,x,checker,seconds,peak_bytes,verdict", &rows);
+    println!("\nCSV appended to bench_results/fig6.csv");
+}

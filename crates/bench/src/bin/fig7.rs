@@ -1,0 +1,40 @@
+//! Figure 7: memory-overhead comparison under the same sweeps as Figure 6
+//! (peak additional heap bytes during checking).
+
+use polysi_bench::sweeps::fig6_sweeps;
+use polysi_bench::{csv_append, measure, scale, Checker, CountingAllocator, Timeout};
+use polysi_dbsim::{run, IsolationLevel, SimConfig};
+use polysi_workloads::generate;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let checkers = [Checker::PolySi, Checker::CobraSi, Checker::Dbcop];
+    let timeout = Timeout::default();
+    println!("# Figure 7: peak memory (MB) under workload sweeps (scale {})", scale());
+    let mut rows = Vec::new();
+    for (sweep, points) in fig6_sweeps(7) {
+        println!("\n== sweep: {sweep} ==");
+        println!("{:<10} {:>12} {:>16} {:>12}", "x", "PolySI", "CobraSI w/o GPU", "dbcop");
+        for pt in points {
+            let plan = generate(&pt.params);
+            let sim = run(&plan, &SimConfig::new(IsolationLevel::SnapshotIsolation, pt.params.seed));
+            let mut cells = Vec::new();
+            for &c in &checkers {
+                let m = measure(c, &sim.history, &timeout);
+                cells.push(format!("{:.1}", m.peak_bytes as f64 / 1e6));
+                rows.push(format!(
+                    "{sweep},{},{},{},{:.6}",
+                    pt.x,
+                    c.name(),
+                    m.peak_bytes,
+                    m.elapsed.as_secs_f64()
+                ));
+            }
+            println!("{:<10} {:>12} {:>16} {:>12}", pt.x, cells[0], cells[1], cells[2]);
+        }
+    }
+    csv_append("fig7", "sweep,x,checker,peak_bytes,seconds", &rows);
+    println!("\nCSV appended to bench_results/fig7.csv");
+}

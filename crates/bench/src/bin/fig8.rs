@@ -1,0 +1,45 @@
+//! Figure 8: PolySI vs. Cobra (SER) on the six benchmarks — (a) checking
+//! time, (b) peak memory. Histories are serializable (the simulator's
+//! serial level, standing in for PostgreSQL `serializable`), so both
+//! checkers accept and the comparison measures pure checking cost.
+
+use polysi_bench::sweeps::six_benchmarks;
+use polysi_bench::{csv_append, measure, scale, Checker, CountingAllocator, Timeout};
+use polysi_dbsim::IsolationLevel;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    println!("# Figure 8: PolySI vs Cobra on benchmarks (scale {})", scale());
+    println!(
+        "{:<12} {:>12} {:>12}   {:>12} {:>12}",
+        "benchmark", "PolySI(s)", "Cobra(s)", "PolySI(MB)", "Cobra(MB)"
+    );
+    let timeout = Timeout::default();
+    let mut rows = Vec::new();
+    for (name, h) in six_benchmarks(IsolationLevel::Serializable, 8) {
+        let poly = measure(Checker::PolySi, &h, &timeout);
+        let cobra = measure(Checker::CobraSer, &h, &timeout);
+        println!(
+            "{:<12} {:>12.3} {:>12.3}   {:>12.1} {:>12.1}",
+            name,
+            poly.elapsed.as_secs_f64(),
+            cobra.elapsed.as_secs_f64(),
+            poly.peak_bytes as f64 / 1e6,
+            cobra.peak_bytes as f64 / 1e6
+        );
+        for m in [&poly, &cobra] {
+            rows.push(format!(
+                "{name},{},{:.6},{}",
+                m.checker.name(),
+                m.elapsed.as_secs_f64(),
+                m.peak_bytes
+            ));
+        }
+        assert_eq!(poly.verdict, Some(true), "{name}: serial history rejected by PolySI");
+        assert_eq!(cobra.verdict, Some(true), "{name}: serial history rejected by Cobra");
+    }
+    csv_append("fig8", "benchmark,checker,seconds,peak_bytes", &rows);
+    println!("\nCSV appended to bench_results/fig8.csv");
+}

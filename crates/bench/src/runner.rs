@@ -1,0 +1,202 @@
+//! Uniform checker runners and result rows for the figure binaries.
+
+use crate::alloc_counter::CountingAllocator;
+use polysi_baselines::{
+    cobra_check_ser, cobra_si_check, dbcop_check_si, CobraOptions, DbcopVerdict, SerVerdict,
+    SiVerdict,
+};
+use polysi_checker::{check_si, CheckOptions};
+use polysi_history::History;
+use std::fmt;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// The checkers a figure can compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Checker {
+    /// Full PolySI.
+    PolySi,
+    /// PolySI without pruning (differential analysis).
+    PolySiNoPruning,
+    /// PolySI without compaction and pruning.
+    PolySiNoCompactionNoPruning,
+    /// dbcop-style search with a state budget.
+    Dbcop,
+    /// CobraSI (doubled-graph reduction, no GPU).
+    CobraSi,
+    /// Cobra, checking serializability.
+    CobraSer,
+}
+
+impl Checker {
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Checker::PolySi => "PolySI",
+            Checker::PolySiNoPruning => "PolySI w/o P",
+            Checker::PolySiNoCompactionNoPruning => "PolySI w/o C+P",
+            Checker::Dbcop => "dbcop",
+            Checker::CobraSi => "CobraSI w/o GPU",
+            Checker::CobraSer => "Cobra",
+        }
+    }
+}
+
+/// A timeout emulation: dbcop gets a state budget; SAT-based checkers are
+/// wall-clock-bounded only through workload sizing (documented in
+/// EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug)]
+pub struct Timeout {
+    /// dbcop search-state budget (~states explored within the paper's
+    /// 180 s limit).
+    pub dbcop_states: usize,
+}
+
+impl Default for Timeout {
+    fn default() -> Self {
+        Timeout { dbcop_states: 3_000_000 }
+    }
+}
+
+/// One measured run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Which checker ran.
+    pub checker: Checker,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+    /// Peak additional heap bytes during the run.
+    pub peak_bytes: usize,
+    /// `Some(true)` = accepted, `Some(false)` = violation, `None` = timeout.
+    pub verdict: Option<bool>,
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = match self.verdict {
+            Some(true) => "ok",
+            Some(false) => "violation",
+            None => "timeout",
+        };
+        write!(
+            f,
+            "{:<16} {:>9.3}s {:>9.1}MB {}",
+            self.checker.name(),
+            self.elapsed.as_secs_f64(),
+            self.peak_bytes as f64 / 1e6,
+            verdict
+        )
+    }
+}
+
+/// Run one checker over one history, measuring time and peak heap.
+pub fn measure(checker: Checker, h: &History, timeout: &Timeout) -> Measurement {
+    CountingAllocator::reset_peak();
+    let base = CountingAllocator::current();
+    let t0 = Instant::now();
+    let verdict = match checker {
+        Checker::PolySi => {
+            Some(check_si(h, &CheckOptions { interpret: false, ..Default::default() }).is_si())
+        }
+        Checker::PolySiNoPruning => {
+            let mut o = CheckOptions::without_pruning();
+            o.interpret = false;
+            Some(check_si(h, &o).is_si())
+        }
+        Checker::PolySiNoCompactionNoPruning => {
+            let mut o = CheckOptions::without_compaction_and_pruning();
+            o.interpret = false;
+            Some(check_si(h, &o).is_si())
+        }
+        Checker::Dbcop => match dbcop_check_si(h, timeout.dbcop_states).verdict {
+            DbcopVerdict::Si => Some(true),
+            DbcopVerdict::NotSi => Some(false),
+            DbcopVerdict::Timeout => None,
+        },
+        Checker::CobraSi => Some(cobra_si_check(h).0 == SiVerdict::Si),
+        Checker::CobraSer => {
+            Some(cobra_check_ser(h, &CobraOptions::default()).0 == SerVerdict::Serializable)
+        }
+    };
+    let elapsed = t0.elapsed();
+    let peak_bytes = CountingAllocator::peak().saturating_sub(base);
+    Measurement { checker, elapsed, peak_bytes, verdict }
+}
+
+/// The global scale factor for workload sizes (`POLYSI_SCALE`, default
+/// 0.25). `POLYSI_SCALE=1` reproduces the paper's sizes.
+pub fn scale() -> f64 {
+    std::env::var("POLYSI_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.25)
+}
+
+/// Scale a count, keeping at least 1.
+pub fn scaled(n: usize) -> usize {
+    ((n as f64 * scale()).round() as usize).max(1)
+}
+
+/// Append CSV rows to `bench_results/<name>.csv` (creating header + dirs).
+pub fn csv_append(name: &str, header: &str, rows: &[String]) {
+    let dir = std::path::Path::new("bench_results");
+    std::fs::create_dir_all(dir).expect("create bench_results/");
+    let path = dir.join(format!("{name}.csv"));
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open csv");
+    if fresh {
+        writeln!(f, "{header}").unwrap();
+    }
+    for r in rows {
+        writeln!(f, "{r}").unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysi_history::{HistoryBuilder, Key, Value};
+
+    fn tiny_history() -> History {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(Key(1), Value(1)).commit();
+        b.begin().read(Key(1), Value(1)).write(Key(1), Value(2)).commit();
+        b.build()
+    }
+
+    #[test]
+    fn all_checkers_accept_a_serial_history() {
+        let h = tiny_history();
+        for c in [
+            Checker::PolySi,
+            Checker::PolySiNoPruning,
+            Checker::PolySiNoCompactionNoPruning,
+            Checker::Dbcop,
+            Checker::CobraSi,
+            Checker::CobraSer,
+        ] {
+            let m = measure(c, &h, &Timeout::default());
+            assert_eq!(m.verdict, Some(true), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn measurement_formats() {
+        let m = measure(Checker::PolySi, &tiny_history(), &Timeout::default());
+        let s = m.to_string();
+        assert!(s.contains("PolySI") && s.contains("ok"));
+    }
+
+    #[test]
+    fn scaled_is_at_least_one() {
+        assert!(scaled(1) >= 1);
+    }
+
+    #[test]
+    fn checker_names_match_legends() {
+        assert_eq!(Checker::Dbcop.name(), "dbcop");
+        assert_eq!(Checker::CobraSi.name(), "CobraSI w/o GPU");
+    }
+}

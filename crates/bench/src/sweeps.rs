@@ -1,0 +1,133 @@
+//! The parameter sweeps of Figures 6/7 and 15, scaled by `POLYSI_SCALE`.
+
+use crate::runner::scaled;
+use polysi_workloads::{GeneralParams, KeyDistribution};
+
+/// One point of a sweep: an x-axis label and the workload parameters.
+pub struct SweepPoint {
+    /// The x value as printed in the paper's plot.
+    pub x: String,
+    /// Generator parameters for this point.
+    pub params: GeneralParams,
+}
+
+fn base(seed: u64) -> GeneralParams {
+    GeneralParams { txns_per_session: scaled(100), seed, ..Default::default() }
+}
+
+/// The six sweeps of Figure 6 (a)–(f): #sessions, #txns/session, #ops/txn,
+/// read proportion, #keys, key distribution. Defaults and ranges follow
+/// Section 5.1.1.
+pub fn fig6_sweeps(seed: u64) -> Vec<(&'static str, Vec<SweepPoint>)> {
+    let mut out = Vec::new();
+
+    out.push((
+        "sessions",
+        [5usize, 10, 15, 20, 25, 30]
+            .iter()
+            .map(|&s| SweepPoint {
+                x: s.to_string(),
+                params: GeneralParams { sessions: s, ..base(seed) },
+            })
+            .collect(),
+    ));
+    out.push((
+        "txns_per_session",
+        [50usize, 100, 150, 200, 250]
+            .iter()
+            .map(|&t| SweepPoint {
+                x: t.to_string(),
+                params: GeneralParams { txns_per_session: scaled(t), ..base(seed) },
+            })
+            .collect(),
+    ));
+    out.push((
+        "ops_per_txn",
+        [5usize, 10, 15, 20, 25, 30]
+            .iter()
+            .map(|&o| SweepPoint {
+                x: o.to_string(),
+                params: GeneralParams { ops_per_txn: o, ..base(seed) },
+            })
+            .collect(),
+    ));
+    out.push((
+        "read_pct",
+        [0u32, 25, 50, 75, 100]
+            .iter()
+            .map(|&r| SweepPoint {
+                x: r.to_string(),
+                params: GeneralParams { read_pct: r, ..base(seed) },
+            })
+            .collect(),
+    ));
+    out.push((
+        "keys",
+        [2_000u64, 4_000, 6_000, 8_000, 10_000]
+            .iter()
+            .map(|&k| SweepPoint {
+                x: k.to_string(),
+                params: GeneralParams { keys: k, ..base(seed) },
+            })
+            .collect(),
+    ));
+    out.push((
+        "distribution",
+        [
+            ("uniform", KeyDistribution::Uniform),
+            ("zipfian", KeyDistribution::Zipfian),
+            ("hotspot", KeyDistribution::Hotspot),
+        ]
+        .iter()
+        .map(|&(name, dist)| SweepPoint {
+            x: name.to_string(),
+            params: GeneralParams { dist, ..base(seed) },
+        })
+        .collect(),
+    ));
+    out
+}
+
+/// The six benchmark workloads of Figures 8–10 and Table 3 (RUBiS, TPC-C,
+/// C-Twitter, GeneralRH/RW/RW), executed on the simulator at `level`.
+pub fn six_benchmarks(
+    level: polysi_dbsim::IsolationLevel,
+    seed: u64,
+) -> Vec<(&'static str, polysi_history::History)> {
+    use polysi_dbsim::{run, SimConfig};
+    use polysi_workloads::benchmarks::{ctwitter, rubis, tpcc, BenchParams};
+    use polysi_workloads::{general_rh, general_rw, general_wh, generate};
+
+    let bp = BenchParams { sessions: 25, txns_per_session: scaled(400), seed };
+    let scale_general = |mut p: GeneralParams| {
+        p.txns_per_session = scaled(p.txns_per_session);
+        p
+    };
+    let mut out = Vec::new();
+    for (name, plan) in [
+        ("RUBiS", rubis(&bp)),
+        ("TPC-C", tpcc(&bp)),
+        ("C-Twitter", ctwitter(&bp)),
+        ("GeneralRH", generate(&scale_general(general_rh(seed)))),
+        ("GeneralRW", generate(&scale_general(general_rw(seed)))),
+        ("GeneralWH", generate(&scale_general(general_wh(seed)))),
+    ] {
+        let sim = run(&plan, &SimConfig::new(level, seed));
+        out.push((name, sim.history));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_sweeps_with_points() {
+        let sweeps = fig6_sweeps(1);
+        assert_eq!(sweeps.len(), 6);
+        assert!(sweeps.iter().all(|(_, pts)| pts.len() >= 3));
+        let names: Vec<_> = sweeps.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"sessions") && names.contains(&"distribution"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Heuristic classification of violating cycles into the anomaly families
+//! the paper discusses (Examples 1–2, Section 5.2–5.3, Appendix D).
+
+use polysi_polygraph::{Edge, Label};
+use std::collections::HashSet;
+use std::fmt;
+
+/// The anomaly family of a violating cycle.
+///
+/// The classification is a debugging aid (the *verdict* never depends on
+/// it): it looks at the cycle's edge-type profile the way a human reader of
+/// the paper's Figures 5/12/13 would.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Anomaly {
+    /// Two transactions concurrently read-modify-wrote the same key:
+    /// a single-key cycle with exactly one `RW` edge (Figure 5).
+    LostUpdate,
+    /// Two transactions observed two concurrent writes in opposite orders:
+    /// at least two (non-adjacent) `RW` edges (Figure 3).
+    LongFork,
+    /// A transaction missed the effects of a causally preceding one: a
+    /// cycle through session order, or an all-dependency cycle
+    /// (Figures 12/13).
+    CausalityViolation,
+    /// Multi-key read skew: one `RW` edge, several keys, no session edge —
+    /// a fractured read.
+    FracturedRead,
+    /// Cyclic information flow among writes/reads only (Adya's G1c) that
+    /// matches none of the patterns above.
+    WriteReadCycle,
+}
+
+impl Anomaly {
+    /// Classify a violating cycle.
+    pub fn classify(cycle: &[Edge]) -> Anomaly {
+        let rw_count = cycle.iter().filter(|e| !e.label.is_dep()).count();
+        let has_so = cycle.iter().any(|e| e.label == Label::So);
+        let keys: HashSet<_> = cycle.iter().filter_map(|e| e.label.key()).collect();
+
+        if rw_count >= 2 {
+            return Anomaly::LongFork;
+        }
+        if rw_count == 1 {
+            if keys.len() <= 1 {
+                return Anomaly::LostUpdate;
+            }
+            if has_so {
+                return Anomaly::CausalityViolation;
+            }
+            return Anomaly::FracturedRead;
+        }
+        // All-Dep cycle.
+        if has_so {
+            Anomaly::CausalityViolation
+        } else {
+            Anomaly::WriteReadCycle
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Anomaly::LostUpdate => "lost update",
+            Anomaly::LongFork => "long fork",
+            Anomaly::CausalityViolation => "causality violation",
+            Anomaly::FracturedRead => "fractured read",
+            Anomaly::WriteReadCycle => "write-read cycle",
+        }
+    }
+}
+
+impl fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysi_history::{Key, TxnId};
+
+    fn e(f: u32, t: u32, label: Label) -> Edge {
+        Edge::new(TxnId(f), TxnId(t), label)
+    }
+
+    #[test]
+    fn lost_update_pattern() {
+        let cycle = [e(0, 1, Label::Ww(Key(1))), e(1, 0, Label::Rw(Key(1)))];
+        assert_eq!(Anomaly::classify(&cycle), Anomaly::LostUpdate);
+    }
+
+    #[test]
+    fn long_fork_pattern() {
+        let cycle = [
+            e(1, 3, Label::Wr(Key(1))),
+            e(3, 2, Label::Rw(Key(2))),
+            e(2, 4, Label::Wr(Key(2))),
+            e(4, 1, Label::Rw(Key(1))),
+        ];
+        assert_eq!(Anomaly::classify(&cycle), Anomaly::LongFork);
+    }
+
+    #[test]
+    fn causality_pattern_with_so() {
+        // YugabyteDB example (Figure 13): WW, WR, SO — an all-Dep cycle.
+        let cycle = [
+            e(0, 1, Label::Ww(Key(10))),
+            e(1, 2, Label::Wr(Key(13))),
+            e(2, 0, Label::So),
+        ];
+        assert_eq!(Anomaly::classify(&cycle), Anomaly::CausalityViolation);
+    }
+
+    #[test]
+    fn causality_pattern_single_rw_with_so() {
+        // Dgraph-style: RW through a session edge.
+        let cycle = [
+            e(0, 1, Label::Rw(Key(656))),
+            e(1, 2, Label::Wr(Key(402))),
+            e(2, 0, Label::So),
+        ];
+        assert_eq!(Anomaly::classify(&cycle), Anomaly::CausalityViolation);
+    }
+
+    #[test]
+    fn fractured_read_pattern() {
+        let cycle = [e(0, 1, Label::Wr(Key(1))), e(1, 0, Label::Rw(Key(2)))];
+        assert_eq!(Anomaly::classify(&cycle), Anomaly::FracturedRead);
+    }
+
+    #[test]
+    fn write_read_cycle_pattern() {
+        let cycle = [e(0, 1, Label::Wr(Key(1))), e(1, 0, Label::Ww(Key(2)))];
+        assert_eq!(Anomaly::classify(&cycle), Anomaly::WriteReadCycle);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Anomaly::LostUpdate.to_string(), "lost update");
+        assert_eq!(Anomaly::LongFork.name(), "long fork");
+    }
+}

@@ -1,0 +1,521 @@
+//! The `CheckSI` pipeline (Algorithm 1/2 of the paper): axioms →
+//! construction → pruning → encoding → solving, with per-stage timing for
+//! the decomposition analysis (Section 5.4.2).
+
+use crate::anomaly::Anomaly;
+use crate::interpret::{interpret, Scenario};
+use polysi_history::{AxiomViolation, Facts, History};
+use polysi_polygraph::{
+    ConstraintMode, Edge, KnownGraphResult, Polygraph, PruneResult, PruneStats,
+};
+use polysi_solver::{Lit, SolveResult, Solver, SolverStats};
+use std::time::{Duration, Instant};
+
+/// Configuration of a check run. The defaults are the full PolySI
+/// configuration; the differential variants of Section 5.4.3 disable
+/// pruning (`PolySI w/o P`) and constraint compaction (`PolySI w/o C+P`).
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Constraint representation (generalized vs. plain).
+    pub mode: ConstraintMode,
+    /// Run constraint pruning before encoding.
+    pub pruning: bool,
+    /// Run the interpretation algorithm on violations to recover a minimal
+    /// explained scenario.
+    pub interpret: bool,
+    /// Seed solver decision phases along a topological order of the known
+    /// graph (this implementation's ablatable optimization — see the
+    /// `ablation` bench binary).
+    pub phase_seeding: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            mode: ConstraintMode::Generalized,
+            pruning: true,
+            interpret: true,
+            phase_seeding: true,
+        }
+    }
+}
+
+impl CheckOptions {
+    /// `PolySI w/o P`: generalized constraints, no pruning.
+    pub fn without_pruning() -> Self {
+        CheckOptions { pruning: false, ..Default::default() }
+    }
+
+    /// `PolySI w/o C+P`: plain constraints, no pruning.
+    pub fn without_compaction_and_pruning() -> Self {
+        CheckOptions { mode: ConstraintMode::Plain, pruning: false, ..Default::default() }
+    }
+}
+
+/// Wall-clock duration of each pipeline stage (Figure 9).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    /// Axiom checks + polygraph construction.
+    pub constructing: Duration,
+    /// Constraint pruning.
+    pub pruning: Duration,
+    /// SAT encoding.
+    pub encoding: Duration,
+    /// Solver run (including counterexample extraction on violation).
+    pub solving: Duration,
+}
+
+impl StageTimings {
+    /// Total checking time.
+    pub fn total(&self) -> Duration {
+        self.constructing + self.pruning + self.encoding + self.solving
+    }
+}
+
+/// Size of the encoded SAT instance.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EncodeStats {
+    /// Boolean variables created (one selector per constraint).
+    pub vars: usize,
+    /// Clauses added.
+    pub clauses: usize,
+    /// Unconditional layered theory edges.
+    pub known_edges: usize,
+    /// Guard-conditional layered theory edges.
+    pub symbolic_edges: usize,
+}
+
+/// The verdict of a check.
+pub enum Outcome {
+    /// The history satisfies snapshot isolation.
+    Si,
+    /// A non-cyclic axiom failed (`Int`, aborted read, intermediate read,
+    /// UniqueValue, …); the history is not SI and graph analysis was
+    /// skipped.
+    AxiomViolations(Vec<AxiomViolation>),
+    /// A cyclic violation with its witness.
+    CyclicViolation(Violation),
+}
+
+/// A cyclic SI violation.
+pub struct Violation {
+    /// The violating cycle: typed dependency edges in which no two `RW`
+    /// edges are adjacent (so the cycle survives the `(Dep);RW?` induce
+    /// rule of Theorem 6).
+    pub cycle: Vec<Edge>,
+    /// Heuristic anomaly classification of the cycle.
+    pub anomaly: Anomaly,
+    /// The interpreted scenario (restored participants, resolved
+    /// uncertainties, minimal finalized cause), when interpretation ran.
+    pub scenario: Option<Scenario>,
+}
+
+/// Everything a check run produces.
+pub struct CheckReport {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Per-stage wall-clock times.
+    pub timings: StageTimings,
+    /// Pruning counters (Table 3), when pruning ran and completed.
+    pub prune_stats: Option<PruneStats>,
+    /// Encoded instance size.
+    pub encode_stats: EncodeStats,
+    /// Solver counters, when the solver ran.
+    pub solver_stats: Option<SolverStats>,
+}
+
+impl CheckReport {
+    /// Whether the history was accepted as SI.
+    pub fn is_si(&self) -> bool {
+        matches!(self.outcome, Outcome::Si)
+    }
+}
+
+/// Check a history against (strong session) snapshot isolation.
+///
+/// Sound and complete (Theorems 18/19): returns a violation iff the history
+/// does not satisfy SI, assuming determinate transactions.
+pub fn check_si(h: &History, opts: &CheckOptions) -> CheckReport {
+    let mut timings = StageTimings::default();
+    let t0 = Instant::now();
+
+    // Stage 0: non-cyclic axioms (Section 4.5).
+    let facts = Facts::analyze(h);
+    if !facts.axioms_ok() {
+        timings.constructing = t0.elapsed();
+        return CheckReport {
+            outcome: Outcome::AxiomViolations(facts.violations),
+            timings,
+            prune_stats: None,
+            encode_stats: EncodeStats::default(),
+            solver_stats: None,
+        };
+    }
+
+    // Stage 1: construct the generalized polygraph.
+    let mut g = Polygraph::from_history(h, &facts, opts.mode);
+    timings.constructing = t0.elapsed();
+
+    // Stage 2: prune constraints.
+    let mut prune_stats = None;
+    if opts.pruning {
+        let t = Instant::now();
+        let pr = g.prune();
+        timings.pruning = t.elapsed();
+        match pr {
+            PruneResult::Pruned(stats) => prune_stats = Some(stats),
+            PruneResult::Violation(cycle) => {
+                return violation_report(
+                    h,
+                    &facts,
+                    cycle,
+                    opts,
+                    timings,
+                    None,
+                    EncodeStats::default(),
+                    None,
+                );
+            }
+        }
+    }
+
+    // Stage 3: encode into SAT modulo acyclicity. Selector phases are
+    // seeded from a topological order of the known graph so the solver's
+    // first full assignment is already near-acyclic.
+    let t = Instant::now();
+    let n = g.n;
+    let topo: Option<Vec<u32>> = if opts.phase_seeding {
+        match g.known_graph() {
+            KnownGraphResult::Acyclic(kg) => Some(kg.topo_positions()),
+            KnownGraphResult::Cyclic(_) => None, // solver will report Unsat
+        }
+    } else {
+        None
+    };
+    let mut solver = Solver::with_graph(2 * n);
+    let mut encode_stats = EncodeStats::default();
+    for e in &g.known {
+        add_layered_known(&mut solver, n, e);
+        encode_stats.known_edges += layered_count(e);
+    }
+    for cons in &g.constraints {
+        let var = solver.new_var();
+        let s = Lit::pos(var);
+        encode_stats.vars += 1;
+        if let Some(topo) = &topo {
+            solver.set_phase(var, phase_along_topo(topo, cons));
+        }
+        for e in &cons.either {
+            add_layered_symbolic(&mut solver, n, s, e);
+            encode_stats.symbolic_edges += layered_count(e);
+        }
+        for e in &cons.or {
+            add_layered_symbolic(&mut solver, n, !s, e);
+            encode_stats.symbolic_edges += layered_count(e);
+        }
+    }
+    timings.encoding = t.elapsed();
+
+    // Stage 4: solve.
+    let t = Instant::now();
+    let result = solver.solve();
+    let solver_stats = Some(*solver.stats());
+    match result {
+        SolveResult::Sat(_) => {
+            timings.solving = t.elapsed();
+            CheckReport {
+                outcome: Outcome::Si,
+                timings,
+                prune_stats,
+                encode_stats,
+                solver_stats,
+            }
+        }
+        SolveResult::Unsat => {
+            let cycle = extract_cycle(&g);
+            timings.solving = t.elapsed();
+            violation_report(h, &facts, cycle, opts, timings, prune_stats, encode_stats, solver_stats)
+        }
+        SolveResult::Unknown => unreachable!("check_si sets no conflict budget"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn violation_report(
+    h: &History,
+    facts: &Facts,
+    cycle: Vec<Edge>,
+    opts: &CheckOptions,
+    timings: StageTimings,
+    prune_stats: Option<PruneStats>,
+    encode_stats: EncodeStats,
+    solver_stats: Option<SolverStats>,
+) -> CheckReport {
+    let scenario = opts.interpret.then(|| interpret(h, facts, &cycle));
+    let anomaly = Anomaly::classify(&cycle);
+    CheckReport {
+        outcome: Outcome::CyclicViolation(Violation { cycle, anomaly, scenario }),
+        timings,
+        prune_stats,
+        encode_stats,
+        solver_stats,
+    }
+}
+
+/// On UNSAT, every resolution of the constraints is cyclic (Definition 15),
+/// so resolving everything one way and extracting a cycle yields a genuine
+/// counterexample. We try both uniform resolutions and keep the shorter
+/// cycle.
+fn extract_cycle(g: &Polygraph) -> Vec<Edge> {
+    let mut best: Option<Vec<Edge>> = None;
+    for either in [true, false] {
+        let mut edges = g.known.clone();
+        for c in &g.constraints {
+            let side = if either { &c.either } else { &c.or };
+            edges.extend(side.iter().copied());
+        }
+        if let KnownGraphResult::Cyclic(cycle) =
+            polysi_polygraph::KnownGraph::build(g.n, &edges)
+        {
+            if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+                best = Some(cycle);
+            }
+        }
+    }
+    best.expect("UNSAT instance must be cyclic under a uniform resolution")
+}
+
+/// Prefer the constraint side whose `WW` edges agree with the known
+/// topological order.
+fn phase_along_topo(topo: &[u32], cons: &polysi_polygraph::Constraint) -> bool {
+    let agreement = |side: &[Edge]| -> i64 {
+        side.iter()
+            .filter(|e| matches!(e.label, polysi_polygraph::Label::Ww(_)))
+            .map(|e| {
+                if topo[e.from.idx()] < topo[e.to.idx()] {
+                    1i64
+                } else {
+                    -1
+                }
+            })
+            .sum()
+    };
+    agreement(&cons.either) >= agreement(&cons.or)
+}
+
+#[inline]
+fn layered_count(e: &Edge) -> usize {
+    if e.label.is_dep() {
+        2
+    } else {
+        1
+    }
+}
+
+/// Add a known edge's layered images (see `polysi_polygraph::KnownGraph`):
+/// `Dep i→k` becomes `B(i)→B(k)` and `B(i)→M(k)`; `RW k→j` becomes
+/// `M(k)→B(j)`.
+fn add_layered_known(solver: &mut Solver, n: usize, e: &Edge) {
+    let (f, t) = (e.from.0, e.to.0);
+    if e.label.is_dep() {
+        solver.add_known_edge(f, t);
+        solver.add_known_edge(f, n as u32 + t);
+    } else {
+        solver.add_known_edge(n as u32 + f, t);
+    }
+}
+
+fn add_layered_symbolic(solver: &mut Solver, n: usize, guard: Lit, e: &Edge) {
+    let (f, t) = (e.from.0, e.to.0);
+    if e.label.is_dep() {
+        solver.add_symbolic_edge(guard, f, t);
+        solver.add_symbolic_edge(guard, f, n as u32 + t);
+    } else {
+        solver.add_symbolic_edge(guard, n as u32 + f, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysi_history::{HistoryBuilder, Key, Value};
+
+    fn k(n: u64) -> Key {
+        Key(n)
+    }
+    fn v(n: u64) -> Value {
+        Value(n)
+    }
+
+    fn check(h: &History) -> CheckReport {
+        check_si(h, &CheckOptions::default())
+    }
+
+    #[test]
+    fn empty_history_is_si() {
+        assert!(check(&History::new()).is_si());
+    }
+
+    #[test]
+    fn serial_history_is_si() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+        b.begin().read(k(1), v(2)).commit();
+        assert!(check(&b.build()).is_si());
+    }
+
+    #[test]
+    fn lost_update_rejected() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(3)).commit();
+        let report = check(&b.build());
+        match &report.outcome {
+            Outcome::CyclicViolation(viol) => {
+                assert_eq!(viol.anomaly, Anomaly::LostUpdate);
+                assert!(!viol.cycle.is_empty());
+            }
+            _ => panic!("lost update must be rejected"),
+        }
+    }
+
+    #[test]
+    fn long_fork_rejected() {
+        // Paper Figure 3: T3 sees x=1,y=0; T4 sees x=0,y=1.
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(10)).write(k(2), v(20)).commit(); // T0
+        b.begin().write(k(1), v(12)).commit(); // T5
+        b.session();
+        b.begin().write(k(1), v(11)).commit(); // T1
+        b.session();
+        b.begin().write(k(2), v(21)).commit(); // T2
+        b.session();
+        b.begin().read(k(1), v(11)).read(k(2), v(20)).commit(); // T3
+        b.session();
+        b.begin().read(k(1), v(10)).read(k(2), v(21)).commit(); // T4
+        let report = check(&b.build());
+        match &report.outcome {
+            Outcome::CyclicViolation(viol) => {
+                assert_eq!(viol.anomaly, Anomaly::LongFork, "cycle: {:?}", viol.cycle);
+            }
+            _ => panic!("long fork must be rejected"),
+        }
+    }
+
+    #[test]
+    fn write_skew_accepted() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).write(k(2), v(2)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(2), v(22)).commit();
+        b.session();
+        b.begin().read(k(2), v(2)).write(k(1), v(11)).commit();
+        assert!(check(&b.build()).is_si(), "write skew is allowed under SI");
+    }
+
+    #[test]
+    fn causality_violation_rejected() {
+        // Session order forces T0 before T1, but T2 reads T1's write and
+        // then (same session) an older value of the key T0 wrote.
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit(); // T0
+        b.begin().write(k(2), v(2)).commit(); // T1
+        b.session();
+        b.begin().read(k(2), v(2)).read(k(1), Value::INIT).commit(); // T2
+        let report = check(&b.build());
+        match &report.outcome {
+            Outcome::CyclicViolation(viol) => {
+                assert_eq!(viol.anomaly, Anomaly::CausalityViolation, "cycle: {:?}", viol.cycle);
+            }
+            _ => panic!("causality violation must be rejected"),
+        }
+    }
+
+    #[test]
+    fn aborted_read_rejected_without_graph_analysis() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).abort();
+        b.session();
+        b.begin().read(k(1), v(1)).commit();
+        let report = check(&b.build());
+        match &report.outcome {
+            Outcome::AxiomViolations(vs) => {
+                assert!(matches!(vs[0], AxiomViolation::AbortedRead { .. }));
+            }
+            _ => panic!("aborted read must fail the axioms"),
+        }
+    }
+
+    #[test]
+    fn read_committed_prefix_is_si() {
+        // Two sessions ping-ponging reads of each other's committed writes
+        // in a consistent order.
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.begin().read(k(2), v(2)).commit();
+        b.session();
+        b.begin().write(k(2), v(2)).commit();
+        b.begin().read(k(1), v(1)).commit();
+        assert!(check(&b.build()).is_si());
+    }
+
+    #[test]
+    fn variants_agree_on_verdicts() {
+        let build = || {
+            let mut b = HistoryBuilder::new();
+            b.session();
+            b.begin().write(k(1), v(1)).commit();
+            b.session();
+            b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+            b.session();
+            b.begin().read(k(1), v(1)).write(k(1), v(3)).commit();
+            b.build()
+        };
+        let h = build();
+        let full = check_si(&h, &CheckOptions::default());
+        let no_p = check_si(&h, &CheckOptions::without_pruning());
+        let no_cp = check_si(&h, &CheckOptions::without_compaction_and_pruning());
+        assert!(!full.is_si() && !no_p.is_si() && !no_cp.is_si());
+    }
+
+    #[test]
+    fn report_carries_stage_metadata() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+        b.session();
+        b.begin().read(k(1), v(2)).write(k(1), v(4)).commit();
+        let report = check(&b.build());
+        assert!(report.is_si());
+        assert!(report.prune_stats.is_some());
+        assert!(report.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn repeated_lost_update_pairs_all_detected() {
+        // Several independent lost-update pairs on distinct keys: still
+        // rejected, and the cycle stays on a single key.
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).write(k(2), v(2)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(11)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(12)).commit();
+        let report = check(&b.build());
+        assert!(!report.is_si());
+    }
+}

@@ -1,0 +1,29 @@
+//! # polysi-dbsim — a deterministic MVCC database simulator
+//!
+//! The evaluation substrate for the PolySI reproduction: a seeded,
+//! single-process multi-version key-value store that executes
+//! [`polysi_workloads::Plan`]s under configurable isolation behaviour and
+//! records the client-observed [`polysi_history::History`].
+//!
+//! Two levels are *correct* (serializable, strong-session SI with
+//! first-committer-wins) and stand in for PostgreSQL as the paper's
+//! valid-history producer; five are *fault-injected* and model the defect
+//! classes PolySI found in production systems (lost updates in Galera,
+//! causality violations in Dgraph/YugabyteDB, long forks, dirty reads) —
+//! see [`profiles::table2_profiles`].
+//!
+//! The crate also contains an independent *operational* SI decision
+//! procedure ([`replay`], an event-interleaving search used both as a
+//! corpus filter and as the engine of the dbcop baseline) and the
+//! [`corpus`] generator standing in for the paper's 2477 known anomalies.
+
+pub mod corpus;
+pub mod profiles;
+pub mod replay;
+mod sim;
+mod store;
+
+pub use profiles::{table2_profiles, DbProfile, ExpectedAnomaly};
+pub use replay::{is_operationally_si, replay_check_si, ReplayResult};
+pub use sim::{run, SimConfig, SimOutcome};
+pub use store::{IsolationLevel, Store, VersionEntry};

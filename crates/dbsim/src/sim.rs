@@ -1,0 +1,338 @@
+//! The deterministic execution engine: interleave sessions over the MVCC
+//! store under a chosen isolation level and record the client-observed
+//! history.
+//!
+//! The scheduler is single-threaded and seeded, so every run is exactly
+//! reproducible; concurrency is modelled by interleaving transactions at
+//! operation granularity (except under [`IsolationLevel::Serializable`],
+//! where transactions run atomically, which makes every history trivially
+//! serializable — the role PostgreSQL's serializable level plays in the
+//! paper's Cobra comparison).
+
+use crate::store::{IsolationLevel, Store};
+use polysi_history::{History, HistoryBuilder, Key, Op, TxnStatus, Value};
+use polysi_workloads::{OpIntent, Plan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// The (possibly faulty) isolation level to implement.
+    pub level: IsolationLevel,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Probability that a [`IsolationLevel::ReadUncommitted`] transaction
+    /// with writes aborts at commit (creating aborted-read witnesses).
+    pub abort_probability: f64,
+    /// Probability that a [`IsolationLevel::StaleSnapshot`] transaction
+    /// begins on a stale snapshot.
+    pub staleness_probability: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            level: IsolationLevel::SnapshotIsolation,
+            seed: 0xD8_51,
+            abort_probability: 0.1,
+            staleness_probability: 0.3,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A config for `level` with the given seed and default fault knobs.
+    pub fn new(level: IsolationLevel, seed: u64) -> Self {
+        SimConfig { level, seed, ..Default::default() }
+    }
+}
+
+/// Aggregate run outcome.
+pub struct SimOutcome {
+    /// The recorded client-observable history (committed and aborted
+    /// transactions; the status is always determinate).
+    pub history: History,
+    /// Transactions aborted (first-committer-wins conflicts + injected).
+    pub aborts: usize,
+}
+
+struct ActiveTxn {
+    next_op: usize,
+    snapshot: u64,
+    writes: HashMap<Key, Value>,
+    recorded: Vec<Op>,
+    /// Latest version timestamps of to-be-written keys at begin (FCW).
+    write_guards: Vec<(Key, u64)>,
+    /// Per-key snapshot times drawn lazily under `PerKeySnapshot` (cached
+    /// so repeated reads stay internally consistent — the injected defect
+    /// is a fractured snapshot, not a random register).
+    per_key_ts: HashMap<Key, u64>,
+}
+
+struct SessionState {
+    next_txn: usize,
+    active: Option<ActiveTxn>,
+    recorded: Vec<(Vec<Op>, TxnStatus)>,
+}
+
+/// Run a plan against the simulated database.
+pub fn run(plan: &Plan, cfg: &SimConfig) -> SimOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut store = Store::new();
+    let mut next_value = 1u64;
+    let mut aborts = 0usize;
+    let atomic = cfg.level == IsolationLevel::Serializable;
+    // In-flight (uncommitted) writes, for dirty reads: key → (session, val).
+    let mut inflight: HashMap<Key, Vec<(usize, Value)>> = HashMap::new();
+
+    let mut sessions: Vec<SessionState> = plan
+        .sessions
+        .iter()
+        .map(|_| SessionState { next_txn: 0, active: None, recorded: Vec::new() })
+        .collect();
+    let mut live: Vec<usize> =
+        (0..sessions.len()).filter(|&s| !plan.sessions[s].is_empty()).collect();
+
+    while !live.is_empty() {
+        let pick = rng.gen_range(0..live.len());
+        let s = live[pick];
+        loop {
+            let state = &mut sessions[s];
+            if state.active.is_none() {
+                let intents = &plan.sessions[s][state.next_txn];
+                let snapshot = match cfg.level {
+                    IsolationLevel::StaleSnapshot
+                        if rng.gen_bool(cfg.staleness_probability) =>
+                    {
+                        // A stale snapshot that may predate the session's
+                        // own previous commits — the Dgraph/YugabyteDB
+                        // defect class.
+                        let now = store.now();
+                        now - rng.gen_range(0..=now.min(8))
+                    }
+                    _ => store.now(),
+                };
+                let mut guards: Vec<(Key, u64)> = Vec::new();
+                for intent in intents {
+                    if let OpIntent::Write(k) = intent {
+                        if !guards.iter().any(|&(g, _)| g == *k) {
+                            guards.push((*k, store.latest_version_ts(*k)));
+                        }
+                    }
+                }
+                state.active = Some(ActiveTxn {
+                    next_op: 0,
+                    snapshot,
+                    writes: HashMap::new(),
+                    recorded: Vec::new(),
+                    write_guards: guards,
+                    per_key_ts: HashMap::new(),
+                });
+            }
+
+            let intents = &plan.sessions[s][state.next_txn];
+            let active = state.active.as_mut().expect("just ensured");
+            if active.next_op < intents.len() {
+                let intent = intents[active.next_op];
+                active.next_op += 1;
+                match intent {
+                    OpIntent::Read(key) => {
+                        let value = if let Some(&own) = active.writes.get(&key) {
+                            own
+                        } else {
+                            match cfg.level {
+                                IsolationLevel::ReadCommitted => store.read_at(key, store.now()),
+                                IsolationLevel::PerKeySnapshot => {
+                                    let now = store.now();
+                                    let snapshot = active.snapshot;
+                                    let ts = *active
+                                        .per_key_ts
+                                        .entry(key)
+                                        .or_insert_with(|| rng.gen_range(snapshot..=now));
+                                    store.read_at(key, ts)
+                                }
+                                IsolationLevel::ReadUncommitted => {
+                                    let dirty = inflight
+                                        .get(&key)
+                                        .and_then(|vs| vs.iter().rev().find(|&&(o, _)| o != s))
+                                        .map(|&(_, v)| v);
+                                    match dirty {
+                                        Some(v) if rng.gen_bool(0.5) => v,
+                                        _ => store.read_at(key, store.now()),
+                                    }
+                                }
+                                _ => store.read_at(key, active.snapshot),
+                            }
+                        };
+                        active.recorded.push(Op::Read { key, value });
+                    }
+                    OpIntent::Write(key) => {
+                        let value = Value(next_value);
+                        next_value += 1;
+                        active.writes.insert(key, value);
+                        inflight.entry(key).or_default().push((s, value));
+                        active.recorded.push(Op::Write { key, value });
+                    }
+                }
+                if atomic {
+                    continue;
+                }
+                break;
+            }
+
+            // Commit or abort.
+            let active = state.active.take().expect("active transaction");
+            let mut status = TxnStatus::Committed;
+            let fcw = matches!(
+                cfg.level,
+                IsolationLevel::SnapshotIsolation
+                    | IsolationLevel::StaleSnapshot
+                    | IsolationLevel::PerKeySnapshot
+            );
+            if fcw
+                && active
+                    .write_guards
+                    .iter()
+                    .any(|&(k, at_begin)| store.latest_version_ts(k) > at_begin)
+            {
+                status = TxnStatus::Aborted;
+            }
+            if status == TxnStatus::Committed
+                && cfg.level == IsolationLevel::ReadUncommitted
+                && !active.writes.is_empty()
+                && rng.gen_bool(cfg.abort_probability)
+            {
+                status = TxnStatus::Aborted;
+            }
+            // Retire in-flight write entries.
+            for &key in active.writes.keys() {
+                if let Some(vs) = inflight.get_mut(&key) {
+                    vs.retain(|&(o, _)| o != s);
+                }
+            }
+            if status == TxnStatus::Committed {
+                if !active.writes.is_empty() {
+                    let writes: Vec<(Key, Value)> =
+                        active.writes.iter().map(|(&k, &v)| (k, v)).collect();
+                    store.commit(&writes);
+                }
+            } else {
+                aborts += 1;
+            }
+            state.recorded.push((active.recorded, status));
+            state.next_txn += 1;
+            if state.next_txn == plan.sessions[s].len() {
+                live.swap_remove(pick);
+            }
+            break;
+        }
+    }
+
+    let mut builder = HistoryBuilder::new();
+    for state in &sessions {
+        builder.session();
+        for (ops, status) in &state.recorded {
+            if ops.is_empty() {
+                continue; // plans with empty transactions produce nothing
+            }
+            builder.begin();
+            for &op in ops {
+                builder.op(op);
+            }
+            match status {
+                TxnStatus::Committed => builder.commit(),
+                TxnStatus::Aborted => builder.abort(),
+            };
+        }
+    }
+    SimOutcome { history: builder.build(), aborts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysi_history::stats::HistoryStats;
+    use polysi_workloads::{generate, GeneralParams};
+
+    fn small_params(seed: u64) -> GeneralParams {
+        GeneralParams {
+            sessions: 5,
+            txns_per_session: 20,
+            ops_per_txn: 4,
+            keys: 10,
+            read_pct: 50,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let plan = generate(&small_params(3));
+        let a = run(&plan, &SimConfig::default());
+        let b = run(&plan, &SimConfig::default());
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.aborts, b.aborts);
+    }
+
+    #[test]
+    fn si_runs_record_all_transactions() {
+        let plan = generate(&small_params(4));
+        let out = run(&plan, &SimConfig::default());
+        assert_eq!(out.history.len(), plan.num_txns());
+        let stats = HistoryStats::of(&out.history);
+        assert_eq!(stats.txns - stats.committed, out.aborts);
+    }
+
+    #[test]
+    fn serializable_runs_have_no_aborts() {
+        let plan = generate(&small_params(5));
+        let out = run(&plan, &SimConfig::new(IsolationLevel::Serializable, 5));
+        assert_eq!(out.aborts, 0);
+    }
+
+    #[test]
+    fn contended_si_runs_abort_some_writers() {
+        // 2 keys, write-heavy: first-committer-wins must fire.
+        let plan = generate(&GeneralParams {
+            keys: 2,
+            read_pct: 20,
+            ..small_params(6)
+        });
+        let out = run(&plan, &SimConfig::default());
+        assert!(out.aborts > 0, "expected FCW aborts under contention");
+    }
+
+    #[test]
+    fn lost_update_fault_commits_conflicting_writers() {
+        let plan = generate(&GeneralParams { keys: 2, read_pct: 20, ..small_params(7) });
+        let out = run(&plan, &SimConfig::new(IsolationLevel::NoWriteConflictDetection, 7));
+        assert_eq!(out.aborts, 0, "the faulty level never aborts");
+    }
+
+    #[test]
+    fn unique_values_hold_across_levels() {
+        for level in [
+            IsolationLevel::Serializable,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::NoWriteConflictDetection,
+            IsolationLevel::StaleSnapshot,
+            IsolationLevel::PerKeySnapshot,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadUncommitted,
+        ] {
+            let plan = generate(&small_params(8));
+            let out = run(&plan, &SimConfig::new(level, 8));
+            let mut seen = std::collections::HashSet::new();
+            for (_, t) in out.history.iter() {
+                for op in &t.ops {
+                    if op.is_write() {
+                        assert!(seen.insert(op.value()), "{level:?} duplicated a value");
+                    }
+                }
+            }
+        }
+    }
+}

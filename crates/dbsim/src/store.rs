@@ -1,0 +1,159 @@
+//! The multi-version store and the isolation levels it can (mis)implement.
+
+use polysi_history::{Key, Value};
+use std::collections::HashMap;
+
+/// The isolation behaviour of a simulated database.
+///
+/// The first two are *correct* levels; the rest inject the defect classes
+/// the paper found in production systems (Table 2 and Section 5.2.2), so
+/// the black-box checkers have realistic bugs to catch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsolationLevel {
+    /// Transactions execute atomically in a global serial order; histories
+    /// are serializable (and therefore SI). Stands in for PostgreSQL's
+    /// `serializable` level as the valid-history producer.
+    Serializable,
+    /// Strong session snapshot isolation: begin-time snapshots +
+    /// first-committer-wins write-conflict detection. Stands in for
+    /// PostgreSQL's `repeatable read` (implemented as SI).
+    SnapshotIsolation,
+    /// SI without write-write conflict detection: concurrent read-modify-
+    /// writes both commit — **lost updates**, the defect PolySI found in
+    /// MariaDB-Galera for transactions on different cluster nodes.
+    NoWriteConflictDetection,
+    /// Reads may use stale snapshots that ignore the session's own past
+    /// commits and causal prefixes — **causality violations**, the defect
+    /// class found in Dgraph and YugabyteDB.
+    StaleSnapshot,
+    /// Each read independently picks its own snapshot time — fractured
+    /// reads and **long forks** (no single commit ordering of snapshots).
+    PerKeySnapshot,
+    /// Reads always observe the latest committed version (no snapshot):
+    /// non-repeatable reads, read skew.
+    ReadCommitted,
+    /// Reads may observe in-flight writes of concurrent transactions —
+    /// **aborted reads** and intermediate reads.
+    ReadUncommitted,
+}
+
+impl IsolationLevel {
+    /// Whether histories produced under this level always satisfy SI.
+    pub fn is_si_correct(self) -> bool {
+        matches!(self, IsolationLevel::Serializable | IsolationLevel::SnapshotIsolation)
+    }
+
+    /// Stable identifier for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::Serializable => "serializable",
+            IsolationLevel::SnapshotIsolation => "snapshot-isolation",
+            IsolationLevel::NoWriteConflictDetection => "no-ww-conflict-detection",
+            IsolationLevel::StaleSnapshot => "stale-snapshot",
+            IsolationLevel::PerKeySnapshot => "per-key-snapshot",
+            IsolationLevel::ReadCommitted => "read-committed",
+            IsolationLevel::ReadUncommitted => "read-uncommitted",
+        }
+    }
+}
+
+/// A committed version of a key.
+#[derive(Clone, Copy, Debug)]
+pub struct VersionEntry {
+    /// Commit timestamp (global, monotonically increasing).
+    pub ts: u64,
+    /// Stored value.
+    pub value: Value,
+}
+
+/// The committed multi-version store.
+#[derive(Default)]
+pub struct Store {
+    versions: HashMap<Key, Vec<VersionEntry>>,
+    commit_counter: u64,
+}
+
+impl Store {
+    /// An empty store at timestamp 0 (all keys hold [`Value::INIT`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latest commit timestamp.
+    pub fn now(&self) -> u64 {
+        self.commit_counter
+    }
+
+    /// The value of `key` visible at snapshot `ts` (latest version with
+    /// commit timestamp ≤ `ts`).
+    pub fn read_at(&self, key: Key, ts: u64) -> Value {
+        self.versions
+            .get(&key)
+            .and_then(|vs| vs.iter().rev().find(|v| v.ts <= ts))
+            .map(|v| v.value)
+            .unwrap_or(Value::INIT)
+    }
+
+    /// The commit timestamp of the latest version of `key` (0 if never
+    /// written).
+    pub fn latest_version_ts(&self, key: Key) -> u64 {
+        self.versions.get(&key).and_then(|vs| vs.last()).map(|v| v.ts).unwrap_or(0)
+    }
+
+    /// Install a write set atomically; returns the commit timestamp.
+    pub fn commit(&mut self, writes: &[(Key, Value)]) -> u64 {
+        self.commit_counter += 1;
+        let ts = self.commit_counter;
+        for &(key, value) in writes {
+            self.versions.entry(key).or_default().push(VersionEntry { ts, value });
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_see_prefix() {
+        let mut s = Store::new();
+        assert_eq!(s.read_at(Key(1), 0), Value::INIT);
+        let t1 = s.commit(&[(Key(1), Value(10))]);
+        let t2 = s.commit(&[(Key(1), Value(20))]);
+        assert_eq!(s.read_at(Key(1), t1), Value(10));
+        assert_eq!(s.read_at(Key(1), t2), Value(20));
+        assert_eq!(s.read_at(Key(1), 0), Value::INIT);
+        assert_eq!(s.latest_version_ts(Key(1)), t2);
+        assert_eq!(s.latest_version_ts(Key(9)), 0);
+        assert_eq!(s.now(), 2);
+    }
+
+    #[test]
+    fn correctness_classification() {
+        assert!(IsolationLevel::Serializable.is_si_correct());
+        assert!(IsolationLevel::SnapshotIsolation.is_si_correct());
+        assert!(!IsolationLevel::NoWriteConflictDetection.is_si_correct());
+        assert!(!IsolationLevel::StaleSnapshot.is_si_correct());
+        assert!(!IsolationLevel::PerKeySnapshot.is_si_correct());
+        assert!(!IsolationLevel::ReadCommitted.is_si_correct());
+        assert!(!IsolationLevel::ReadUncommitted.is_si_correct());
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::HashSet<_> = [
+            IsolationLevel::Serializable,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::NoWriteConflictDetection,
+            IsolationLevel::StaleSnapshot,
+            IsolationLevel::PerKeySnapshot,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadUncommitted,
+        ]
+        .iter()
+        .map(|l| l.name())
+        .collect();
+        assert_eq!(names.len(), 7);
+    }
+}

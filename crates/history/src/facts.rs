@@ -1,0 +1,424 @@
+//! Derived facts of a history: transaction effects, the `WR` relation, and
+//! the non-cyclic axioms (`Int`, aborted reads, intermediate reads,
+//! UniqueValue).
+//!
+//! Terminology follows Section 2.2 of the paper: `T ⊢ W(x, v)` when `v` is
+//! the *last* value `T` writes to `x`, and `T ⊢ R(x, v)` when `v` is the
+//! value returned by the first read of `x` that precedes any write of `T`
+//! to `x` (an *external* read).
+
+use crate::history::History;
+use crate::ids::{Key, TxnId, Value};
+use crate::op::Op;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Where an external read's value came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum WrSource {
+    /// The initial value ([`Value::INIT`]): the key had not been written.
+    Init,
+    /// The committed transaction whose final write produced the value.
+    Txn(TxnId),
+}
+
+/// A violation of a non-cyclic axiom, detected before graph analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AxiomViolation {
+    /// Internal consistency: a read inside `txn` returned `got` although the
+    /// latest preceding operation of `txn` on `key` produced `expected`.
+    Int { txn: TxnId, key: Key, expected: Value, got: Value },
+    /// A committed transaction read a value written by an aborted one.
+    AbortedRead { reader: TxnId, writer: TxnId, key: Key, value: Value },
+    /// A transaction read a value the writer itself later overwrote.
+    IntermediateRead { reader: TxnId, writer: TxnId, key: Key, value: Value },
+    /// Two committed transactions installed the same value on the same key,
+    /// breaking the UniqueValue assumption the analysis relies on.
+    DuplicateWrite { key: Key, value: Value, first: TxnId, second: TxnId },
+    /// A read returned a value no transaction wrote (and not the initial
+    /// value); in a black-box test this indicates data corruption.
+    UnknownValueRead { txn: TxnId, key: Key, value: Value },
+    /// A transaction wrote the reserved initial value.
+    WroteInitValue { txn: TxnId, key: Key },
+}
+
+impl fmt::Display for AxiomViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxiomViolation::Int { txn, key, expected, got } => write!(
+                f,
+                "Int violation in {txn}: read of key {key} returned {got}, expected {expected}"
+            ),
+            AxiomViolation::AbortedRead { reader, writer, key, value } => write!(
+                f,
+                "aborted read: {reader} read value {value} of key {key} written by aborted {writer}"
+            ),
+            AxiomViolation::IntermediateRead { reader, writer, key, value } => write!(
+                f,
+                "intermediate read: {reader} read value {value} of key {key}, \
+                 overwritten inside {writer}"
+            ),
+            AxiomViolation::DuplicateWrite { key, value, first, second } => write!(
+                f,
+                "UniqueValue broken: {first} and {second} both wrote value {value} to key {key}"
+            ),
+            AxiomViolation::UnknownValueRead { txn, key, value } => write!(
+                f,
+                "unknown value: {txn} read value {value} of key {key} that nobody wrote"
+            ),
+            AxiomViolation::WroteInitValue { txn, key } => {
+                write!(f, "{txn} wrote the reserved initial value to key {key}")
+            }
+        }
+    }
+}
+
+/// An external read: `(key, value, source)`.
+pub type ReadFact = (Key, Value, WrSource);
+
+/// Derived facts of a history. Indexes are dense over `TxnId`; entries for
+/// aborted transactions are empty (the formal analysis is over committed
+/// transactions only — Definition 4).
+pub struct Facts {
+    /// Per-transaction external reads with their resolved sources.
+    pub reads: Vec<Vec<ReadFact>>,
+    /// Per-transaction final writes `(key, value)`.
+    pub writes: Vec<Vec<(Key, Value)>>,
+    /// Committed writers per key (`WriteTx_x`), in transaction-id order.
+    pub writers: BTreeMap<Key, Vec<TxnId>>,
+    /// Readers of each committed final write: `(key, writer) → readers`.
+    pub readers: HashMap<(Key, TxnId), Vec<TxnId>>,
+    /// Readers that observed the initial value, per key.
+    pub init_readers: BTreeMap<Key, Vec<TxnId>>,
+    /// All detected axiom violations, in discovery order.
+    pub violations: Vec<AxiomViolation>,
+}
+
+impl Facts {
+    /// Analyze a history: compute effects, resolve `WR`, and check the
+    /// non-cyclic axioms.
+    pub fn analyze(h: &History) -> Facts {
+        let n = h.len();
+        let mut violations = Vec::new();
+
+        // Pass 1: per-transaction effects + write maps.
+        let mut reads_raw: Vec<Vec<(Key, Value)>> = vec![Vec::new(); n];
+        let mut writes: Vec<Vec<(Key, Value)>> = vec![Vec::new(); n];
+        // (key, value) → writer, for committed final writes.
+        let mut final_writer: HashMap<(Key, Value), TxnId> = HashMap::new();
+        // values overwritten within their own transaction (any status).
+        let mut intermediate_writer: HashMap<(Key, Value), TxnId> = HashMap::new();
+        // final writes of aborted transactions.
+        let mut aborted_writer: HashMap<(Key, Value), TxnId> = HashMap::new();
+
+        for (id, txn) in h.iter() {
+            // Program-order walk: last value per key (read or written), plus
+            // which keys have been written (to delimit external reads).
+            let mut last_seen: HashMap<Key, Value> = HashMap::new();
+            let mut written: HashMap<Key, Value> = HashMap::new();
+            let mut ext_reads: Vec<(Key, Value)> = Vec::new();
+            for op in &txn.ops {
+                match *op {
+                    Op::Read { key, value } => {
+                        if let Some(&prev) = last_seen.get(&key) {
+                            if prev != value && txn.committed() {
+                                violations.push(AxiomViolation::Int {
+                                    txn: id,
+                                    key,
+                                    expected: prev,
+                                    got: value,
+                                });
+                            }
+                        } else {
+                            ext_reads.push((key, value));
+                        }
+                        last_seen.insert(key, value);
+                    }
+                    Op::Write { key, value } => {
+                        if value.is_init() && txn.committed() {
+                            violations.push(AxiomViolation::WroteInitValue { txn: id, key });
+                        }
+                        if let Some(prev) = written.insert(key, value) {
+                            intermediate_writer.insert((key, prev), id);
+                        }
+                        last_seen.insert(key, value);
+                    }
+                }
+            }
+            for (&key, &value) in &written {
+                if txn.committed() {
+                    if let Some(&first) = final_writer.get(&(key, value)) {
+                        violations.push(AxiomViolation::DuplicateWrite {
+                            key,
+                            value,
+                            first,
+                            second: id,
+                        });
+                    } else {
+                        final_writer.insert((key, value), id);
+                    }
+                    writes[id.idx()].push((key, value));
+                } else {
+                    aborted_writer.insert((key, value), id);
+                }
+            }
+            writes[id.idx()].sort_unstable();
+            if txn.committed() {
+                reads_raw[id.idx()] = ext_reads;
+            }
+        }
+
+        // Pass 2: resolve WR sources for committed readers.
+        let mut reads: Vec<Vec<ReadFact>> = vec![Vec::new(); n];
+        let mut readers: HashMap<(Key, TxnId), Vec<TxnId>> = HashMap::new();
+        let mut init_readers: BTreeMap<Key, Vec<TxnId>> = BTreeMap::new();
+        for (idx, ext) in reads_raw.iter().enumerate() {
+            let reader = TxnId(idx as u32);
+            for &(key, value) in ext {
+                let source = if value.is_init() {
+                    init_readers.entry(key).or_default().push(reader);
+                    Some(WrSource::Init)
+                } else if let Some(&w) = final_writer.get(&(key, value)) {
+                    if w != reader {
+                        readers.entry((key, w)).or_default().push(reader);
+                    }
+                    Some(WrSource::Txn(w))
+                } else if let Some(&w) = aborted_writer.get(&(key, value)) {
+                    violations.push(AxiomViolation::AbortedRead { reader, writer: w, key, value });
+                    None
+                } else if let Some(&w) = intermediate_writer.get(&(key, value)) {
+                    violations.push(AxiomViolation::IntermediateRead {
+                        reader,
+                        writer: w,
+                        key,
+                        value,
+                    });
+                    None
+                } else {
+                    violations.push(AxiomViolation::UnknownValueRead { txn: reader, key, value });
+                    None
+                };
+                if let Some(source) = source {
+                    reads[idx].push((key, value, source));
+                }
+            }
+        }
+
+        // Writers per key (committed final writes only).
+        let mut writers: BTreeMap<Key, Vec<TxnId>> = BTreeMap::new();
+        for (idx, ws) in writes.iter().enumerate() {
+            for &(key, _) in ws {
+                writers.entry(key).or_default().push(TxnId(idx as u32));
+            }
+        }
+
+        Facts { reads, writes, writers, readers, init_readers, violations }
+    }
+
+    /// Whether all non-cyclic axioms hold (i.e. graph analysis is meaningful
+    /// and the checker may still accept the history).
+    pub fn axioms_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Iterate over `WR` edges `(writer, reader, key)` between *distinct*
+    /// committed transactions.
+    pub fn wr_edges(&self) -> impl Iterator<Item = (TxnId, TxnId, Key)> + '_ {
+        self.reads.iter().enumerate().flat_map(|(idx, rs)| {
+            let reader = TxnId(idx as u32);
+            rs.iter().filter_map(move |&(key, _, src)| match src {
+                WrSource::Txn(w) if w != reader => Some((w, reader, key)),
+                _ => None,
+            })
+        })
+    }
+
+    /// The transactions that read key `x` from writer `t` (`WR(x)(t)` in the
+    /// paper's constraint-generation notation). Excludes `t` itself.
+    pub fn readers_of(&self, key: Key, t: TxnId) -> &[TxnId] {
+        self.readers.get(&(key, t)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether transaction `t` finally writes key `x` (`T ∈ WriteTx_x`).
+    pub fn writes_key(&self, t: TxnId, key: Key) -> bool {
+        self.writes[t.idx()].binary_search_by_key(&key, |&(k, _)| k).is_ok()
+    }
+
+    /// Total number of `WR` edges.
+    pub fn num_wr_edges(&self) -> usize {
+        self.wr_edges().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+
+    fn k(n: u64) -> Key {
+        Key(n)
+    }
+    fn v(n: u64) -> Value {
+        Value(n)
+    }
+
+    #[test]
+    fn wr_resolution_basic() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(10)).commit();
+        b.session();
+        b.begin().read(k(1), v(10)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(f.axioms_ok());
+        let wr: Vec<_> = f.wr_edges().collect();
+        assert_eq!(wr, vec![(TxnId(0), TxnId(1), k(1))]);
+        assert_eq!(f.readers_of(k(1), TxnId(0)), &[TxnId(1)]);
+    }
+
+    #[test]
+    fn init_reads_resolved() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().read(k(9), Value::INIT).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(f.axioms_ok());
+        assert_eq!(f.init_readers[&k(9)], vec![TxnId(0)]);
+        assert_eq!(f.num_wr_edges(), 0);
+    }
+
+    #[test]
+    fn int_violation_read_after_write() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(5)).read(k(1), v(7)).commit();
+        b.session();
+        b.begin().write(k(1), v(7)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(matches!(
+            f.violations[0],
+            AxiomViolation::Int { txn: TxnId(0), expected: Value(5), got: Value(7), .. }
+        ));
+    }
+
+    #[test]
+    fn int_violation_two_reads_disagree() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(5)).commit();
+        b.begin().write(k(1), v(6)).commit();
+        b.session();
+        b.begin().read(k(1), v(5)).read(k(1), v(6)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(matches!(f.violations[0], AxiomViolation::Int { txn: TxnId(2), .. }));
+    }
+
+    #[test]
+    fn repeatable_internal_read_ok() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(5)).commit();
+        b.session();
+        b.begin().read(k(1), v(5)).read(k(1), v(5)).write(k(1), v(6)).read(k(1), v(6)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(f.axioms_ok(), "violations: {:?}", f.violations);
+        // only the first read is external
+        assert_eq!(f.reads[1].len(), 1);
+    }
+
+    #[test]
+    fn aborted_read_detected() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(5)).abort();
+        b.session();
+        b.begin().read(k(1), v(5)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(matches!(
+            f.violations[0],
+            AxiomViolation::AbortedRead { reader: TxnId(1), writer: TxnId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn intermediate_read_detected() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(5)).write(k(1), v(6)).commit();
+        b.session();
+        b.begin().read(k(1), v(5)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(matches!(
+            f.violations[0],
+            AxiomViolation::IntermediateRead { reader: TxnId(1), writer: TxnId(0), .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_write_detected() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(5)).commit();
+        b.session();
+        b.begin().write(k(1), v(5)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(matches!(f.violations[0], AxiomViolation::DuplicateWrite { .. }));
+    }
+
+    #[test]
+    fn unknown_value_detected() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().read(k(1), v(42)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(matches!(f.violations[0], AxiomViolation::UnknownValueRead { .. }));
+    }
+
+    #[test]
+    fn wrote_init_value_detected() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), Value::INIT).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(matches!(f.violations[0], AxiomViolation::WroteInitValue { .. }));
+    }
+
+    #[test]
+    fn aborted_txn_effects_excluded_from_graph_facts() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(5)).abort();
+        b.begin().write(k(1), v(6)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(f.axioms_ok());
+        assert_eq!(f.writers[&k(1)], vec![TxnId(1)]);
+        assert!(f.writes[0].is_empty());
+    }
+
+    #[test]
+    fn read_modify_write_effects() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+        let f = Facts::analyze(&b.build());
+        assert!(f.axioms_ok());
+        assert_eq!(f.reads[1], vec![(k(1), v(1), WrSource::Txn(TxnId(0)))]);
+        assert_eq!(f.writes[1], vec![(k(1), v(2))]);
+        assert!(f.writes_key(TxnId(1), k(1)));
+        assert!(!f.writes_key(TxnId(1), k(2)));
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let msg = AxiomViolation::DuplicateWrite {
+            key: k(1),
+            value: v(5),
+            first: TxnId(0),
+            second: TxnId(1),
+        }
+        .to_string();
+        assert!(msg.contains("UniqueValue"));
+    }
+}

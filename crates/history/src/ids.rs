@@ -1,0 +1,121 @@
+//! Identifier newtypes.
+//!
+//! All identifiers are small dense integers so that downstream graph
+//! algorithms can index arrays directly instead of hashing.
+
+use std::fmt;
+
+/// A key of the key-value store.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(pub u64);
+
+/// A value written to or read from the store.
+///
+/// Under the paper's *UniqueValue* assumption every write to a given key
+/// assigns a distinct value, so `(Key, Value)` identifies the writing
+/// transaction. [`Value::INIT`] denotes the initial (never written) value;
+/// reads that observe a key before any write return it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub u64);
+
+impl Value {
+    /// The distinguished initial value, observed by reads that precede every
+    /// write to the key. No transaction may write it.
+    pub const INIT: Value = Value(0);
+
+    /// Whether this is the initial value.
+    #[inline]
+    pub fn is_init(self) -> bool {
+        self == Value::INIT
+    }
+}
+
+/// A client session. Transactions of one session are totally ordered by the
+/// session order `SO`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+/// A dense transaction identifier: the index of the transaction in its
+/// history's session-major transaction array.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u32);
+
+impl TxnId {
+    /// The index as `usize`, for array access.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_init() {
+            write!(f, "⊥")
+        } else {
+            write!(f, "v{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_value_is_zero() {
+        assert!(Value(0).is_init());
+        assert!(!Value(1).is_init());
+        assert_eq!(Value::INIT, Value(0));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Key(3)), "k3");
+        assert_eq!(format!("{:?}", Value(0)), "⊥");
+        assert_eq!(format!("{:?}", Value(7)), "v7");
+        assert_eq!(format!("{:?}", TxnId(2)), "T2");
+        assert_eq!(format!("{:?}", SessionId(1)), "s1");
+    }
+
+    #[test]
+    fn txnid_index() {
+        assert_eq!(TxnId(5).idx(), 5usize);
+    }
+}

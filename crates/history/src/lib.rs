@@ -1,0 +1,36 @@
+//! Transaction histories for black-box isolation checking.
+//!
+//! This crate defines the client-observable model of the PolySI paper
+//! (Section 2.2): keys, values, read/write operations, transactions,
+//! sessions, and *histories* `H = (T, SO)`. It also implements the
+//! non-cyclic axioms a checker must establish before graph-based analysis:
+//!
+//! * the internal-consistency axiom `Int` (a read within a transaction
+//!   returns the most recent value read from or written to that key inside
+//!   the transaction),
+//! * *aborted reads* (no committed transaction reads a value written by an
+//!   aborted transaction), and
+//! * *intermediate reads* (no transaction reads a value that was overwritten
+//!   by the transaction that wrote it),
+//!
+//! plus the **UniqueValue** assumption check and the extraction of the
+//! write-read (`WR`) relation that it makes possible.
+//!
+//! Histories can be built programmatically with [`HistoryBuilder`], loaded
+//! from and saved to a line-oriented text format ([`codec`]), and summarized
+//! with [`stats::HistoryStats`].
+
+pub mod codec;
+mod facts;
+mod history;
+mod ids;
+mod op;
+pub mod stats;
+
+pub use facts::{AxiomViolation, Facts, WrSource};
+pub use history::{History, HistoryBuilder, SessionView};
+pub use ids::{Key, SessionId, TxnId, Value};
+pub use op::{Op, TxnStatus};
+
+/// A convenient alias for the outcome of history well-formedness analysis.
+pub type AxiomResult = Result<(), AxiomViolation>;

@@ -1,0 +1,95 @@
+//! Operations and transaction status.
+
+use crate::ids::{Key, Value};
+use std::fmt;
+
+/// A single read or write operation issued by a transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `R(key) = value`: the store returned `value` for `key`.
+    Read { key: Key, value: Value },
+    /// `W(key, value)`: the transaction wrote `value` to `key`.
+    Write { key: Key, value: Value },
+}
+
+impl Op {
+    /// The key the operation touches.
+    #[inline]
+    pub fn key(&self) -> Key {
+        match *self {
+            Op::Read { key, .. } | Op::Write { key, .. } => key,
+        }
+    }
+
+    /// The value read or written.
+    #[inline]
+    pub fn value(&self) -> Value {
+        match *self {
+            Op::Read { value, .. } | Op::Write { value, .. } => value,
+        }
+    }
+
+    /// Whether this is a read.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read { .. })
+    }
+
+    /// Whether this is a write.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Op::Write { .. })
+    }
+}
+
+impl fmt::Debug for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read { key, value } => write!(f, "R({key:?},{value:?})"),
+            Op::Write { key, value } => write!(f, "W({key:?},{value:?})"),
+        }
+    }
+}
+
+/// The final, determinate status of a transaction.
+///
+/// The paper's completeness theorem (Theorem 19) assumes *determinate*
+/// transactions: the client knows whether each transaction committed or
+/// aborted. Aborted transactions only matter for the aborted-reads axiom;
+/// the graph analysis is over committed transactions.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum TxnStatus {
+    /// The transaction committed.
+    #[default]
+    Committed,
+    /// The transaction aborted; its writes must be invisible.
+    Aborted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        let r = Op::Read { key: Key(1), value: Value(2) };
+        let w = Op::Write { key: Key(3), value: Value(4) };
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(r.key(), Key(1));
+        assert_eq!(r.value(), Value(2));
+        assert_eq!(w.key(), Key(3));
+        assert_eq!(w.value(), Value(4));
+    }
+
+    #[test]
+    fn status_default_is_committed() {
+        assert_eq!(TxnStatus::default(), TxnStatus::Committed);
+    }
+
+    #[test]
+    fn op_debug() {
+        let r = Op::Read { key: Key(1), value: Value(0) };
+        assert_eq!(format!("{r:?}"), "R(k1,⊥)");
+    }
+}

@@ -1,0 +1,133 @@
+//! Summary statistics of a history, for workload reporting.
+
+use crate::facts::Facts;
+use crate::history::History;
+use crate::op::TxnStatus;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Aggregate counts describing a history, matching the workload parameters
+/// the paper reports (#sess, #txns/sess, #ops/txn, %reads, #keys).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistoryStats {
+    /// Number of sessions.
+    pub sessions: usize,
+    /// Number of transactions (committed + aborted).
+    pub txns: usize,
+    /// Number of committed transactions.
+    pub committed: usize,
+    /// Total operations.
+    pub ops: usize,
+    /// Total read operations.
+    pub reads: usize,
+    /// Total write operations.
+    pub writes: usize,
+    /// Number of distinct keys touched.
+    pub keys: usize,
+    /// Number of `WR` edges between distinct committed transactions.
+    pub wr_edges: usize,
+}
+
+impl HistoryStats {
+    /// Compute statistics for a history.
+    pub fn of(h: &History) -> Self {
+        let mut reads = 0usize;
+        let mut writes = 0usize;
+        let mut keys = HashSet::new();
+        let mut committed = 0usize;
+        for (_, t) in h.iter() {
+            if t.status == TxnStatus::Committed {
+                committed += 1;
+            }
+            for op in &t.ops {
+                keys.insert(op.key());
+                if op.is_read() {
+                    reads += 1;
+                } else {
+                    writes += 1;
+                }
+            }
+        }
+        let facts = Facts::analyze(h);
+        HistoryStats {
+            sessions: h.num_sessions(),
+            txns: h.len(),
+            committed,
+            ops: reads + writes,
+            reads,
+            writes,
+            keys: keys.len(),
+            wr_edges: facts.num_wr_edges(),
+        }
+    }
+
+    /// Fraction of operations that are reads, in `[0, 1]`.
+    pub fn read_fraction(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.reads as f64 / self.ops as f64
+        }
+    }
+}
+
+impl fmt::Display for HistoryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions, {} txns ({} committed), {} ops ({:.0}% reads), {} keys, {} WR edges",
+            self.sessions,
+            self.txns,
+            self.committed,
+            self.ops,
+            self.read_fraction() * 100.0,
+            self.keys,
+            self.wr_edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{Key, Value};
+
+    #[test]
+    fn counts_are_accurate() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(Key(1), Value(10)).commit();
+        b.begin().read(Key(1), Value(10)).write(Key(2), Value(20)).commit();
+        b.session();
+        b.begin().read(Key(2), Value(20)).abort();
+        let s = HistoryStats::of(&b.build());
+        assert_eq!(s.sessions, 2);
+        assert_eq!(s.txns, 3);
+        assert_eq!(s.committed, 2);
+        assert_eq!(s.ops, 4);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.keys, 2);
+        assert_eq!(s.wr_edges, 1);
+        assert!((s.read_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_history() {
+        let s = HistoryStats::of(&History::new());
+        assert_eq!(s.txns, 0);
+        assert_eq!(s.read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(Key(1), Value(10)).commit();
+        let s = HistoryStats::of(&b.build());
+        let text = s.to_string();
+        assert!(text.contains("1 sessions"));
+        assert!(text.contains("1 txns"));
+    }
+}

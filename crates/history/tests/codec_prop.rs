@@ -1,0 +1,58 @@
+//! Property tests for the history text codec: encode/decode is the
+//! identity on arbitrary well-formed histories.
+
+use polysi_history::{codec, History, HistoryBuilder, Key, Value};
+use proptest::prelude::*;
+
+fn history_strategy() -> impl Strategy<Value = History> {
+    let op = (any::<bool>(), 0u64..5, 0u64..50);
+    let txn = (prop::collection::vec(op, 1..5), any::<bool>());
+    let session = prop::collection::vec(txn, 1..4);
+    prop::collection::vec(session, 0..4).prop_map(|sessions| {
+        let mut b = HistoryBuilder::new();
+        for sess in sessions {
+            b.session();
+            for (ops, commit) in sess {
+                b.begin();
+                for (is_read, key, value) in ops {
+                    if is_read {
+                        b.read(Key(key), Value(value));
+                    } else {
+                        b.write(Key(key), Value(value));
+                    }
+                }
+                if commit {
+                    b.commit();
+                } else {
+                    b.abort();
+                }
+            }
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips(h in history_strategy()) {
+        let text = codec::encode(&h);
+        let parsed = codec::decode(&text).expect("well-formed output must parse");
+        prop_assert_eq!(h, parsed);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(h in history_strategy()) {
+        prop_assert_eq!(codec::encode(&h), codec::encode(&h));
+    }
+
+    #[test]
+    fn facts_never_panic(h in history_strategy()) {
+        let f = polysi_history::Facts::analyze(&h);
+        // WR edges only relate committed transactions.
+        for (w, r, _) in f.wr_edges() {
+            prop_assert!(h.txn(w).committed());
+            prop_assert!(h.txn(r).committed());
+            prop_assert_ne!(w, r);
+        }
+    }
+}

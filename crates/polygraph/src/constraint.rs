@@ -1,0 +1,146 @@
+//! Generalized constraints (Definition 9) and their plain, uncompacted
+//! counterparts (Definition 8 extended with write-order totality).
+
+use crate::edge::{Edge, Label};
+use polysi_history::{Key, TxnId};
+use std::fmt;
+
+/// A constraint `⟨either, or⟩`: exactly one of the two edge sets is present
+/// in any compatible graph (Definition 12).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// The key whose version order the constraint arbitrates.
+    pub key: Key,
+    /// Edges present if the first possibility holds.
+    pub either: Vec<Edge>,
+    /// Edges present if the second possibility holds.
+    pub or: Vec<Edge>,
+}
+
+impl Constraint {
+    /// Number of uncertain dependency edges this constraint carries.
+    pub fn num_edges(&self) -> usize {
+        self.either.len() + self.or.len()
+    }
+
+    /// The generalized constraint between writers `t` and `s` on `key`
+    /// (Definition 9): `either` orders `t` before `s` (plus the implied
+    /// anti-dependencies from `t`'s readers), `or` the reverse.
+    ///
+    /// `readers_of(w)` must return the transactions reading `key` from `w`.
+    pub fn generalized<'a>(
+        key: Key,
+        t: TxnId,
+        s: TxnId,
+        readers_of: impl Fn(TxnId) -> &'a [TxnId],
+    ) -> Self {
+        let mut either = vec![Edge::new(t, s, Label::Ww(key))];
+        for &r in readers_of(t) {
+            if r != s {
+                either.push(Edge::new(r, s, Label::Rw(key)));
+            }
+        }
+        let mut or = vec![Edge::new(s, t, Label::Ww(key))];
+        for &r in readers_of(s) {
+            if r != t {
+                or.push(Edge::new(r, t, Label::Rw(key)));
+            }
+        }
+        Constraint { key, either, or }
+    }
+
+    /// The *plain* (uncompacted) constraints for the same writer pair: one
+    /// binary constraint per reader, as in classic polygraphs
+    /// (Definition 8), plus one totality constraint fixing the `WW`
+    /// direction. Semantically equivalent to [`Constraint::generalized`] but
+    /// with more constraints — the paper's "PolySI w/o C" differential
+    /// variant (Section 5.4.3).
+    ///
+    /// Note Definition 8 alone fixes no version order between unread writes;
+    /// the totality constraint keeps the encoding complete for SI, where
+    /// `WW` edges participate in the induced graph.
+    pub fn plain<'a>(
+        key: Key,
+        t: TxnId,
+        s: TxnId,
+        readers_of: impl Fn(TxnId) -> &'a [TxnId],
+    ) -> Vec<Self> {
+        let mut out = vec![Constraint {
+            key,
+            either: vec![Edge::new(t, s, Label::Ww(key))],
+            or: vec![Edge::new(s, t, Label::Ww(key))],
+        }];
+        // Reader r of t: either t→s (then r must precede s) or s→t.
+        for &r in readers_of(t) {
+            if r != s {
+                out.push(Constraint {
+                    key,
+                    either: vec![Edge::new(r, s, Label::Rw(key))],
+                    or: vec![Edge::new(s, t, Label::Ww(key))],
+                });
+            }
+        }
+        for &r in readers_of(s) {
+            if r != t {
+                out.push(Constraint {
+                    key,
+                    either: vec![Edge::new(r, t, Label::Rw(key))],
+                    or: vec![Edge::new(t, s, Label::Ww(key))],
+                });
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨either {:?}, or {:?}⟩", self.either, self.or)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rd(readers: &'static [TxnId]) -> impl Fn(TxnId) -> &'static [TxnId] {
+        move |t| if t == TxnId(0) { readers } else { &[] }
+    }
+
+    #[test]
+    fn generalized_includes_reader_antideps() {
+        // Writers T0, T1 on key 5; T2 and T3 read from T0.
+        let c = Constraint::generalized(Key(5), TxnId(0), TxnId(1), rd(&[TxnId(2), TxnId(3)]));
+        assert_eq!(c.either.len(), 3);
+        assert_eq!(c.either[0], Edge::new(TxnId(0), TxnId(1), Label::Ww(Key(5))));
+        assert!(c.either.contains(&Edge::new(TxnId(2), TxnId(1), Label::Rw(Key(5)))));
+        assert!(c.either.contains(&Edge::new(TxnId(3), TxnId(1), Label::Rw(Key(5)))));
+        assert_eq!(c.or, vec![Edge::new(TxnId(1), TxnId(0), Label::Ww(Key(5)))]);
+        assert_eq!(c.num_edges(), 4);
+    }
+
+    #[test]
+    fn reader_equal_to_other_writer_skipped() {
+        // T1 reads key from T0 and also writes it: no RW self-edge T1→T1.
+        let c = Constraint::generalized(Key(5), TxnId(0), TxnId(1), rd(&[TxnId(1)]));
+        assert_eq!(c.either.len(), 1);
+    }
+
+    #[test]
+    fn plain_expands_per_reader() {
+        let cs = Constraint::plain(Key(5), TxnId(0), TxnId(1), rd(&[TxnId(2), TxnId(3)]));
+        // 1 totality + 2 reader constraints.
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].num_edges(), 2);
+        assert!(cs[1..]
+            .iter()
+            .all(|c| c.either[0].label == Label::Rw(Key(5)) && c.either.len() == 1));
+    }
+
+    #[test]
+    fn debug_is_readable() {
+        let c = Constraint::generalized(Key(1), TxnId(0), TxnId(1), |_| &[]);
+        let s = format!("{c:?}");
+        assert!(s.contains("either") && s.contains("or"));
+    }
+}

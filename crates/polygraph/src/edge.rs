@@ -1,0 +1,111 @@
+//! Typed dependency edges.
+
+use polysi_history::{Key, TxnId};
+use std::fmt;
+
+/// The type (label) of a dependency edge, as in Definition 5 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Label {
+    /// Session order.
+    So,
+    /// Write-read: the target read the source's write on the key.
+    Wr(Key),
+    /// Write-write: the source's write precedes the target's in the key's
+    /// version order.
+    Ww(Key),
+    /// Read-write (anti-dependency): the target overwrites the version the
+    /// source read.
+    Rw(Key),
+}
+
+impl Label {
+    /// Whether the edge belongs to `Dep = SO ∪ WR ∪ WW`.
+    #[inline]
+    pub fn is_dep(self) -> bool {
+        !matches!(self, Label::Rw(_))
+    }
+
+    /// The key carried by the label, if any.
+    pub fn key(self) -> Option<Key> {
+        match self {
+            Label::So => None,
+            Label::Wr(k) | Label::Ww(k) | Label::Rw(k) => Some(k),
+        }
+    }
+
+    /// Short name ("SO"/"WR"/"WW"/"RW").
+    pub fn name(self) -> &'static str {
+        match self {
+            Label::So => "SO",
+            Label::Wr(_) => "WR",
+            Label::Ww(_) => "WW",
+            Label::Rw(_) => "RW",
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.key() {
+            Some(k) => write!(f, "{}({})", self.name(), k),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+/// A directed, typed dependency edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source transaction.
+    pub from: TxnId,
+    /// Target transaction.
+    pub to: TxnId,
+    /// Edge type.
+    pub label: Label,
+}
+
+impl Edge {
+    /// Construct an edge.
+    pub fn new(from: TxnId, to: TxnId, label: Label) -> Self {
+        Edge { from, to, label }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -{}-> {}", self.from, self.label, self.to)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dep_classification() {
+        assert!(Label::So.is_dep());
+        assert!(Label::Wr(Key(1)).is_dep());
+        assert!(Label::Ww(Key(1)).is_dep());
+        assert!(!Label::Rw(Key(1)).is_dep());
+    }
+
+    #[test]
+    fn label_key_and_name() {
+        assert_eq!(Label::So.key(), None);
+        assert_eq!(Label::Rw(Key(3)).key(), Some(Key(3)));
+        assert_eq!(Label::Ww(Key(3)).name(), "WW");
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Edge::new(TxnId(1), TxnId(2), Label::Wr(Key(9)));
+        assert_eq!(format!("{e}"), "T1 -WR(9)-> T2");
+        assert_eq!(format!("{}", Label::So), "SO");
+    }
+}

@@ -1,0 +1,406 @@
+//! The *known* part of the induced SI graph (`KI` in Algorithm 1) and its
+//! reachability.
+//!
+//! The induced SI graph composes edges by the rule
+//! `(SO ∪ WR ∪ WW) ; RW?` (Definition 11). Materializing the composition
+//! `Dep ; AntiDep` is quadratic in the worst case, so we use a *layered*
+//! view instead: every transaction `i` becomes two nodes, a boundary node
+//! `B(i)` and a mid node `M(i)`; a `Dep` edge `i → k` yields
+//! `B(i) → B(k)` and `B(i) → M(k)`, and an `RW` edge `k → j` yields
+//! `M(k) → B(j)`. Paths `B(a) ⇝ B(b)` in the layered graph are exactly the
+//! paths of the induced SI graph, and layered cycles are exactly the
+//! violating cycles (every `RW` edge is immediately preceded by a `Dep`
+//! edge — i.e. no two adjacent `RW` edges).
+
+use crate::edge::Edge;
+use polysi_history::TxnId;
+use polysi_solver::bitset::BitMatrix;
+
+/// Reachability oracle over the known induced SI graph.
+pub struct KnownGraph {
+    n: usize,
+    /// Layered adjacency: `adj[g2node] = (g2target, underlying edge)`.
+    adj: Vec<Vec<(u32, Edge)>>,
+    /// `dep_in.row(j)` = transactions with a known `Dep` edge into `j`.
+    dep_in: BitMatrix,
+    /// Closure rows over layered nodes (2n × n columns, boundary targets).
+    closure: BitMatrix,
+}
+
+/// Result of building the known graph.
+pub enum KnownGraphResult {
+    /// The known induced graph is acyclic; queries may proceed.
+    Acyclic(Box<KnownGraph>),
+    /// The known edges alone contain a violating cycle, given as the typed
+    /// edge sequence (no two adjacent `RW` edges).
+    Cyclic(Vec<Edge>),
+}
+
+#[inline]
+fn b(i: u32) -> u32 {
+    i
+}
+
+impl KnownGraph {
+    /// Build the layered graph from known typed edges; detect cycles.
+    pub fn build(n: usize, known: &[Edge]) -> KnownGraphResult {
+        let mut adj: Vec<Vec<(u32, Edge)>> = vec![Vec::new(); 2 * n];
+        let mut dep_in = BitMatrix::new(n);
+        for &e in known {
+            let (f, t) = (e.from.0, e.to.0);
+            debug_assert_ne!(f, t, "self edges are malformed: {e:?}");
+            if e.label.is_dep() {
+                adj[b(f) as usize].push((b(t), e));
+                adj[b(f) as usize].push((n as u32 + t, e));
+                dep_in.set(t as usize, f as usize);
+            } else {
+                adj[(n as u32 + f) as usize].push((b(t), e));
+            }
+        }
+        let g = KnownGraph { n, adj, dep_in, closure: BitMatrix::rect(0, 0) };
+        match g.topological_order() {
+            Some(order) => {
+                let mut g = g;
+                g.compute_closure(&order);
+                KnownGraphResult::Acyclic(Box::new(g))
+            }
+            None => {
+                let cycle = g.extract_cycle();
+                KnownGraphResult::Cyclic(cycle)
+            }
+        }
+    }
+
+    /// Kahn topological sort over the layered graph; `None` if cyclic.
+    fn topological_order(&self) -> Option<Vec<u32>> {
+        let total = 2 * self.n;
+        let mut indeg = vec![0u32; total];
+        for outs in &self.adj {
+            for &(v, _) in outs {
+                indeg[v as usize] += 1;
+            }
+        }
+        let mut order: Vec<u32> =
+            (0..total as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &(v, _) in &self.adj[u as usize] {
+                indeg[v as usize] -= 1;
+                if indeg[v as usize] == 0 {
+                    order.push(v);
+                }
+            }
+        }
+        (order.len() == total).then_some(order)
+    }
+
+    /// Reverse-topological DP: `closure[u]` = boundary transactions
+    /// reachable from layered node `u`.
+    fn compute_closure(&mut self, order: &[u32]) {
+        let mut closure = BitMatrix::rect(2 * self.n, self.n);
+        for &u in order.iter().rev() {
+            for i in 0..self.adj[u as usize].len() {
+                let v = self.adj[u as usize][i].0;
+                if (v as usize) < self.n {
+                    closure.set(u as usize, v as usize);
+                }
+                closure.or_row_into(v as usize, u as usize);
+            }
+        }
+        self.closure = closure;
+    }
+
+    /// Positions of the boundary nodes in a topological order of the known
+    /// induced graph: `pos[i] < pos[j]` means `i` can safely precede `j`.
+    /// Used to seed solver phases with a near-acyclic initial orientation.
+    pub fn topo_positions(&self) -> Vec<u32> {
+        let order = self.topological_order().expect("KnownGraph is acyclic by construction");
+        let mut pos = vec![0u32; self.n];
+        for (p, &node) in order.iter().enumerate() {
+            if (node as usize) < self.n {
+                pos[node as usize] = p as u32;
+            }
+        }
+        pos
+    }
+
+    /// Whether `a` reaches `b` in the known induced SI graph (non-reflexive:
+    /// `reaches(a, a)` is true only on a real cycle, which cannot happen for
+    /// an acyclic graph).
+    #[inline]
+    pub fn reaches(&self, a: TxnId, w: TxnId) -> bool {
+        self.closure.get(b(a.0) as usize, w.0 as usize)
+    }
+
+    /// Whether adding the `RW` edge `from → to` would close a cycle:
+    /// `∃ prec` with a known `Dep` edge `prec → from` such that
+    /// `to == prec` or `to ⇝ prec` (Figure 4b of the paper).
+    pub fn rw_closes_cycle(&self, from: TxnId, to: TxnId) -> bool {
+        let preds = self.dep_in.row(from.0 as usize);
+        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+            return true;
+        }
+        let row = self.closure.row(b(to.0) as usize);
+        row.iter().zip(preds).any(|(&r, &p)| r & p != 0)
+    }
+
+    /// Some `Dep` predecessor of `from` that `to` can reach (or equals),
+    /// for witness construction. Must be called only if
+    /// [`Self::rw_closes_cycle`] holds.
+    pub fn witness_pred(&self, from: TxnId, to: TxnId) -> TxnId {
+        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+            return to;
+        }
+        self.dep_in
+            .iter_row(from.0 as usize)
+            .map(|p| TxnId(p as u32))
+            .find(|&p| self.reaches(to, p))
+            .expect("rw_closes_cycle held")
+    }
+
+    /// The known `Dep` edge `prec → from` used in a witness.
+    pub fn dep_edge_between(&self, prec: TxnId, from: TxnId) -> Edge {
+        self.adj[b(prec.0) as usize]
+            .iter()
+            .find(|&&(v, e)| v == b(from.0) && e.label.is_dep())
+            .map(|&(_, e)| e)
+            .expect("dep_in recorded this edge")
+    }
+
+    /// Shortest path `a ⇝ b` in the induced graph, as the underlying typed
+    /// edge sequence. Allows `a == b` (shortest cycle through `a`).
+    pub fn find_path(&self, a: TxnId, target: TxnId) -> Option<Vec<Edge>> {
+        let start = b(a.0);
+        let goal = b(target.0);
+        let total = 2 * self.n;
+        let mut parent: Vec<Option<(u32, Edge)>> = vec![None; total];
+        let mut queue = vec![start];
+        let mut visited = vec![false; total];
+        // Deliberately do not mark `start` visited so that paths may return
+        // to it (cycle search when a == target).
+        let mut head = 0;
+        let mut found = false;
+        'bfs: while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &(v, e) in &self.adj[u as usize] {
+                if v == goal {
+                    parent[v as usize] = Some((u, e));
+                    found = true;
+                    break 'bfs;
+                }
+                if !visited[v as usize] && v != start {
+                    visited[v as usize] = true;
+                    parent[v as usize] = Some((u, e));
+                    queue.push(v);
+                }
+            }
+        }
+        if !found {
+            return None;
+        }
+        // Walk parents from the goal back to the first return to start.
+        let mut path = Vec::new();
+        let mut cur = goal;
+        loop {
+            let (prev, e) = parent[cur as usize].expect("walked off the parent chain");
+            path.push(e);
+            cur = prev;
+            if cur == start {
+                break;
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Extract some violating cycle from a cyclic layered graph, shortened
+    /// by a BFS through one of its nodes.
+    fn extract_cycle(&self) -> Vec<Edge> {
+        // Iterative DFS for a back edge.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let total = 2 * self.n;
+        let mut color = vec![Color::White; total];
+        for s in 0..total as u32 {
+            if color[s as usize] != Color::White {
+                continue;
+            }
+            let mut stack: Vec<(u32, usize)> = vec![(s, 0)];
+            color[s as usize] = Color::Gray;
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                if let Some(&(v, _)) = self.adj[u as usize].get(*next) {
+                    *next += 1;
+                    match color[v as usize] {
+                        Color::Gray => {
+                            // Back edge u→v: the DFS path v..u plus this edge
+                            // is a cycle. Pick a *boundary* node on it (mid
+                            // nodes only have boundary successors, so if v is
+                            // a mid node then u is boundary) and shorten by
+                            // BFS.
+                            let bnode = if (v as usize) < self.n { v } else { u };
+                            debug_assert!((bnode as usize) < self.n);
+                            return self
+                                .find_path(TxnId(bnode), TxnId(bnode))
+                                .expect("boundary node lies on a cycle");
+                        }
+                        Color::White => {
+                            color[v as usize] = Color::Gray;
+                            stack.push((v, 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color[u as usize] = Color::Black;
+                    stack.pop();
+                }
+            }
+        }
+        unreachable!("extract_cycle called on an acyclic graph")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Label;
+    use polysi_history::Key;
+
+    fn so(f: u32, t: u32) -> Edge {
+        Edge::new(TxnId(f), TxnId(t), Label::So)
+    }
+    fn wr(f: u32, t: u32) -> Edge {
+        Edge::new(TxnId(f), TxnId(t), Label::Wr(Key(0)))
+    }
+    fn ww(f: u32, t: u32) -> Edge {
+        Edge::new(TxnId(f), TxnId(t), Label::Ww(Key(0)))
+    }
+    fn rw(f: u32, t: u32) -> Edge {
+        Edge::new(TxnId(f), TxnId(t), Label::Rw(Key(0)))
+    }
+
+    fn acyclic(n: usize, edges: &[Edge]) -> Box<KnownGraph> {
+        match KnownGraph::build(n, edges) {
+            KnownGraphResult::Acyclic(g) => g,
+            KnownGraphResult::Cyclic(c) => panic!("unexpected cycle {c:?}"),
+        }
+    }
+
+    #[test]
+    fn dep_chain_reachability() {
+        let g = acyclic(4, &[so(0, 1), wr(1, 2), ww(2, 3)]);
+        assert!(g.reaches(TxnId(0), TxnId(3)));
+        assert!(g.reaches(TxnId(1), TxnId(3)));
+        assert!(!g.reaches(TxnId(3), TxnId(0)));
+        assert!(!g.reaches(TxnId(0), TxnId(0)));
+    }
+
+    #[test]
+    fn rw_composes_only_after_dep() {
+        // RW 0→1 alone gives no induced edge (needs a preceding Dep).
+        let g = acyclic(3, &[rw(0, 1)]);
+        assert!(!g.reaches(TxnId(0), TxnId(1)));
+        // Dep 2→0 then RW 0→1 induces 2→1.
+        let g = acyclic(3, &[wr(2, 0), rw(0, 1)]);
+        assert!(g.reaches(TxnId(2), TxnId(1)));
+        assert!(!g.reaches(TxnId(0), TxnId(1)), "0 itself does not reach 1");
+    }
+
+    #[test]
+    fn two_adjacent_rw_not_composed() {
+        // Classic write skew: Dep 0→1, RW 1→2, RW 2→3: 0 reaches 2 (via
+        // Dep;RW) but not 3 (that would need RW;RW).
+        let g = acyclic(4, &[wr(0, 1), rw(1, 2), rw(2, 3)]);
+        assert!(g.reaches(TxnId(0), TxnId(2)));
+        assert!(!g.reaches(TxnId(0), TxnId(3)));
+    }
+
+    #[test]
+    fn dep_cycle_detected() {
+        match KnownGraph::build(2, &[wr(0, 1), ww(1, 0)]) {
+            KnownGraphResult::Cyclic(c) => {
+                assert_eq!(c.len(), 2);
+            }
+            _ => panic!("expected cycle"),
+        }
+    }
+
+    #[test]
+    fn dep_rw_cycle_detected() {
+        // 0 -WR-> 1 -RW-> 0 is a violating cycle (single RW).
+        match KnownGraph::build(2, &[wr(0, 1), rw(1, 0)]) {
+            KnownGraphResult::Cyclic(c) => {
+                assert_eq!(c.len(), 2);
+                assert!(c.iter().any(|e| !e.label.is_dep()));
+            }
+            _ => panic!("expected cycle"),
+        }
+    }
+
+    #[test]
+    fn pure_rw_cycle_is_allowed() {
+        // RW 0→1, RW 1→0 with deps feeding them: write-skew shape, no
+        // violating cycle (the two RW edges are adjacent).
+        let edges = [wr(2, 0), wr(3, 1), rw(0, 1), rw(1, 0)];
+        match KnownGraph::build(4, &edges) {
+            KnownGraphResult::Acyclic(g) => {
+                assert!(g.reaches(TxnId(2), TxnId(1)));
+                assert!(g.reaches(TxnId(3), TxnId(0)));
+            }
+            KnownGraphResult::Cyclic(c) => panic!("write skew wrongly flagged: {c:?}"),
+        }
+    }
+
+    #[test]
+    fn rw_closes_cycle_detection() {
+        // Dep 0→1; candidate RW 1→0 would close 0→1→0.
+        let g = acyclic(2, &[wr(0, 1)]);
+        assert!(g.rw_closes_cycle(TxnId(1), TxnId(0)));
+        assert_eq!(g.witness_pred(TxnId(1), TxnId(0)), TxnId(0));
+        // Candidate RW 1→... with `to` unable to reach a pred: no cycle.
+        let g = acyclic(3, &[wr(0, 1), so(0, 2)]);
+        assert!(!g.rw_closes_cycle(TxnId(1), TxnId(2)));
+    }
+
+    #[test]
+    fn rw_closes_cycle_via_path() {
+        // Dep 0→1, path 2→0 known; RW 1→2: 2 ⇝ 0 = pred of 1 → cycle.
+        let g = acyclic(3, &[wr(0, 1), so(2, 0)]);
+        assert!(g.rw_closes_cycle(TxnId(1), TxnId(2)));
+        assert_eq!(g.witness_pred(TxnId(1), TxnId(2)), TxnId(0));
+        assert_eq!(g.dep_edge_between(TxnId(0), TxnId(1)), wr(0, 1));
+    }
+
+    #[test]
+    fn find_path_returns_typed_edges() {
+        let g = acyclic(4, &[so(0, 1), wr(1, 2), rw(2, 3)]);
+        let p = g.find_path(TxnId(0), TxnId(3)).unwrap();
+        assert_eq!(p, vec![so(0, 1), wr(1, 2), rw(2, 3)]);
+        assert!(g.find_path(TxnId(3), TxnId(0)).is_none());
+    }
+
+    #[test]
+    fn long_fork_cycle_shape() {
+        // Figure 3e of the paper: T1 -WR-> T3 -RW-> T2 -WR-> T4 -RW-> T1.
+        let edges = [
+            wr(1, 3),
+            Edge::new(TxnId(3), TxnId(2), Label::Rw(Key(1))),
+            Edge::new(TxnId(2), TxnId(4), Label::Wr(Key(1))),
+            rw(4, 1),
+        ];
+        match KnownGraph::build(5, &edges) {
+            KnownGraphResult::Cyclic(c) => {
+                assert_eq!(c.len(), 4);
+                let rw_count = c.iter().filter(|e| !e.label.is_dep()).count();
+                assert_eq!(rw_count, 2, "long fork has two non-adjacent RW edges");
+            }
+            _ => panic!("long fork must be cyclic"),
+        }
+    }
+}

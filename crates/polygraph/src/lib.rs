@@ -1,0 +1,30 @@
+//! # polysi-polygraph — generalized polygraphs for SI checking
+//!
+//! The data structure at the heart of PolySI (Section 3 of the paper): a
+//! *generalized polygraph* captures, in one compact object, every dependency
+//! graph a history could extend to — known `SO`/`WR` edges plus
+//! `⟨either, or⟩` constraints over the unknown per-key version orders.
+//!
+//! This crate provides:
+//!
+//! * [`Edge`]/[`Label`] — typed dependency edges;
+//! * [`Constraint`] — generalized (Definition 9) and plain (Definition 8)
+//!   constraints;
+//! * [`Polygraph::from_history`] — construction from a history's
+//!   [`polysi_history::Facts`];
+//! * [`Polygraph::prune`] — the paper's Algorithm 1: iteratively resolve
+//!   constraints whose one possibility would close a cycle in the known
+//!   induced graph;
+//! * [`KnownGraph`] — a reachability oracle over the known induced SI graph
+//!   `Dep ∪ (Dep ; AntiDep)`, implemented on a layered graph so the
+//!   quadratic composition is never materialized.
+
+mod constraint;
+mod edge;
+mod graph;
+mod polygraph;
+
+pub use constraint::Constraint;
+pub use edge::{Edge, Label};
+pub use graph::{KnownGraph, KnownGraphResult};
+pub use polygraph::{ConstraintMode, Polygraph, PruneResult, PruneStats};

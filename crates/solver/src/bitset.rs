@@ -1,0 +1,277 @@
+//! Compact bit matrices for dense reachability.
+//!
+//! A [`BitMatrix`] with `n` rows of `n` bits backs the transitive-closure
+//! computations used both by constraint pruning (Algorithm 1, line 15 — the
+//! paper uses Floyd–Warshall; we BFS in reverse topological order, which is
+//! `O(V·E/64)` instead of `O(V³)`) and by the acyclicity theory's
+//! known-graph jumps.
+
+/// A bit matrix stored row-major in 64-bit words.
+#[derive(Clone)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An `n × n` matrix of zeros.
+    pub fn new(n: usize) -> Self {
+        Self::rect(n, n)
+    }
+
+    /// A `rows × cols` matrix of zeros.
+    pub fn rect(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is zero-dimensional.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Bytes of backing storage (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Test bit `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.bits[row * self.words_per_row + col / 64] >> (col % 64) & 1 == 1
+    }
+
+    /// Set bit `(row, col)`.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize) {
+        self.bits[row * self.words_per_row + col / 64] |= 1 << (col % 64);
+    }
+
+    /// The words of one row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[u64] {
+        &self.bits[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// `self[dst] |= self[src]`; returns whether `dst` changed.
+    pub fn or_row_into(&mut self, src: usize, dst: usize) -> bool {
+        debug_assert_ne!(src, dst);
+        let w = self.words_per_row;
+        let (a, b) = if src < dst {
+            let (lo, hi) = self.bits.split_at_mut(dst * w);
+            (&lo[src * w..src * w + w], &mut hi[..w])
+        } else {
+            let (lo, hi) = self.bits.split_at_mut(src * w);
+            (&hi[..w], &mut lo[dst * w..dst * w + w])
+        };
+        let mut changed = false;
+        for (d, &s) in b.iter_mut().zip(a) {
+            let next = *d | s;
+            changed |= next != *d;
+            *d = next;
+        }
+        changed
+    }
+
+    /// Iterate over the set columns of a row.
+    pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        iter_bits(self.row(row))
+    }
+
+    /// Count of set bits in the whole matrix.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A single growable bit row (visited sets and similar).
+#[derive(Clone, Default)]
+pub struct BitRow {
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    /// A row with capacity for `n` bits, all zero.
+    pub fn new(n: usize) -> Self {
+        BitRow { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i`; returns whether it was newly set.
+    #[inline]
+    pub fn set(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
+    /// Clear all bits.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `self |= other`, where `other` is a raw word slice of the same width.
+    pub fn or_words(&mut self, other: &[u64]) {
+        for (d, &s) in self.words.iter_mut().zip(other) {
+            *d |= s;
+        }
+    }
+
+    /// The set bits of `other & !self`, i.e. the bits that would be new.
+    pub fn fresh_bits<'a>(&'a self, other: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
+        self.words
+            .iter()
+            .zip(other)
+            .enumerate()
+            .flat_map(|(wi, (&mine, &theirs))| {
+                let mut novel = theirs & !mine;
+                std::iter::from_fn(move || {
+                    if novel == 0 {
+                        None
+                    } else {
+                        let b = novel.trailing_zeros() as usize;
+                        novel &= novel - 1;
+                        Some(wi * 64 + b)
+                    }
+                })
+            })
+    }
+
+    /// Iterate over set bits.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_bits(&self.words)
+    }
+}
+
+fn iter_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        let mut rem = w;
+        std::iter::from_fn(move || {
+            if rem == 0 {
+                None
+            } else {
+                let b = rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                Some(wi * 64 + b)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_set_get() {
+        let mut m = BitMatrix::new(130);
+        assert!(!m.get(100, 129));
+        m.set(100, 129);
+        assert!(m.get(100, 129));
+        assert!(!m.get(129, 100));
+        assert_eq!(m.count_ones(), 1);
+        assert_eq!(m.len(), 130);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn or_row_into_merges() {
+        let mut m = BitMatrix::new(70);
+        m.set(0, 3);
+        m.set(0, 69);
+        m.set(1, 5);
+        assert!(m.or_row_into(0, 1));
+        assert!(m.get(1, 3) && m.get(1, 5) && m.get(1, 69));
+        // second merge is a no-op
+        assert!(!m.or_row_into(0, 1));
+        // works in the other split direction too
+        assert!(m.or_row_into(1, 0));
+        assert!(m.get(0, 5));
+    }
+
+    #[test]
+    fn iter_row_yields_sorted_columns() {
+        let mut m = BitMatrix::new(200);
+        for c in [199, 0, 64, 65] {
+            m.set(7, c);
+        }
+        let cols: Vec<_> = m.iter_row(7).collect();
+        assert_eq!(cols, vec![0, 64, 65, 199]);
+    }
+
+    #[test]
+    fn bitrow_set_fresh() {
+        let mut r = BitRow::new(100);
+        assert!(r.set(99));
+        assert!(!r.set(99));
+        assert!(r.get(99));
+        r.clear();
+        assert!(!r.get(99));
+    }
+
+    #[test]
+    fn bitrow_fresh_bits() {
+        let mut r = BitRow::new(128);
+        r.set(1);
+        r.set(64);
+        let mut other = BitRow::new(128);
+        other.set(1);
+        other.set(2);
+        other.set(127);
+        let fresh: Vec<_> = r.fresh_bits(&other.words).collect();
+        assert_eq!(fresh, vec![2, 127]);
+        r.or_words(&other.words);
+        assert!(r.get(2) && r.get(127) && r.get(64));
+    }
+
+    #[test]
+    fn bitrow_iter() {
+        let mut r = BitRow::new(70);
+        r.set(0);
+        r.set(69);
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![0, 69]);
+    }
+
+    #[test]
+    fn matrix_bytes_accounting() {
+        let m = BitMatrix::new(64);
+        assert_eq!(m.bytes(), 64 * 8);
+    }
+}
+
+#[cfg(test)]
+mod rect_tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_dimensions() {
+        let mut m = BitMatrix::rect(3, 200);
+        m.set(2, 199);
+        assert!(m.get(2, 199));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.cols(), 200);
+        assert_eq!(m.count_ones(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # polysi-solver — SAT modulo graph acyclicity
+//!
+//! A from-scratch replacement for the MonoSAT solver \[Bayless et al.,
+//! AAAI'15\] in the role PolySI uses it: deciding whether the Boolean
+//! constraints of a (generalized) polygraph admit an assignment whose
+//! induced edge set is **acyclic**.
+//!
+//! Two layers:
+//!
+//! * [`Solver`] — a CDCL SAT core (watched literals, VSIDS, first-UIP
+//!   learning, phase saving, Luby restarts);
+//! * [`theory::AcyclicityTheory`] — a monotonic graph theory: known edges
+//!   are collapsed into a transitive-closure bit matrix, symbolic edges are
+//!   guarded by literals, and any cycle produces a conflict clause over the
+//!   guards of the symbolic edges on the cycle.
+//!
+//! ```
+//! use polysi_solver::{Lit, Solver};
+//!
+//! // 0 → 1 known; choose between 1 → 2 and 2 → 0; forcing both directions
+//! // of the triangle closed is unsatisfiable.
+//! let mut s = Solver::with_graph(3);
+//! let a = Lit::pos(s.new_var());
+//! let b = Lit::pos(s.new_var());
+//! s.add_known_edge(0, 1);
+//! s.add_symbolic_edge(a, 1, 2);
+//! s.add_symbolic_edge(b, 2, 0);
+//! s.add_clause(&[a]);
+//! s.add_clause(&[b]);
+//! assert!(!s.solve().is_sat());
+//! ```
+
+pub mod bitset;
+mod heap;
+pub mod theory;
+mod solver;
+mod types;
+
+pub use solver::{Model, SolveResult, Solver, SolverStats};
+pub use types::{LBool, Lit, Var};

@@ -1,0 +1,869 @@
+//! A CDCL SAT solver with an attached graph-acyclicity theory.
+//!
+//! The Boolean core is MiniSat-shaped: two-watched-literal propagation,
+//! first-UIP conflict analysis, VSIDS decision order with activity decay,
+//! phase saving, and Luby restarts. The theory (see [`crate::theory`]) is
+//! integrated lazily: after every Boolean propagation fixpoint the newly
+//! true guard literals activate their graph edges; a cycle yields a theory
+//! conflict clause which is analyzed like any other conflict (standard lazy
+//! SMT — each learned clause is asserting, so the loop terminates).
+//!
+//! Clause learning keeps every learned clause (no database reduction): the
+//! instances produced by polygraph encoding after pruning are small, and the
+//! simplicity pays for itself in auditability.
+
+use crate::heap::ActivityHeap;
+use crate::theory::{AcyclicityTheory, KnownGraph};
+use crate::types::{LBool, Lit, Var};
+
+/// Outcome of [`Solver::solve`].
+#[derive(Debug)]
+pub enum SolveResult {
+    /// Satisfiable, with a model.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before a decision was reached
+    /// (only possible after [`Solver::set_conflict_budget`]).
+    Unknown,
+}
+
+impl SolveResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+/// A satisfying assignment.
+#[derive(Debug, Clone)]
+pub struct Model {
+    assigns: Vec<bool>,
+}
+
+impl Model {
+    /// Value of a variable.
+    pub fn value(&self, v: Var) -> bool {
+        self.assigns[v.idx()]
+    }
+
+    /// Truth of a literal.
+    pub fn lit_true(&self, l: Lit) -> bool {
+        self.value(l.var()) == l.is_pos()
+    }
+}
+
+/// Counters exposed for the evaluation's decomposition analysis.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolverStats {
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literal propagations.
+    pub propagations: u64,
+    /// Number of conflicts (Boolean + theory).
+    pub conflicts: u64,
+    /// Number of conflicts reported by the acyclicity theory.
+    pub theory_conflicts: u64,
+    /// Number of learned clauses retained.
+    pub learned_clauses: u64,
+    /// Number of restarts.
+    pub restarts: u64,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    clause: u32,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and the watcher need not be inspected.
+    blocker: Lit,
+}
+
+enum Conflict {
+    Clause(u32),
+    Theory(Vec<Lit>),
+}
+
+/// The solver. See the module docs for the architecture.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    theory_head: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: ActivityHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    theory: Option<AcyclicityTheory>,
+    theory_finalized: bool,
+    ok: bool,
+    budget: Option<u64>,
+    stats: SolverStats,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const RESTART_BASE: u64 = 100;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// A pure-SAT solver (no graph).
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            theory_head: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: ActivityHeap::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            theory: None,
+            theory_finalized: false,
+            ok: true,
+            budget: None,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// A solver whose model must additionally keep a graph over `n_nodes`
+    /// nodes acyclic.
+    pub fn with_graph(n_nodes: usize) -> Self {
+        let mut s = Self::new();
+        s.theory = Some(AcyclicityTheory::new(n_nodes));
+        s
+    }
+
+    /// Allocate a fresh variable (initial phase: false).
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> &SolverStats {
+        &self.stats
+    }
+
+    /// Abort `solve` with [`SolveResult::Unknown`] once this many conflicts
+    /// have occurred — the benchmarks' deterministic timeout stand-in.
+    pub fn set_conflict_budget(&mut self, max_conflicts: u64) {
+        self.budget = Some(max_conflicts);
+    }
+
+    /// Set the initial decision phase of a variable. A good initial phase
+    /// (e.g. orienting write-order selectors along a topological order of
+    /// the known graph) makes the first full assignment near-acyclic and
+    /// cuts conflicts dramatically.
+    pub fn set_phase(&mut self, v: Var, phase: bool) {
+        self.phase[v.idx()] = phase;
+    }
+
+    /// Add an unconditional graph edge `u → v` (must precede `solve`).
+    pub fn add_known_edge(&mut self, u: u32, v: u32) {
+        self.theory
+            .as_mut()
+            .expect("graph edges require Solver::with_graph")
+            .add_known_edge(u, v);
+    }
+
+    /// Add a graph edge `u → v` present iff `lit` is true.
+    pub fn add_symbolic_edge(&mut self, lit: Lit, u: u32, v: u32) {
+        self.theory
+            .as_mut()
+            .expect("graph edges require Solver::with_graph")
+            .add_symbolic_edge(lit, u, v);
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> LBool {
+        let v = self.assigns[l.var().idx()];
+        if l.is_pos() {
+            v
+        } else {
+            v.negate()
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause (pre-solve, at decision level 0). Duplicate literals are
+    /// removed and tautologies dropped. Returns `false` if the solver became
+    /// trivially unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added pre-solve");
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology or satisfied-at-0 check; drop false-at-0 literals.
+        let mut out = Vec::with_capacity(c.len());
+        for &l in &c {
+            if c.binary_search(&!l).is_ok() {
+                return true; // tautology: l and ¬l both present
+            }
+            match self.value(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.enqueue(out[0], None);
+                // Propagation of level-0 units happens in solve(); detect
+                // immediate contradictions here.
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let ci = self.clauses.len() as u32;
+        let w0 = Watcher { clause: ci, blocker: lits[1] };
+        let w1 = Watcher { clause: ci, blocker: lits[0] };
+        self.watches[(!lits[0]).idx()].push(w0);
+        self.watches[(!lits[1]).idx()].push(w1);
+        self.clauses.push(Clause { lits });
+        ci
+    }
+
+    /// Assign `l` true with an optional reason clause. Returns `false` on
+    /// contradiction with the current assignment.
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) -> bool {
+        match self.value(l) {
+            LBool::True => true,
+            LBool::False => {
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                }
+                false
+            }
+            LBool::Undef => {
+                let v = l.var();
+                self.assigns[v.idx()] = LBool::from_bool(l.is_pos());
+                self.level[v.idx()] = self.decision_level();
+                self.reason[v.idx()] = reason;
+                self.phase[v.idx()] = l.is_pos();
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Boolean unit propagation to fixpoint. Returns a conflicting clause.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut ws = std::mem::take(&mut self.watches[p.idx()]);
+            let mut kept = 0;
+            let mut conflict = None;
+            let mut i = 0;
+            while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.value(w.blocker) == LBool::True {
+                    ws[kept] = w;
+                    kept += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                // Ensure the false literal (¬p) sits at position 1.
+                let false_lit = !p;
+                {
+                    let lits = &mut self.clauses[ci].lits;
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                }
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[kept] = Watcher { clause: w.clause, blocker: first };
+                    kept += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let replacement = (2..self.clauses[ci].lits.len())
+                    .find(|&k| self.value(self.clauses[ci].lits[k]) != LBool::False);
+                if let Some(k) = replacement {
+                    self.clauses[ci].lits.swap(1, k);
+                    let new_watch = self.clauses[ci].lits[1];
+                    self.watches[(!new_watch).idx()]
+                        .push(Watcher { clause: w.clause, blocker: first });
+                    continue; // watcher moved away from p's list
+                }
+                // Clause is unit or conflicting.
+                ws[kept] = Watcher { clause: w.clause, blocker: first };
+                kept += 1;
+                if !self.enqueue(first, Some(w.clause)) {
+                    // Conflict: keep the remaining watchers and bail.
+                    while i < ws.len() {
+                        ws[kept] = ws[i];
+                        kept += 1;
+                        i += 1;
+                    }
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                }
+            }
+            ws.truncate(kept);
+            self.watches[p.idx()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    /// Run the theory over trail entries not yet processed.
+    fn theory_check(&mut self) -> Option<Vec<Lit>> {
+        let Some(theory) = self.theory.as_mut() else {
+            self.theory_head = self.trail.len();
+            return None;
+        };
+        while self.theory_head < self.trail.len() {
+            let l = self.trail[self.theory_head];
+            if let Some(clause) = theory.activate(l, self.theory_head) {
+                self.stats.theory_conflicts += 1;
+                return Some(clause);
+            }
+            self.theory_head += 1;
+        }
+        None
+    }
+
+    fn propagate_all(&mut self) -> Option<Conflict> {
+        if let Some(ci) = self.propagate() {
+            return Some(Conflict::Clause(ci));
+        }
+        self.theory_check().map(Conflict::Theory)
+    }
+
+    fn bump(&mut self, v: Var) {
+        self.activity[v.idx()] += self.var_inc;
+        if self.activity[v.idx()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, conflict: Conflict) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var(0))]; // placeholder slot 0
+        let mut counter = 0u32;
+        let mut idx = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+
+        // Absorb the literals of one clause into the analysis state.
+        macro_rules! absorb {
+            ($lits:expr, $skip_first:expr) => {
+                for &q in $lits.iter().skip(if $skip_first { 1 } else { 0 }) {
+                    let v = q.var();
+                    if !self.seen[v.idx()] && self.level[v.idx()] > 0 {
+                        self.seen[v.idx()] = true;
+                        to_clear.push(v);
+                        self.bump(v);
+                        if self.level[v.idx()] >= current {
+                            counter += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            };
+        }
+
+        match &conflict {
+            Conflict::Clause(ci) => {
+                let lits = std::mem::take(&mut self.clauses[*ci as usize].lits);
+                absorb!(lits, false);
+                self.clauses[*ci as usize].lits = lits;
+            }
+            Conflict::Theory(lits) => absorb!(lits, false),
+        }
+        debug_assert!(counter > 0, "conflict must involve the current level");
+
+        loop {
+            // Find the next marked literal on the trail.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().idx()] {
+                    break;
+                }
+            }
+            let p = self.trail[idx];
+            self.seen[p.var().idx()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p;
+                break;
+            }
+            let ci = self.reason[p.var().idx()].expect("non-UIP implied var has a reason");
+            let lits = std::mem::take(&mut self.clauses[ci as usize].lits);
+            debug_assert_eq!(lits[0], p);
+            absorb!(lits, true);
+            self.clauses[ci as usize].lits = lits;
+        }
+
+        for v in to_clear {
+            self.seen[v.idx()] = false;
+        }
+
+        // Backjump level: highest level among the non-asserting literals;
+        // also move that literal to slot 1 so it gets watched.
+        let blevel = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().idx()] > self.level[learnt[max_i].var().idx()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().idx()]
+        };
+        (learnt, blevel)
+    }
+
+    /// Undo assignments above `target_level`.
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let new_len = self.trail_lim[target_level as usize];
+        if let Some(t) = self.theory.as_mut() {
+            t.rollback(new_len);
+        }
+        for i in (new_len..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assigns[v.idx()] = LBool::Undef;
+            self.reason[v.idx()] = None;
+            self.heap.insert(v, &self.activity);
+        }
+        self.trail.truncate(new_len);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = new_len;
+        self.theory_head = self.theory_head.min(new_len);
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v.idx()] == LBool::Undef {
+                return Some(Lit::new(v, self.phase[v.idx()]));
+            }
+        }
+        None
+    }
+
+    /// Solve the instance.
+    pub fn solve(&mut self) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if let Some(t) = self.theory.as_mut() {
+            if !self.theory_finalized {
+                self.theory_finalized = true;
+                if let KnownGraph::Cyclic(_) = t.finalize() {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+            }
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_budget = RESTART_BASE * luby(self.stats.restarts + 1);
+        loop {
+            match self.propagate_all() {
+                Some(conflict) => {
+                    self.stats.conflicts += 1;
+                    conflicts_since_restart += 1;
+                    if self.budget.is_some_and(|b| self.stats.conflicts > b) {
+                        return SolveResult::Unknown;
+                    }
+                    if self.decision_level() == 0 {
+                        self.ok = false;
+                        return SolveResult::Unsat;
+                    }
+                    let (learnt, blevel) = self.analyze(conflict);
+                    self.cancel_until(blevel);
+                    let assert_lit = learnt[0];
+                    if learnt.len() == 1 {
+                        self.enqueue(assert_lit, None);
+                    } else {
+                        let ci = self.attach_clause(learnt);
+                        self.stats.learned_clauses += 1;
+                        self.enqueue(assert_lit, Some(ci));
+                    }
+                    self.var_inc *= VAR_DECAY;
+                }
+                None => {
+                    if conflicts_since_restart >= restart_budget {
+                        self.stats.restarts += 1;
+                        conflicts_since_restart = 0;
+                        restart_budget = RESTART_BASE * luby(self.stats.restarts + 1);
+                        self.cancel_until(0);
+                        continue;
+                    }
+                    match self.pick_branch() {
+                        Some(l) => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len());
+                            self.enqueue(l, None);
+                        }
+                        None => {
+                            let model = Model {
+                                assigns: self
+                                    .assigns
+                                    .iter()
+                                    .map(|&a| a == LBool::True)
+                                    .collect(),
+                            };
+                            if let Some(t) = &self.theory {
+                                assert!(
+                                    t.validate_model(|l| model.lit_true(l)),
+                                    "internal error: model violates acyclicity"
+                                );
+                            }
+                            return SolveResult::Sat(model);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1-based): 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,…
+fn luby(i: u64) -> u64 {
+    let mut x = i - 1;
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) >> 1;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: u32) -> Lit {
+        Lit::pos(Var(i))
+    }
+
+    fn solver_with_vars(n: u32) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..n {
+            s.new_var();
+        }
+        s
+    }
+
+    #[test]
+    fn luby_prefix() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn empty_instance_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn unit_clauses_propagate() {
+        let mut s = solver_with_vars(2);
+        s.add_clause(&[lit(0)]);
+        s.add_clause(&[!lit(0), lit(1)]);
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.value(Var(0)));
+                assert!(m.value(Var(1)));
+            }
+            SolveResult::Unsat | SolveResult::Unknown => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn contradictory_units_unsat() {
+        let mut s = solver_with_vars(1);
+        s.add_clause(&[lit(0)]);
+        s.add_clause(&[!lit(0)]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = solver_with_vars(1);
+        assert!(!s.add_clause(&[]));
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn tautologies_are_dropped() {
+        let mut s = solver_with_vars(1);
+        assert!(s.add_clause(&[lit(0), !lit(0)]));
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.solve().is_sat());
+    }
+
+    #[test]
+    fn three_sat_example() {
+        // (a ∨ b)(¬a ∨ c)(¬b ∨ c)(¬c ∨ d)(¬c ∨ ¬d) is UNSAT:
+        // c is forced by a∨b, then d and ¬d conflict.
+        let mut s = solver_with_vars(4);
+        let (a, b, c, d) = (lit(0), lit(1), lit(2), lit(3));
+        s.add_clause(&[a, b]);
+        s.add_clause(&[!a, c]);
+        s.add_clause(&[!b, c]);
+        s.add_clause(&[!c, d]);
+        s.add_clause(&[!c, !d]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = solver_with_vars(6);
+        let p = |i: u32, j: u32| lit(i * 2 + j);
+        for i in 0..3 {
+            s.add_clause(&[p(i, 0), p(i, 1)]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[!p(i1, j), !p(i2, j)]);
+                }
+            }
+        }
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn satisfiable_model_satisfies_all_clauses() {
+        let mut s = solver_with_vars(5);
+        let cls: Vec<Vec<Lit>> = vec![
+            vec![lit(0), lit(1), lit(2)],
+            vec![!lit(0), lit(3)],
+            vec![!lit(1), !lit(3), lit(4)],
+            vec![!lit(2), lit(4)],
+            vec![!lit(4), lit(0), lit(1)],
+        ];
+        for c in &cls {
+            s.add_clause(c);
+        }
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                for c in &cls {
+                    assert!(c.iter().any(|&l| m.lit_true(l)), "clause {c:?} unsatisfied");
+                }
+            }
+            SolveResult::Unsat | SolveResult::Unknown => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn graph_only_unsat_on_symbolic_cycle_forced() {
+        let mut s = Solver::with_graph(2);
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_symbolic_edge(a, 0, 1);
+        s.add_symbolic_edge(b, 1, 0);
+        s.add_clause(&[a]);
+        s.add_clause(&[b]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn graph_choice_resolved_to_avoid_cycle() {
+        // Known 0→1; either 1→2 & 2→0 (cycle) or 1→2 only.
+        let mut s = Solver::with_graph(3);
+        let a = Lit::pos(s.new_var());
+        let b = Lit::pos(s.new_var());
+        s.add_known_edge(0, 1);
+        s.add_symbolic_edge(a, 1, 2);
+        s.add_symbolic_edge(b, 2, 0);
+        s.add_clause(&[a]);
+        s.add_clause(&[a, b]); // satisfiable with b=false
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                assert!(m.lit_true(a));
+                assert!(!m.lit_true(b));
+            }
+            SolveResult::Unsat | SolveResult::Unknown => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn known_cycle_is_unsat() {
+        let mut s = Solver::with_graph(2);
+        s.add_known_edge(0, 1);
+        s.add_known_edge(1, 0);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn exactly_one_direction_per_pair() {
+        // Classic polygraph pattern: for nodes {0,1,2} pairwise choose an
+        // orientation; any assignment of a DAG exists, so SAT.
+        let mut s = Solver::with_graph(3);
+        let mut pairs = Vec::new();
+        for i in 0..3u32 {
+            for j in (i + 1)..3u32 {
+                let f = Lit::pos(s.new_var());
+                let r = Lit::pos(s.new_var());
+                s.add_symbolic_edge(f, i, j);
+                s.add_symbolic_edge(r, j, i);
+                s.add_clause(&[f, r]);
+                s.add_clause(&[!f, !r]);
+                pairs.push((i, j, f, r));
+            }
+        }
+        match s.solve() {
+            SolveResult::Sat(m) => {
+                for (_, _, f, r) in pairs {
+                    assert_ne!(m.lit_true(f), m.lit_true(r));
+                }
+            }
+            SolveResult::Unsat | SolveResult::Unknown => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn forced_total_order_with_back_edge_unsat() {
+        // Chain 0→1→2→3 known, plus a symbolic 3→0 forced true.
+        let mut s = Solver::with_graph(4);
+        let e = Lit::pos(s.new_var());
+        s.add_known_edge(0, 1);
+        s.add_known_edge(1, 2);
+        s.add_known_edge(2, 3);
+        s.add_symbolic_edge(e, 3, 0);
+        s.add_clause(&[e]);
+        assert!(!s.solve().is_sat());
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut s = solver_with_vars(3);
+        s.add_clause(&[lit(0), lit(1)]);
+        s.add_clause(&[!lit(0), lit(2)]);
+        s.solve();
+        assert!(s.stats().decisions > 0 || s.stats().propagations > 0);
+    }
+
+    #[test]
+    fn negative_guard_literal_activates_edge() {
+        // Edge guarded by ¬x: forcing x=false must activate the edge.
+        let mut s = Solver::with_graph(2);
+        let x = s.new_var();
+        s.add_known_edge(0, 1);
+        s.add_symbolic_edge(Lit::neg(x), 1, 0);
+        s.add_clause(&[Lit::neg(x)]);
+        assert!(!s.solve().is_sat());
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // Pigeonhole 6-into-5 forces many conflicts; a budget of 1 cannot
+        // finish.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..6)
+            .map(|_| (0..5).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row);
+        }
+        for j in 0..5 {
+            for a in 0..6 {
+                for b in (a + 1)..6 {
+                    s.add_clause(&[!p[a][j], !p[b][j]]);
+                }
+            }
+        }
+        s.set_conflict_budget(1);
+        assert!(matches!(s.solve(), SolveResult::Unknown));
+    }
+
+    #[test]
+    fn generous_budget_still_decides() {
+        let mut s = Solver::new();
+        let a = Lit::pos(s.new_var());
+        s.add_clause(&[a]);
+        s.set_conflict_budget(1_000);
+        assert!(s.solve().is_sat());
+    }
+}

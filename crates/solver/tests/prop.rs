@@ -1,0 +1,157 @@
+//! Property tests: the CDCL solver with the acyclicity theory must agree
+//! with brute-force enumeration on random small instances.
+
+use polysi_solver::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random instance: CNF over `nv` vars plus symbolic edges over `nn` nodes.
+#[derive(Debug, Clone)]
+struct Instance {
+    nv: u32,
+    nn: u32,
+    clauses: Vec<Vec<Lit>>,
+    known_edges: Vec<(u32, u32)>,
+    sym_edges: Vec<(Lit, u32, u32)>,
+}
+
+fn lit_strategy(nv: u32) -> impl Strategy<Value = Lit> {
+    (0..nv, any::<bool>()).prop_map(|(v, s)| Lit::new(Var(v), s))
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2u32..6, 2u32..6).prop_flat_map(|(nv, nn)| {
+        let clause = prop::collection::vec(lit_strategy(nv), 1..4);
+        let clauses = prop::collection::vec(clause, 0..8);
+        let known = prop::collection::vec((0..nn, 0..nn), 0..4);
+        let sym = prop::collection::vec((lit_strategy(nv), 0..nn, 0..nn), 0..6);
+        (clauses, known, sym).prop_map(move |(clauses, known_edges, sym_edges)| Instance {
+            nv,
+            nn,
+            clauses,
+            known_edges,
+            sym_edges,
+        })
+    })
+}
+
+/// Ground truth: try all 2^nv assignments; check clauses and acyclicity.
+fn brute_force_sat(inst: &Instance) -> bool {
+    let nv = inst.nv;
+    'assignments: for bits in 0u32..(1 << nv) {
+        let lit_true = |l: Lit| {
+            let b = bits >> l.var().0 & 1 == 1;
+            b == l.is_pos()
+        };
+        for c in &inst.clauses {
+            if !c.iter().any(|&l| lit_true(l)) {
+                continue 'assignments;
+            }
+        }
+        // Cycle check over known + enabled symbolic edges (Kahn).
+        let n = inst.nn as usize;
+        let mut out = vec![Vec::new(); n];
+        for &(u, v) in &inst.known_edges {
+            out[u as usize].push(v as usize);
+        }
+        for &(l, u, v) in &inst.sym_edges {
+            if lit_true(l) {
+                out[u as usize].push(v as usize);
+            }
+        }
+        let mut indeg = vec![0usize; n];
+        for o in &out {
+            for &v in o {
+                indeg[v] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &v in &out[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if queue.len() == n {
+            return true;
+        }
+    }
+    false
+}
+
+fn run_solver(inst: &Instance) -> SolveResult {
+    let mut s = Solver::with_graph(inst.nn as usize);
+    for _ in 0..inst.nv {
+        s.new_var();
+    }
+    for c in &inst.clauses {
+        s.add_clause(c);
+    }
+    for &(u, v) in &inst.known_edges {
+        s.add_known_edge(u, v);
+    }
+    for &(l, u, v) in &inst.sym_edges {
+        s.add_symbolic_edge(l, u, v);
+    }
+    s.solve()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn solver_matches_brute_force(inst in instance_strategy()) {
+        let expected = brute_force_sat(&inst);
+        let got = run_solver(&inst);
+        prop_assert_eq!(got.is_sat(), expected, "instance: {:?}", inst);
+    }
+
+    #[test]
+    fn sat_models_satisfy_clauses_and_acyclicity(inst in instance_strategy()) {
+        if let SolveResult::Sat(m) = run_solver(&inst) {
+            for c in &inst.clauses {
+                prop_assert!(c.iter().any(|&l| m.lit_true(l)), "unsatisfied clause");
+            }
+            // Independent acyclicity re-check of the model.
+            let n = inst.nn as usize;
+            let mut out = vec![Vec::new(); n];
+            for &(u, v) in &inst.known_edges {
+                out[u as usize].push(v as usize);
+            }
+            for &(l, u, v) in &inst.sym_edges {
+                if m.lit_true(l) {
+                    out[u as usize].push(v as usize);
+                }
+            }
+            let mut indeg = vec![0usize; n];
+            for o in &out { for &v in o { indeg[v] += 1; } }
+            let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &v in &out[u] {
+                    indeg[v] -= 1;
+                    if indeg[v] == 0 { queue.push(v); }
+                }
+            }
+            prop_assert_eq!(queue.len(), n, "model graph has a cycle");
+        }
+    }
+
+    #[test]
+    fn pure_sat_matches_brute_force(
+        (nv, clauses) in (2u32..7).prop_flat_map(|nv| {
+            let clause = prop::collection::vec(lit_strategy(nv), 1..4);
+            (Just(nv), prop::collection::vec(clause, 0..12))
+        })
+    ) {
+        let inst = Instance { nv, nn: 1, clauses, known_edges: vec![], sym_edges: vec![] };
+        let expected = brute_force_sat(&inst);
+        prop_assert_eq!(run_solver(&inst).is_sat(), expected);
+    }
+}

@@ -1,0 +1,271 @@
+//! Key-value emulations of the paper's three synthetic benchmarks
+//! (Section 5.1.1): RUBiS (auction site), TPC-C (wholesale supplier), and
+//! C-Twitter (Twitter clone). Each produces a [`Plan`] with the benchmark's
+//! transaction mix expressed over a structured key space.
+//!
+//! Keys are namespaced numerically: the top bits carry an entity tag so,
+//! e.g., `user:17` and `item:17` are distinct keys — the flat two-column
+//! schema the paper uses, with the "TableName:PrimaryKey" compound-key
+//! trick of its Section 6.
+
+use crate::general::Zipf;
+use crate::plan::{OpIntent, Plan};
+use polysi_history::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TAG_SHIFT: u64 = 40;
+
+/// Build a namespaced key.
+fn nk(tag: u64, id: u64) -> Key {
+    Key(tag << TAG_SHIFT | id)
+}
+
+/// Common sizing for the three benchmarks: the paper runs each with at
+/// least 10k transactions (25 sessions × 400).
+#[derive(Clone, Copy, Debug)]
+pub struct BenchParams {
+    /// Number of client sessions.
+    pub sessions: usize,
+    /// Transactions per session.
+    pub txns_per_session: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams { sessions: 25, txns_per_session: 400, seed: 0xBE_EF }
+    }
+}
+
+/// RUBiS: an eBay-like bidding system (20k users, 200k items in the
+/// archived dataset; scaled by the same ratio here).
+///
+/// Mix: 40% view item (reads), 25% place bid (read item + bid key, write
+/// bid + item), 15% register user (write), 20% browse user (reads).
+pub fn rubis(p: &BenchParams) -> Plan {
+    const USER: u64 = 1;
+    const ITEM: u64 = 2;
+    const BID: u64 = 3;
+    let users = 20_000u64;
+    let items = 200_000u64;
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let zipf_items = Zipf::new(items, 0.99);
+    let mut sessions = Vec::with_capacity(p.sessions);
+    let mut next_user = users;
+    for _ in 0..p.sessions {
+        let mut txns = Vec::with_capacity(p.txns_per_session);
+        for _ in 0..p.txns_per_session {
+            let roll = rng.gen_range(0..100);
+            let mut ops = Vec::new();
+            if roll < 40 {
+                // View item: item + its current bid.
+                let item = zipf_items.sample(&mut rng) - 1;
+                ops.push(OpIntent::Read(nk(ITEM, item)));
+                ops.push(OpIntent::Read(nk(BID, item)));
+            } else if roll < 65 {
+                // Place bid: read item & bid, write both (read-modify-write).
+                let item = zipf_items.sample(&mut rng) - 1;
+                let user = rng.gen_range(0..users);
+                ops.push(OpIntent::Read(nk(ITEM, item)));
+                ops.push(OpIntent::Read(nk(BID, item)));
+                ops.push(OpIntent::Read(nk(USER, user)));
+                ops.push(OpIntent::Write(nk(BID, item)));
+                ops.push(OpIntent::Write(nk(ITEM, item)));
+            } else if roll < 80 {
+                // Register user.
+                next_user += 1;
+                ops.push(OpIntent::Write(nk(USER, next_user)));
+            } else {
+                // Browse user profile + a few of their items.
+                let user = rng.gen_range(0..users);
+                ops.push(OpIntent::Read(nk(USER, user)));
+                for _ in 0..3 {
+                    let item = zipf_items.sample(&mut rng) - 1;
+                    ops.push(OpIntent::Read(nk(ITEM, item)));
+                }
+            }
+            txns.push(ops);
+        }
+        sessions.push(txns);
+    }
+    Plan { sessions }
+}
+
+/// TPC-C: the OLTP standard's five-transaction mix (new-order 45%,
+/// payment 43%, order-status 4%, delivery 4%, stock-level 4%) over one
+/// warehouse, 10 districts, and 30k customers — the paper's dataset.
+///
+/// Every write in new-order/payment/delivery follows a read of the same
+/// key (read-modify-write), the property Cobra's inference exploits
+/// (Section 5.4.1).
+pub fn tpcc(p: &BenchParams) -> Plan {
+    const DISTRICT: u64 = 1;
+    const CUSTOMER: u64 = 2;
+    const STOCK: u64 = 3;
+    const ORDER: u64 = 4;
+    let districts = 10u64;
+    let customers = 30_000u64;
+    let stock_items = 10_000u64;
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut sessions = Vec::with_capacity(p.sessions);
+    let mut order_seq = 0u64;
+    for _ in 0..p.sessions {
+        let mut txns = Vec::with_capacity(p.txns_per_session);
+        for _ in 0..p.txns_per_session {
+            let roll = rng.gen_range(0..100);
+            let mut ops = Vec::new();
+            let district = rng.gen_range(0..districts);
+            let customer = rng.gen_range(0..customers);
+            if roll < 45 {
+                // New-order: RMW district (order counter), insert order,
+                // RMW 5-10 stock entries.
+                ops.push(OpIntent::Read(nk(DISTRICT, district)));
+                ops.push(OpIntent::Write(nk(DISTRICT, district)));
+                order_seq += 1;
+                ops.push(OpIntent::Write(nk(ORDER, order_seq)));
+                for _ in 0..rng.gen_range(5..=10) {
+                    let item = rng.gen_range(0..stock_items);
+                    ops.push(OpIntent::Read(nk(STOCK, item)));
+                    ops.push(OpIntent::Write(nk(STOCK, item)));
+                }
+            } else if roll < 88 {
+                // Payment: RMW district balance + RMW customer balance.
+                ops.push(OpIntent::Read(nk(DISTRICT, district)));
+                ops.push(OpIntent::Write(nk(DISTRICT, district)));
+                ops.push(OpIntent::Read(nk(CUSTOMER, customer)));
+                ops.push(OpIntent::Write(nk(CUSTOMER, customer)));
+            } else if roll < 92 {
+                // Order-status: read-only.
+                ops.push(OpIntent::Read(nk(CUSTOMER, customer)));
+                if order_seq > 0 {
+                    ops.push(OpIntent::Read(nk(ORDER, rng.gen_range(0..order_seq) + 1)));
+                }
+            } else if roll < 96 {
+                // Delivery: RMW a batch of orders + customer.
+                if order_seq > 0 {
+                    let o = rng.gen_range(0..order_seq) + 1;
+                    ops.push(OpIntent::Read(nk(ORDER, o)));
+                    ops.push(OpIntent::Write(nk(ORDER, o)));
+                }
+                ops.push(OpIntent::Read(nk(CUSTOMER, customer)));
+                ops.push(OpIntent::Write(nk(CUSTOMER, customer)));
+            } else {
+                // Stock-level: read-only scan of a district + stocks.
+                ops.push(OpIntent::Read(nk(DISTRICT, district)));
+                for _ in 0..10 {
+                    ops.push(OpIntent::Read(nk(STOCK, rng.gen_range(0..stock_items))));
+                }
+            }
+            if ops.is_empty() {
+                ops.push(OpIntent::Read(nk(DISTRICT, district)));
+            }
+            txns.push(ops);
+        }
+        sessions.push(txns);
+    }
+    Plan { sessions }
+}
+
+/// C-Twitter: a Twitter clone — tweet, follow/unfollow, and timeline reads
+/// over a zipfian follower graph.
+pub fn ctwitter(p: &BenchParams) -> Plan {
+    const TWEET: u64 = 1;
+    const FOLLOW: u64 = 2;
+    const TIMELINE: u64 = 3;
+    let users = 10_000u64;
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let zipf_users = Zipf::new(users, 0.99);
+    let mut sessions = Vec::with_capacity(p.sessions);
+    for _ in 0..p.sessions {
+        let mut txns = Vec::with_capacity(p.txns_per_session);
+        for _ in 0..p.txns_per_session {
+            let roll = rng.gen_range(0..100);
+            let mut ops = Vec::new();
+            let user = zipf_users.sample(&mut rng) - 1;
+            if roll < 30 {
+                // Tweet: write own latest-tweet key + timeline key.
+                ops.push(OpIntent::Read(nk(TWEET, user)));
+                ops.push(OpIntent::Write(nk(TWEET, user)));
+                ops.push(OpIntent::Write(nk(TIMELINE, user)));
+            } else if roll < 45 {
+                // Follow/unfollow: RMW the follow set key.
+                let followee = zipf_users.sample(&mut rng) - 1;
+                ops.push(OpIntent::Read(nk(FOLLOW, user)));
+                ops.push(OpIntent::Write(nk(FOLLOW, user)));
+                ops.push(OpIntent::Read(nk(TWEET, followee)));
+            } else {
+                // Timeline: read follow set + several followees' tweets.
+                ops.push(OpIntent::Read(nk(FOLLOW, user)));
+                for _ in 0..6 {
+                    let followee = zipf_users.sample(&mut rng) - 1;
+                    ops.push(OpIntent::Read(nk(TIMELINE, followee)));
+                }
+            }
+            txns.push(ops);
+        }
+        sessions.push(txns);
+    }
+    Plan { sessions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BenchParams {
+        BenchParams { sessions: 4, txns_per_session: 50, seed: 7 }
+    }
+
+    #[test]
+    fn rubis_shape() {
+        let plan = rubis(&small());
+        assert_eq!(plan.num_txns(), 200);
+        assert!(plan.read_fraction() > 0.5, "RUBiS is read-leaning");
+    }
+
+    #[test]
+    fn tpcc_is_rmw_heavy() {
+        let plan = tpcc(&small());
+        assert_eq!(plan.num_txns(), 200);
+        // Every write in TPC-C's mix is preceded by a read of the same key
+        // within the transaction (except order inserts).
+        let mut rmw = 0usize;
+        let mut writes = 0usize;
+        for txn in plan.sessions.iter().flatten() {
+            for (i, op) in txn.iter().enumerate() {
+                if let OpIntent::Write(k) = op {
+                    writes += 1;
+                    if txn[..i].iter().any(|o| o.is_read() && o.key() == *k) {
+                        rmw += 1;
+                    }
+                }
+            }
+        }
+        assert!(rmw as f64 / writes as f64 > 0.8, "rmw {rmw}/{writes}");
+    }
+
+    #[test]
+    fn ctwitter_shape() {
+        let plan = ctwitter(&small());
+        assert_eq!(plan.num_txns(), 200);
+        assert!(plan.num_ops() > 400);
+    }
+
+    #[test]
+    fn namespaces_do_not_collide() {
+        assert_ne!(nk(1, 17), nk(2, 17));
+        assert_eq!(nk(1, 17), nk(1, 17));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = tpcc(&small());
+        let b = tpcc(&small());
+        assert_eq!(
+            format!("{:?}", a.sessions[0][..3].to_vec()),
+            format!("{:?}", b.sessions[0][..3].to_vec())
+        );
+    }
+}

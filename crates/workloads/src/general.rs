@@ -1,0 +1,261 @@
+//! The paper's parametric workload generator (Section 5.1.1): number of
+//! sessions, transactions per session, operations per transaction, read
+//! percentage, key count, and key-access distribution (uniform / zipfian /
+//! hotspot).
+
+use crate::plan::{OpIntent, Plan};
+use polysi_history::Key;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Key-access distribution.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum KeyDistribution {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipfian with exponent ≈ 0.99 (YCSB-style); the paper's default.
+    #[default]
+    Zipfian,
+    /// 80% of accesses touch 20% of the keys.
+    Hotspot,
+}
+
+/// Parameters of the general workload generator. Defaults match the
+/// paper's defaults (20 sessions × 100 txns × 15 ops, 50% reads, 10k keys,
+/// zipfian).
+#[derive(Clone, Copy, Debug)]
+pub struct GeneralParams {
+    /// Number of client sessions (`#sess`).
+    pub sessions: usize,
+    /// Transactions per session (`#txns/sess`).
+    pub txns_per_session: usize,
+    /// Operations per transaction (`#ops/txn`).
+    pub ops_per_txn: usize,
+    /// Percentage of reads, 0–100 (`%reads`).
+    pub read_pct: u32,
+    /// Total number of keys (`#keys`).
+    pub keys: u64,
+    /// Key-access distribution (`dist`).
+    pub dist: KeyDistribution,
+    /// RNG seed (determinism across runs).
+    pub seed: u64,
+}
+
+impl Default for GeneralParams {
+    fn default() -> Self {
+        GeneralParams {
+            sessions: 20,
+            txns_per_session: 100,
+            ops_per_txn: 15,
+            read_pct: 50,
+            keys: 10_000,
+            dist: KeyDistribution::Zipfian,
+            seed: 0xB10C_5EED,
+        }
+    }
+}
+
+/// Rejection-inversion sampler for the zipfian distribution
+/// (Hörmann & Derflinger), O(1) per sample for any key count.
+pub struct Zipf {
+    n: f64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+}
+
+impl Zipf {
+    /// Sampler over `{1..n}` with exponent `s` (must have `s != 1`).
+    pub fn new(n: u64, s: f64) -> Self {
+        let nf = n as f64;
+        let h = |x: f64| ((1.0 - s) * x.ln()).exp() / (1.0 - s); // H(x) = x^(1-s)/(1-s)
+        Zipf { n: nf, s, h_x1: h(1.5) - 1.0, h_n: h(nf + 0.5) }
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        ((1.0 - self.s) * x.ln()).exp() / (1.0 - self.s)
+    }
+
+    fn h_inv(&self, x: f64) -> f64 {
+        ((1.0 - self.s) * x).ln().exp().powf(1.0 / (1.0 - self.s))
+    }
+
+    /// Draw one sample in `[1, n]`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        loop {
+            let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
+            let x = self.h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            if (k - x).abs() <= 0.5 || u >= self.h(k + 0.5) - (-(k.ln() * self.s)).exp() {
+                return k as u64;
+            }
+        }
+    }
+}
+
+fn draw_key(rng: &mut StdRng, params: &GeneralParams, zipf: &Zipf) -> Key {
+    let n = params.keys.max(1);
+    let raw = match params.dist {
+        KeyDistribution::Uniform => rng.gen_range(0..n),
+        KeyDistribution::Zipfian => zipf.sample(rng) - 1,
+        KeyDistribution::Hotspot => {
+            let hot = (n / 5).max(1);
+            if rng.gen_bool(0.8) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(hot.min(n - 1)..n)
+            }
+        }
+    };
+    Key(raw)
+}
+
+/// Generate a plan from the parameters.
+pub fn generate(params: &GeneralParams) -> Plan {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let zipf = Zipf::new(params.keys.max(1), 0.99);
+    let mut sessions = Vec::with_capacity(params.sessions);
+    for _ in 0..params.sessions {
+        let mut txns = Vec::with_capacity(params.txns_per_session);
+        for _ in 0..params.txns_per_session {
+            let mut ops = Vec::with_capacity(params.ops_per_txn);
+            for _ in 0..params.ops_per_txn {
+                let key = draw_key(&mut rng, params, &zipf);
+                if rng.gen_range(0..100) < params.read_pct {
+                    ops.push(OpIntent::Read(key));
+                } else {
+                    ops.push(OpIntent::Write(key));
+                }
+            }
+            txns.push(ops);
+        }
+        sessions.push(txns);
+    }
+    Plan { sessions }
+}
+
+/// The three representative general workloads of Section 5.1.1
+/// (25 sessions × 400 txns × 8 ops).
+pub fn general_rh(seed: u64) -> GeneralParams {
+    GeneralParams {
+        sessions: 25,
+        txns_per_session: 400,
+        ops_per_txn: 8,
+        read_pct: 95,
+        seed,
+        ..Default::default()
+    }
+}
+
+/// GeneralRW: medium, 50% reads.
+pub fn general_rw(seed: u64) -> GeneralParams {
+    GeneralParams { read_pct: 50, ..general_rh(seed) }
+}
+
+/// GeneralWH: write-heavy, 30% reads.
+pub fn general_wh(seed: u64) -> GeneralParams {
+    GeneralParams { read_pct: 30, ..general_rh(seed) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn plan_shape_matches_params() {
+        let p = GeneralParams {
+            sessions: 3,
+            txns_per_session: 4,
+            ops_per_txn: 5,
+            ..Default::default()
+        };
+        let plan = generate(&p);
+        assert_eq!(plan.sessions.len(), 3);
+        assert!(plan.sessions.iter().all(|s| s.len() == 4));
+        assert!(plan.sessions.iter().flatten().all(|t| t.len() == 5));
+        assert_eq!(plan.num_txns(), 12);
+        assert_eq!(plan.num_ops(), 60);
+    }
+
+    #[test]
+    fn read_fraction_tracks_read_pct() {
+        let p = GeneralParams { read_pct: 90, sessions: 10, ..Default::default() };
+        let plan = generate(&p);
+        let f = plan.read_fraction();
+        assert!((0.85..=0.95).contains(&f), "read fraction {f}");
+        let p0 = GeneralParams { read_pct: 0, ..p };
+        assert_eq!(generate(&p0).read_fraction(), 0.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = GeneralParams::default();
+        let a = generate(&p);
+        let b = generate(&p);
+        assert_eq!(format!("{:?}", a.sessions[0][0]), format!("{:?}", b.sessions[0][0]));
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let p = GeneralParams { keys: 7, sessions: 5, ..Default::default() };
+        for dist in [KeyDistribution::Uniform, KeyDistribution::Zipfian, KeyDistribution::Hotspot] {
+            let plan = generate(&GeneralParams { dist, ..p });
+            for op in plan.sessions.iter().flatten().flatten() {
+                assert!(op.key().0 < 7, "{dist:?} produced {:?}", op.key());
+            }
+        }
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let p = GeneralParams {
+            dist: KeyDistribution::Zipfian,
+            keys: 1000,
+            sessions: 10,
+            txns_per_session: 100,
+            ..Default::default()
+        };
+        let plan = generate(&p);
+        let mut freq: HashMap<u64, usize> = HashMap::new();
+        for op in plan.sessions.iter().flatten().flatten() {
+            *freq.entry(op.key().0).or_default() += 1;
+        }
+        let total: usize = freq.values().sum();
+        let top: usize = (0..10).map(|k| freq.get(&k).copied().unwrap_or(0)).sum();
+        assert!(
+            top as f64 / total as f64 > 0.25,
+            "top-10 keys should dominate a zipfian draw: {top}/{total}"
+        );
+    }
+
+    #[test]
+    fn hotspot_concentrates_on_hot_set() {
+        let p = GeneralParams {
+            dist: KeyDistribution::Hotspot,
+            keys: 1000,
+            sessions: 10,
+            txns_per_session: 100,
+            ..Default::default()
+        };
+        let plan = generate(&p);
+        let mut hot = 0usize;
+        let mut total = 0usize;
+        for op in plan.sessions.iter().flatten().flatten() {
+            total += 1;
+            if op.key().0 < 200 {
+                hot += 1;
+            }
+        }
+        let frac = hot as f64 / total as f64;
+        assert!((0.75..=0.85).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn preset_workloads() {
+        assert_eq!(general_rh(1).read_pct, 95);
+        assert_eq!(general_rw(1).read_pct, 50);
+        assert_eq!(general_wh(1).read_pct, 30);
+        assert_eq!(general_rh(1).sessions * general_rh(1).txns_per_session, 10_000);
+    }
+}

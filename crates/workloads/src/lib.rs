@@ -1,0 +1,22 @@
+//! # polysi-workloads — transaction workload generation
+//!
+//! A reimplementation of the paper's 2.2k-LoC Rust workload generator
+//! (Section 5.1): the parametric *general* workload (sessions × txns ×
+//! ops, read percentage, key count, uniform/zipfian/hotspot key access),
+//! the three synthetic benchmarks (RUBiS, TPC-C, C-Twitter), the
+//! GeneralRH/RW/WH presets, and list-append workloads for PolySI-List.
+//!
+//! Workloads are *plans* ([`Plan`]): which keys each transaction intends
+//! to read and write. The database (simulator) fills in observed values
+//! and assigns unique written values, giving the UniqueValue discipline.
+
+pub mod benchmarks;
+mod general;
+pub mod list_append;
+mod plan;
+pub mod sql;
+
+pub use general::{
+    general_rh, general_rw, general_wh, generate, GeneralParams, KeyDistribution, Zipf,
+};
+pub use plan::{OpIntent, Plan};

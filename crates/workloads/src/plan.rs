@@ -1,0 +1,86 @@
+//! Workload plans: the database-independent intent of a workload run.
+//!
+//! A [`Plan`] says *what* each session intends to do (which keys to read
+//! and write, per transaction); the database simulator decides what values
+//! the reads return and assigns unique written values (the paper's
+//! UniqueValue discipline implemented on the client side).
+
+use polysi_history::Key;
+
+/// One intended operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpIntent {
+    /// Read the key.
+    Read(Key),
+    /// Write a fresh unique value to the key.
+    Write(Key),
+}
+
+impl OpIntent {
+    /// The key the intent touches.
+    pub fn key(&self) -> Key {
+        match *self {
+            OpIntent::Read(k) | OpIntent::Write(k) => k,
+        }
+    }
+
+    /// Whether this is a read intent.
+    pub fn is_read(&self) -> bool {
+        matches!(self, OpIntent::Read(_))
+    }
+}
+
+/// A full workload plan: `sessions × transactions × operations`.
+#[derive(Clone, Debug, Default)]
+pub struct Plan {
+    /// Per-session transaction intents.
+    pub sessions: Vec<Vec<Vec<OpIntent>>>,
+}
+
+impl Plan {
+    /// Total number of transactions.
+    pub fn num_txns(&self) -> usize {
+        self.sessions.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of operations.
+    pub fn num_ops(&self) -> usize {
+        self.sessions.iter().flatten().map(Vec::len).sum()
+    }
+
+    /// Fraction of operations that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        let (mut r, mut total) = (0usize, 0usize);
+        for op in self.sessions.iter().flatten().flatten() {
+            total += 1;
+            if op.is_read() {
+                r += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            r as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_counts() {
+        let p = Plan {
+            sessions: vec![
+                vec![vec![OpIntent::Read(Key(1)), OpIntent::Write(Key(2))]],
+                vec![vec![OpIntent::Read(Key(3))], vec![OpIntent::Write(Key(4))]],
+            ],
+        };
+        assert_eq!(p.num_txns(), 3);
+        assert_eq!(p.num_ops(), 4);
+        assert!((p.read_fraction() - 0.5).abs() < 1e-9);
+        assert!(OpIntent::Read(Key(1)).is_read());
+        assert_eq!(OpIntent::Write(Key(2)).key(), Key(2));
+    }
+}

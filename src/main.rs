@@ -1,0 +1,140 @@
+//! The `polysi` command-line checker: read a history in the text format
+//! (see `polysi_history::codec`) and report the SI verdict, the anomaly
+//! class, and optionally the interpreted counterexample as Graphviz DOT.
+//!
+//! ```sh
+//! polysi check history.txt            # verdict + anomaly + cycle
+//! polysi check history.txt --dot out.dot
+//! polysi check history.txt --no-pruning
+//! polysi stats history.txt            # workload statistics only
+//! polysi demo                         # run the built-in long-fork demo
+//! ```
+
+use polysi::checker::{check_si, dot, CheckOptions, Outcome};
+use polysi::history::{codec, stats::HistoryStats, History};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  polysi check <history.txt> [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<History, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    codec::decode(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let mut opts = CheckOptions::default();
+            let mut dot_path: Option<String> = None;
+            let mut quiet = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--no-pruning" => opts.pruning = false,
+                    "--plain" => opts.mode = polysi::polygraph::ConstraintMode::Plain,
+                    "--quiet" => quiet = true,
+                    "--dot" => {
+                        i += 1;
+                        dot_path = args.get(i).cloned();
+                        if dot_path.is_none() {
+                            return usage();
+                        }
+                    }
+                    other => {
+                        eprintln!("unknown flag {other}");
+                        return usage();
+                    }
+                }
+                i += 1;
+            }
+            let history = match load(path) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let report = check_si(&history, &opts);
+            match &report.outcome {
+                Outcome::Si => {
+                    println!("OK: history satisfies snapshot isolation");
+                    if !quiet {
+                        println!("  {}", HistoryStats::of(&history));
+                        println!("  checked in {:?}", report.timings.total());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Outcome::AxiomViolations(vs) => {
+                    println!("VIOLATION: non-cyclic axioms failed");
+                    for v in vs.iter().take(if quiet { 1 } else { usize::MAX }) {
+                        println!("  - {v}");
+                    }
+                    ExitCode::FAILURE
+                }
+                Outcome::CyclicViolation(v) => {
+                    println!("VIOLATION: {}", v.anomaly);
+                    if !quiet {
+                        for e in &v.cycle {
+                            println!(
+                                "  {} {} -> {}",
+                                e.label,
+                                history.txn(e.from).label(),
+                                history.txn(e.to).label()
+                            );
+                        }
+                    }
+                    if let (Some(out), Some(s)) = (&dot_path, &v.scenario) {
+                        if let Err(e) = std::fs::write(out, dot::scenario_to_dot(&history, s)) {
+                            eprintln!("error writing {out}: {e}");
+                        } else if !quiet {
+                            println!("  scenario written to {out}");
+                        }
+                    }
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("stats") => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load(path) {
+                Ok(h) => {
+                    println!("{}", HistoryStats::of(&h));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("demo") => {
+            use polysi::history::{HistoryBuilder, Key, Value};
+            let mut b = HistoryBuilder::new();
+            b.session();
+            b.begin().write(Key(1), Value(10)).write(Key(2), Value(20)).commit();
+            b.session();
+            b.begin().write(Key(1), Value(11)).commit();
+            b.session();
+            b.begin().write(Key(2), Value(21)).commit();
+            b.session();
+            b.begin().read(Key(1), Value(11)).read(Key(2), Value(20)).commit();
+            b.session();
+            b.begin().read(Key(1), Value(10)).read(Key(2), Value(21)).commit();
+            let h = b.build();
+            println!("{}", codec::encode(&h));
+            match check_si(&h, &CheckOptions::default()).outcome {
+                Outcome::CyclicViolation(v) => println!("# verdict: VIOLATION ({})", v.anomaly),
+                _ => println!("# verdict: OK"),
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

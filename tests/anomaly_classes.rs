@@ -1,0 +1,56 @@
+//! Every canonical anomaly template of the corpus must be rejected with
+//! the classification its name promises — the "informative" criterion of
+//! SIEGE+ made testable.
+
+use polysi::checker::{check_si, Anomaly, CheckOptions, Outcome};
+use polysi::dbsim::corpus::generate_corpus;
+
+#[test]
+fn corpus_templates_classified_as_named() {
+    // Enough entries to include at least two instances of each template.
+    let corpus = generate_corpus(30, 5);
+    let mut seen = std::collections::HashSet::new();
+    for entry in corpus {
+        let Some(template) = entry.source.strip_prefix("template:") else {
+            continue;
+        };
+        seen.insert(template.to_string());
+        let report = check_si(&entry.history, &CheckOptions::default());
+        match (template, &report.outcome) {
+            ("lost-update", Outcome::CyclicViolation(v)) => {
+                assert_eq!(v.anomaly, Anomaly::LostUpdate)
+            }
+            ("long-fork", Outcome::CyclicViolation(v)) => {
+                assert_eq!(v.anomaly, Anomaly::LongFork)
+            }
+            ("causality-violation", Outcome::CyclicViolation(v)) => {
+                assert!(
+                    matches!(v.anomaly, Anomaly::CausalityViolation | Anomaly::WriteReadCycle),
+                    "got {:?}",
+                    v.anomaly
+                )
+            }
+            ("fractured-read", Outcome::CyclicViolation(v)) => {
+                assert!(
+                    matches!(v.anomaly, Anomaly::FracturedRead | Anomaly::CausalityViolation),
+                    "got {:?}",
+                    v.anomaly
+                )
+            }
+            ("aborted-read" | "intermediate-read", Outcome::AxiomViolations(_)) => {}
+            (t, _) => panic!("template {t} produced the wrong outcome kind"),
+        }
+    }
+    assert_eq!(seen.len(), 6, "all six templates exercised: {seen:?}");
+}
+
+#[test]
+fn whole_corpus_is_rejected() {
+    for entry in generate_corpus(60, 11) {
+        assert!(
+            !check_si(&entry.history, &CheckOptions::default()).is_si(),
+            "corpus entry {} wrongly accepted",
+            entry.source
+        );
+    }
+}

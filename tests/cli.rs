@@ -1,0 +1,76 @@
+//! Integration tests for the `polysi` CLI binary, exercising the public
+//! text-format + checker path a downstream user would script against.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_polysi"))
+}
+
+#[test]
+fn demo_emits_parseable_history_and_violation() {
+    let out = bin().arg("demo").output().expect("run demo");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# verdict: VIOLATION (long fork)"));
+    // The emitted history parses back.
+    let body: String =
+        text.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+    polysi::history::codec::decode(&body).expect("demo output is valid history text");
+}
+
+#[test]
+fn check_accepts_valid_history() {
+    let dir = std::env::temp_dir().join("polysi-cli-test-ok");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ok.txt");
+    std::fs::write(&path, "session\nbegin\nw 1 10\ncommit\nbegin\nr 1 10\ncommit\n").unwrap();
+    let out = bin().arg("check").arg(&path).output().expect("run check");
+    assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+}
+
+#[test]
+fn check_rejects_lost_update_with_exit_code_and_dot() {
+    let dir = std::env::temp_dir().join("polysi-cli-test-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.txt");
+    std::fs::write(
+        &path,
+        "session\nbegin\nw 1 10\ncommit\nsession\nbegin\nr 1 10\nw 1 11\ncommit\n\
+         session\nbegin\nr 1 10\nw 1 12\ncommit\n",
+    )
+    .unwrap();
+    let dot = dir.join("bad.dot");
+    let out = bin()
+        .arg("check")
+        .arg(&path)
+        .arg("--dot")
+        .arg(&dot)
+        .output()
+        .expect("run check");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("lost update"));
+    let rendered = std::fs::read_to_string(&dot).expect("dot written");
+    assert!(rendered.starts_with("digraph"));
+}
+
+#[test]
+fn stats_prints_counts() {
+    let dir = std::env::temp_dir().join("polysi-cli-test-stats");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("h.txt");
+    std::fs::write(&path, "session\nbegin\nw 1 10\nr 2 0\ncommit\n").unwrap();
+    let out = bin().arg("stats").arg(&path).output().expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 txns"), "{text}");
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin().arg("check").arg("/nonexistent/file").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
