@@ -123,9 +123,7 @@ pub fn cobra_check_ser(h: &History, opts: &CobraOptions) -> (SerVerdict, CobraSt
             let mut changed = false;
             let mut remaining = Vec::with_capacity(constraints.len());
             for cons in constraints.drain(..) {
-                let bad = |side: &[Edge]| {
-                    side.iter().any(|e| reach.contains(&(e.to.0, e.from.0)))
-                };
+                let bad = |side: &[Edge]| side.iter().any(|e| reach.contains(&(e.to.0, e.from.0)));
                 match (bad(&cons.either), bad(&cons.or)) {
                     (true, true) => return (SerVerdict::NotSerializable, stats),
                     (true, false) => {
@@ -238,8 +236,7 @@ fn plain_closure(n: usize, edges: &[Edge]) -> Option<HashSet<(u32, u32)>> {
     // Reverse-topological reach sets via bitsets.
     let mut reach = polysi_solver::bitset::BitMatrix::new(n);
     for &u in order.iter().rev() {
-        for i in 0..adj[u as usize].len() {
-            let v = adj[u as usize][i];
+        for &v in &adj[u as usize] {
             reach.set(u as usize, v as usize);
             reach.or_row_into(v as usize, u as usize);
         }

@@ -75,9 +75,8 @@ pub fn cobra_si_check(h: &History) -> (SiVerdict, CobraSiStats) {
     for (&key, writers) in &facts.writers {
         for (i, &t) in writers.iter().enumerate() {
             for &s in &writers[i + 1..] {
-                constraints.extend(Constraint::plain(key, t, s, |w: TxnId| {
-                    facts.readers_of(key, w)
-                }));
+                constraints
+                    .extend(Constraint::plain(key, t, s, |w: TxnId| facts.readers_of(key, w)));
             }
         }
     }
@@ -94,8 +93,7 @@ pub fn cobra_si_check(h: &History) -> (SiVerdict, CobraSiStats) {
         let mut remaining = Vec::with_capacity(constraints.len());
         for cons in constraints.drain(..) {
             let bad = |side: &[Edge]| {
-                side.iter()
-                    .any(|e| matches!(e.label, Label::Ww(_)) && kg.reaches(e.to, e.from))
+                side.iter().any(|e| matches!(e.label, Label::Ww(_)) && kg.reaches(e.to, e.from))
             };
             match (bad(&cons.either), bad(&cons.or)) {
                 (true, true) => return (SiVerdict::NotSi, stats),

@@ -7,7 +7,7 @@ use polysi_bench::{csv_append, scale, scaled, CountingAllocator};
 use polysi_checker::{check_si, CheckOptions};
 use polysi_dbsim::{run, IsolationLevel, SimConfig};
 use polysi_polygraph::ConstraintMode;
-use polysi_workloads::{generate, general_wh};
+use polysi_workloads::{general_wh, generate};
 use std::time::Instant;
 
 #[global_allocator]
@@ -26,10 +26,7 @@ fn main() {
             "no phase seeding",
             CheckOptions { interpret: false, phase_seeding: false, ..Default::default() },
         ),
-        (
-            "no pruning",
-            CheckOptions { interpret: false, pruning: false, ..Default::default() },
-        ),
+        ("no pruning", CheckOptions { interpret: false, pruning: false, ..Default::default() }),
         (
             "plain constraints",
             CheckOptions { interpret: false, mode: ConstraintMode::Plain, ..Default::default() },
@@ -41,10 +38,8 @@ fn main() {
         let t0 = Instant::now();
         let report = check_si(&sim.history, &opts);
         let elapsed = t0.elapsed();
-        let (conflicts, decisions) = report
-            .solver_stats
-            .map(|s| (s.conflicts, s.decisions))
-            .unwrap_or((0, 0));
+        let (conflicts, decisions) =
+            report.solver_stats.map(|s| (s.conflicts, s.decisions)).unwrap_or((0, 0));
         println!(
             "{:<22} {:>10.3} {:>12} {:>14}",
             name,

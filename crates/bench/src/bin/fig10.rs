@@ -18,19 +18,12 @@ fn main() {
         "{:<12} {:>12} {:>14} {:>14}",
         "benchmark", "PolySI", "PolySI w/o P", "PolySI w/o C+P"
     );
-    std::env::set_var(
-        "POLYSI_SCALE",
-        format!("{}", (scale() * 0.5).max(0.02)),
-    );
+    std::env::set_var("POLYSI_SCALE", format!("{}", (scale() * 0.5).max(0.02)));
     let timeout = Timeout::default();
     let mut rows = Vec::new();
     for (name, h) in six_benchmarks(IsolationLevel::SnapshotIsolation, 10) {
         let mut cells = Vec::new();
-        for c in [
-            Checker::PolySi,
-            Checker::PolySiNoPruning,
-            Checker::PolySiNoCompactionNoPruning,
-        ] {
+        for c in [Checker::PolySi, Checker::PolySiNoPruning, Checker::PolySiNoCompactionNoPruning] {
             let m = measure(c, &h, &timeout);
             cells.push(format!("{:.3}", m.elapsed.as_secs_f64()));
             rows.push(format!(

@@ -26,7 +26,6 @@ fn mixed_plan(read_pct: u32, long_ops: usize, seed: u64) -> Plan {
         keys,
         dist: KeyDistribution::Zipfian,
         seed,
-        ..Default::default()
     });
     // Every 20th transaction becomes a long one: repeat its ops pattern up
     // to `long_ops` operations.

@@ -23,7 +23,8 @@ fn main() {
         println!("{:<10} {:>12} {:>16} {:>12}", "x", "PolySI", "CobraSI w/o GPU", "dbcop");
         for pt in points {
             let plan = generate(&pt.params);
-            let sim = run(&plan, &SimConfig::new(IsolationLevel::SnapshotIsolation, pt.params.seed));
+            let sim =
+                run(&plan, &SimConfig::new(IsolationLevel::SnapshotIsolation, pt.params.seed));
             let mut cells = Vec::new();
             for &c in &checkers {
                 let m = measure(c, &sim.history, &timeout);

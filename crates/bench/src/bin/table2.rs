@@ -78,9 +78,8 @@ fn main() {
                 fallback = Some(entry);
             }
         }
-        let (anomaly, attempts, dot_out) = found
-            .or(fallback)
-            .expect("every faulty profile must be caught within 80 runs");
+        let (anomaly, attempts, dot_out) =
+            found.or(fallback).expect("every faulty profile must be caught within 80 runs");
         println!(
             "{:<30} {:<12} {:<12} {:<10} {:<22} {}",
             profile.name,

@@ -11,7 +11,10 @@ use polysi_polygraph::{ConstraintMode, Polygraph, PruneResult};
 static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
-    println!("# Table 3: constraints / unknown dependencies before & after pruning (scale {})", scale());
+    println!(
+        "# Table 3: constraints / unknown dependencies before & after pruning (scale {})",
+        scale()
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>14} {:>14}",
         "benchmark", "#cons before", "#cons after", "#unk before", "#unk after"

@@ -14,6 +14,4 @@ pub mod runner;
 pub mod sweeps;
 
 pub use alloc_counter::CountingAllocator;
-pub use runner::{
-    csv_append, measure, scale, scaled, Checker, Measurement, Timeout,
-};
+pub use runner::{csv_append, measure, scale, scaled, Checker, Measurement, Timeout};

@@ -140,11 +140,8 @@ pub fn csv_append(name: &str, header: &str, rows: &[String]) {
     std::fs::create_dir_all(dir).expect("create bench_results/");
     let path = dir.join(format!("{name}.csv"));
     let fresh = !path.exists();
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-        .expect("open csv");
+    let mut f =
+        std::fs::OpenOptions::new().create(true).append(true).open(&path).expect("open csv");
     if fresh {
         writeln!(f, "{header}").unwrap();
     }

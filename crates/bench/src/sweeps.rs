@@ -19,9 +19,7 @@ fn base(seed: u64) -> GeneralParams {
 /// read proportion, #keys, key distribution. Defaults and ranges follow
 /// Section 5.1.1.
 pub fn fig6_sweeps(seed: u64) -> Vec<(&'static str, Vec<SweepPoint>)> {
-    let mut out = Vec::new();
-
-    out.push((
+    let mut out = vec![(
         "sessions",
         [5usize, 10, 15, 20, 25, 30]
             .iter()
@@ -30,7 +28,7 @@ pub fn fig6_sweeps(seed: u64) -> Vec<(&'static str, Vec<SweepPoint>)> {
                 params: GeneralParams { sessions: s, ..base(seed) },
             })
             .collect(),
-    ));
+    )];
     out.push((
         "txns_per_session",
         [50usize, 100, 150, 200, 250]

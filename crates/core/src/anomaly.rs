@@ -104,22 +104,15 @@ mod tests {
     #[test]
     fn causality_pattern_with_so() {
         // YugabyteDB example (Figure 13): WW, WR, SO — an all-Dep cycle.
-        let cycle = [
-            e(0, 1, Label::Ww(Key(10))),
-            e(1, 2, Label::Wr(Key(13))),
-            e(2, 0, Label::So),
-        ];
+        let cycle = [e(0, 1, Label::Ww(Key(10))), e(1, 2, Label::Wr(Key(13))), e(2, 0, Label::So)];
         assert_eq!(Anomaly::classify(&cycle), Anomaly::CausalityViolation);
     }
 
     #[test]
     fn causality_pattern_single_rw_with_so() {
         // Dgraph-style: RW through a session edge.
-        let cycle = [
-            e(0, 1, Label::Rw(Key(656))),
-            e(1, 2, Label::Wr(Key(402))),
-            e(2, 0, Label::So),
-        ];
+        let cycle =
+            [e(0, 1, Label::Rw(Key(656))), e(1, 2, Label::Wr(Key(402))), e(2, 0, Label::So)];
         assert_eq!(Anomaly::classify(&cycle), Anomaly::CausalityViolation);
     }
 

@@ -223,18 +223,21 @@ pub fn check_si(h: &History, opts: &CheckOptions) -> CheckReport {
     match result {
         SolveResult::Sat(_) => {
             timings.solving = t.elapsed();
-            CheckReport {
-                outcome: Outcome::Si,
-                timings,
-                prune_stats,
-                encode_stats,
-                solver_stats,
-            }
+            CheckReport { outcome: Outcome::Si, timings, prune_stats, encode_stats, solver_stats }
         }
         SolveResult::Unsat => {
             let cycle = extract_cycle(&g);
             timings.solving = t.elapsed();
-            violation_report(h, &facts, cycle, opts, timings, prune_stats, encode_stats, solver_stats)
+            violation_report(
+                h,
+                &facts,
+                cycle,
+                opts,
+                timings,
+                prune_stats,
+                encode_stats,
+                solver_stats,
+            )
         }
         SolveResult::Unknown => unreachable!("check_si sets no conflict budget"),
     }
@@ -274,9 +277,7 @@ fn extract_cycle(g: &Polygraph) -> Vec<Edge> {
             let side = if either { &c.either } else { &c.or };
             edges.extend(side.iter().copied());
         }
-        if let KnownGraphResult::Cyclic(cycle) =
-            polysi_polygraph::KnownGraph::build(g.n, &edges)
-        {
+        if let KnownGraphResult::Cyclic(cycle) = polysi_polygraph::KnownGraph::build(g.n, &edges) {
             if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
                 best = Some(cycle);
             }
@@ -291,13 +292,7 @@ fn phase_along_topo(topo: &[u32], cons: &polysi_polygraph::Constraint) -> bool {
     let agreement = |side: &[Edge]| -> i64 {
         side.iter()
             .filter(|e| matches!(e.label, polysi_polygraph::Label::Ww(_)))
-            .map(|e| {
-                if topo[e.from.idx()] < topo[e.to.idx()] {
-                    1i64
-                } else {
-                    -1
-                }
-            })
+            .map(|e| if topo[e.from.idx()] < topo[e.to.idx()] { 1i64 } else { -1 })
             .sum()
     };
     agreement(&cons.either) >= agreement(&cons.or)

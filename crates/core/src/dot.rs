@@ -36,16 +36,13 @@ fn edge_attrs(label: Label, certain: bool) -> String {
 }
 
 fn render(h: &History, edges: &[(Edge, Certainty)], highlight: &HashSet<TxnId>) -> String {
-    let mut out = String::from("digraph violation {\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out =
+        String::from("digraph violation {\n  node [shape=box, fontname=\"monospace\"];\n");
     let txns: HashSet<TxnId> = edges.iter().flat_map(|(e, _)| [e.from, e.to]).collect();
     let mut txns: Vec<TxnId> = txns.into_iter().collect();
     txns.sort_unstable();
     for t in txns {
-        let fill = if highlight.contains(&t) {
-            ", style=filled, fillcolor=palegreen"
-        } else {
-            ""
-        };
+        let fill = if highlight.contains(&t) { ", style=filled, fillcolor=palegreen" } else { "" };
         writeln!(out, "  t{} [label=\"{}\"{}];", t.0, node_label(h, t), fill).unwrap();
     }
     for &(e, c) in edges {

@@ -73,9 +73,17 @@ pub fn interpret(h: &History, facts: &Facts, cycle: &[Edge]) -> Scenario {
                 match read_source(facts, e.from, key) {
                     Some(WrSource::Txn(w)) => {
                         upsert(&mut edges, e, Certainty::Uncertain);
-                        upsert(&mut edges, Edge::new(w, e.from, Label::Wr(key)), Certainty::Certain);
+                        upsert(
+                            &mut edges,
+                            Edge::new(w, e.from, Label::Wr(key)),
+                            Certainty::Certain,
+                        );
                         if w != e.to {
-                            upsert(&mut edges, Edge::new(w, e.to, Label::Ww(key)), Certainty::Uncertain);
+                            upsert(
+                                &mut edges,
+                                Edge::new(w, e.to, Label::Ww(key)),
+                                Certainty::Uncertain,
+                            );
                             register(&mut pairs, key, w, e.to);
                         }
                     }
@@ -93,11 +101,8 @@ pub fn interpret(h: &History, facts: &Facts, cycle: &[Edge]) -> Scenario {
     let participants: HashSet<TxnId> = edges.iter().flat_map(|(e, _)| [e.from, e.to]).collect();
     let cycle_keys: HashSet<Key> = cycle.iter().filter_map(|e| e.label.key()).collect();
     for &key in &cycle_keys {
-        let writers: Vec<TxnId> = participants
-            .iter()
-            .copied()
-            .filter(|&t| facts.writes_key(t, key))
-            .collect();
+        let writers: Vec<TxnId> =
+            participants.iter().copied().filter(|&t| facts.writes_key(t, key)).collect();
         for (i, &t) in writers.iter().enumerate() {
             for &s in &writers[i + 1..] {
                 register(&mut pairs, key, t, s);
@@ -172,8 +177,12 @@ pub fn interpret(h: &History, facts: &Facts, cycle: &[Edge]) -> Scenario {
         edges.iter().filter(|(_, c)| *c == Certainty::Certain).map(|(e, _)| *e).collect();
 
     let cycle_txns: HashSet<TxnId> = cycle.iter().flat_map(|e| [e.from, e.to]).collect();
-    let mut transactions: Vec<TxnId> =
-        edges.iter().flat_map(|(e, _)| [e.from, e.to]).collect::<HashSet<_>>().into_iter().collect();
+    let mut transactions: Vec<TxnId> = edges
+        .iter()
+        .flat_map(|(e, _)| [e.from, e.to])
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
     transactions.sort_unstable();
     let mut restored: Vec<TxnId> =
         transactions.iter().copied().filter(|t| !cycle_txns.contains(t)).collect();
@@ -375,10 +384,7 @@ mod tests {
             Edge::new(TxnId(1), TxnId(0), Label::Rw(k(0))),
         ];
         let s = interpret(&h, &facts, &cycle);
-        assert!(s
-            .edges
-            .iter()
-            .any(|&(e, c)| e.label == Label::So && c == Certainty::Certain));
+        assert!(s.edges.iter().any(|&(e, c)| e.label == Label::So && c == Certainty::Certain));
     }
 
     #[test]

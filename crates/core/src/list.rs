@@ -393,10 +393,7 @@ mod tests {
     #[test]
     fn phantom_value_rejected() {
         let h = ListHistory { sessions: vec![vec![txn(vec![read(k(1), &[9])])]] };
-        assert!(matches!(
-            check_si_list(&h).violation,
-            Some(ListViolation::PhantomValue { .. })
-        ));
+        assert!(matches!(check_si_list(&h).violation, Some(ListViolation::PhantomValue { .. })));
     }
 
     #[test]
@@ -407,10 +404,7 @@ mod tests {
                 vec![txn(vec![append(k(1), v(1))])],
             ],
         };
-        assert!(matches!(
-            check_si_list(&h).violation,
-            Some(ListViolation::DuplicateAppend { .. })
-        ));
+        assert!(matches!(check_si_list(&h).violation, Some(ListViolation::DuplicateAppend { .. })));
     }
 
     #[test]
@@ -477,10 +471,7 @@ mod tests {
                 vec![txn(vec![read(k(1), &[1])])],
             ],
         };
-        assert!(matches!(
-            check_si_list(&h2).violation,
-            Some(ListViolation::PhantomValue { .. })
-        ));
+        assert!(matches!(check_si_list(&h2).violation, Some(ListViolation::PhantomValue { .. })));
     }
 
     #[test]

@@ -54,7 +54,6 @@ proptest! {
             read_pct,
             dist: KeyDistribution::Uniform,
             seed,
-            ..Default::default()
         });
         let h = convert(&rec);
         let report = check_si_list(&h);
@@ -71,7 +70,6 @@ proptest! {
             read_pct: 50,
             dist: KeyDistribution::Uniform,
             seed,
-            ..Default::default()
         });
         let mut h = convert(&rec);
         // Find a read with >= 2 elements and reverse it: no consistent
@@ -104,7 +102,6 @@ proptest! {
             read_pct: 60,
             dist: KeyDistribution::Uniform,
             seed,
-            ..Default::default()
         });
         let mut h = convert(&rec);
         let mut mutated = false;

@@ -101,12 +101,15 @@ fn intermediate_read(base: u64) -> History {
     b.build()
 }
 
+/// A template: key/value base offset → anomalous history.
+type Template = fn(u64) -> History;
+
 /// Generate a corpus of `count` anomalous histories.
 ///
 /// The paper replays 2477 known anomalies; `generate_corpus(2477, seed)`
 /// produces the same volume here.
 pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
-    let templates: [(&str, fn(u64) -> History); 6] = [
+    let templates: [(&str, Template); 6] = [
         ("template:lost-update", lost_update),
         ("template:long-fork", long_fork),
         ("template:causality-violation", causality_violation),
@@ -134,7 +137,8 @@ pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
         } else {
             // Draw fault-injected runs until one is confirmed anomalous.
             loop {
-                sim_seed = sim_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                sim_seed =
+                    sim_seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                 let level = faults[(sim_seed >> 33) as usize % faults.len()];
                 let plan = generate(&GeneralParams {
                     sessions: 3,

@@ -22,6 +22,7 @@ pub mod profiles;
 pub mod replay;
 mod sim;
 mod store;
+pub mod testkit;
 
 pub use profiles::{table2_profiles, DbProfile, ExpectedAnomaly};
 pub use replay::{is_operationally_si, replay_check_si, ReplayResult};

@@ -107,10 +107,7 @@ mod tests {
 
     #[test]
     fn galera_profile_is_lost_update() {
-        let p = table2_profiles()
-            .into_iter()
-            .find(|p| p.name.contains("MariaDB"))
-            .unwrap();
+        let p = table2_profiles().into_iter().find(|p| p.name.contains("MariaDB")).unwrap();
         assert_eq!(p.expected, ExpectedAnomaly::LostUpdate);
         assert_eq!(p.level, IsolationLevel::NoWriteConflictDetection);
     }

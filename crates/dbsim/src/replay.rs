@@ -69,10 +69,7 @@ impl Search {
     }
 
     fn done(&self) -> bool {
-        self.positions
-            .iter()
-            .zip(&self.sessions)
-            .all(|(&p, txns)| p == 2 * txns.len())
+        self.positions.iter().zip(&self.sessions).all(|(&p, txns)| p == 2 * txns.len())
     }
 
     fn dfs(&mut self) -> ReplayResult {
@@ -96,9 +93,10 @@ impl Search {
             let t = &self.sessions[s][p / 2];
             if p.is_multiple_of(2) {
                 // Begin: validate the snapshot reads.
-                let ok = t.ext_reads.iter().all(|&(k, v)| {
-                    self.store.get(&k).copied().unwrap_or(Value::INIT) == v
-                });
+                let ok = t
+                    .ext_reads
+                    .iter()
+                    .all(|&(k, v)| self.store.get(&k).copied().unwrap_or(Value::INIT) == v);
                 if !ok {
                     continue;
                 }
@@ -125,11 +123,8 @@ impl Search {
                 if !ok {
                     continue;
                 }
-                let saved: Vec<(Key, Option<Value>)> = t
-                    .writes
-                    .iter()
-                    .map(|&(k, _)| (k, self.store.get(&k).copied()))
-                    .collect();
+                let saved: Vec<(Key, Option<Value>)> =
+                    t.writes.iter().map(|&(k, _)| (k, self.store.get(&k).copied())).collect();
                 let writes = self.sessions[s][p / 2].writes.clone();
                 let guard = std::mem::take(&mut self.guards[s]);
                 for &(k, v) in &writes {

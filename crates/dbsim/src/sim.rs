@@ -103,9 +103,7 @@ pub fn run(plan: &Plan, cfg: &SimConfig) -> SimOutcome {
             if state.active.is_none() {
                 let intents = &plan.sessions[s][state.next_txn];
                 let snapshot = match cfg.level {
-                    IsolationLevel::StaleSnapshot
-                        if rng.gen_bool(cfg.staleness_probability) =>
-                    {
+                    IsolationLevel::StaleSnapshot if rng.gen_bool(cfg.staleness_probability) => {
                         // A stale snapshot that may predate the session's
                         // own previous commits — the Dgraph/YugabyteDB
                         // defect class.
@@ -296,11 +294,7 @@ mod tests {
     #[test]
     fn contended_si_runs_abort_some_writers() {
         // 2 keys, write-heavy: first-committer-wins must fire.
-        let plan = generate(&GeneralParams {
-            keys: 2,
-            read_pct: 20,
-            ..small_params(6)
-        });
+        let plan = generate(&GeneralParams { keys: 2, read_pct: 20, ..small_params(6) });
         let out = run(&plan, &SimConfig::default());
         assert!(out.aborts > 0, "expected FCW aborts under contention");
     }

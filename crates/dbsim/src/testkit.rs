@@ -1,0 +1,270 @@
+//! Test-support for differential conformance sweeps.
+//!
+//! Produces *labelled* histories — each with a name, a ground-truth
+//! expectation, and (for anomalous cases) the set of anomaly classes a
+//! checker may legitimately report — so that the conformance harness (the
+//! facade crate's `tests/conformance.rs`) and future cross-checker
+//! validation suites share one corpus definition instead of each
+//! hand-rolling workload sweeps.
+//!
+//! This module deliberately knows nothing about any checker: expectations
+//! are expressed as stable class *names* (matching
+//! `polysi_checker::Anomaly::name()` plus the axiom-level classes
+//! `"aborted read"` and `"intermediate read"`), which keeps the dependency
+//! graph acyclic (`polysi-baselines` depends on this crate).
+
+use crate::corpus::generate_corpus;
+use crate::sim::{run, SimConfig};
+use crate::store::IsolationLevel;
+use polysi_history::History;
+use polysi_workloads::benchmarks::{ctwitter, rubis, tpcc, BenchParams};
+use polysi_workloads::{general_rh, general_rw, general_wh, generate, GeneralParams};
+
+/// Ground truth for one conformance case.
+#[derive(Clone, Copy, Debug)]
+pub enum Expectation {
+    /// Produced under a correct isolation level: every SI checker must
+    /// accept, and a serializability checker must accept when
+    /// `serializable` is set.
+    Si {
+        /// The history was produced by an atomic serial execution.
+        serializable: bool,
+    },
+    /// Produced under a faulty isolation level. The fault fires
+    /// probabilistically, so the verdict is not known a priori — checkers
+    /// must *agree* with each other, and a rejection must classify into
+    /// `classes`.
+    FaultInjected {
+        /// Anomaly classes the fault can legitimately produce.
+        classes: &'static [&'static str],
+    },
+    /// Known-anomalous (independently confirmed by the operational replay
+    /// test): every SI checker must reject, classifying into `classes`.
+    Anomalous {
+        /// Anomaly classes this entry can legitimately exhibit.
+        classes: &'static [&'static str],
+    },
+}
+
+/// One labelled history for the conformance sweep.
+pub struct ConformanceCase {
+    /// Provenance label: workload, isolation level, seed.
+    pub name: String,
+    /// The client-observed history.
+    pub history: History,
+    /// Ground truth.
+    pub expected: Expectation,
+}
+
+/// Anomaly classes each faulty [`IsolationLevel`] can produce, as
+/// `polysi_checker::Anomaly::name()` strings plus the two axiom-level
+/// classes. The sets are intentionally tight: a checker classifying a
+/// lost-update-level run as, say, "aborted read" is a conformance failure.
+pub fn fault_classes(level: IsolationLevel) -> &'static [&'static str] {
+    match level {
+        // Concurrent read-modify-writes both commit. Session order can
+        // thread the single-key cycle through other keys' dependencies,
+        // so causality/long-fork/fractured shapes also occur.
+        IsolationLevel::NoWriteConflictDetection => &[
+            "lost update",
+            "long fork",
+            "causality violation",
+            "fractured read",
+            "write-read cycle",
+        ],
+        // Begin-time snapshots may forget the session's own causal
+        // prefix.
+        IsolationLevel::StaleSnapshot => &[
+            "causality violation",
+            "long fork",
+            "lost update",
+            "fractured read",
+            "write-read cycle",
+        ],
+        // Each read picks its own snapshot: non-atomic snapshots.
+        IsolationLevel::PerKeySnapshot => {
+            &["long fork", "fractured read", "causality violation", "lost update"]
+        }
+        // No snapshot at all: non-repeatable reads surface as Int-axiom
+        // failures ("int violation") or as dependency cycles.
+        IsolationLevel::ReadCommitted => &[
+            "int violation",
+            "causality violation",
+            "long fork",
+            "fractured read",
+            "lost update",
+            "write-read cycle",
+        ],
+        // In-flight writes leak.
+        IsolationLevel::ReadUncommitted => &[
+            "aborted read",
+            "intermediate read",
+            "int violation",
+            "causality violation",
+            "long fork",
+            "fractured read",
+            "lost update",
+            "write-read cycle",
+        ],
+        IsolationLevel::Serializable | IsolationLevel::SnapshotIsolation => &[],
+    }
+}
+
+/// Classes a corpus entry may exhibit, from its provenance label
+/// (see [`crate::corpus::generate_corpus`]).
+pub fn corpus_classes(source: &str) -> &'static [&'static str] {
+    match source {
+        "template:lost-update" => &["lost update"],
+        "template:long-fork" => &["long fork"],
+        "template:causality-violation" => &["causality violation"],
+        "template:fractured-read" => &["fractured read"],
+        "template:aborted-read" => &["aborted read"],
+        "template:intermediate-read" => &["intermediate read"],
+        _ => {
+            // "sim:<level-name>" fault-injected entries.
+            let level = source.strip_prefix("sim:").unwrap_or(source);
+            [
+                IsolationLevel::NoWriteConflictDetection,
+                IsolationLevel::StaleSnapshot,
+                IsolationLevel::PerKeySnapshot,
+                IsolationLevel::ReadCommitted,
+                IsolationLevel::ReadUncommitted,
+            ]
+            .into_iter()
+            .find(|l| l.name() == level)
+            .map(fault_classes)
+            .unwrap_or(&[])
+        }
+    }
+}
+
+/// The general RH/RW/WH presets scaled down to conformance size: small
+/// enough for the dbcop search and (often) the brute-force oracle, with
+/// enough key contention that faulty levels actually fault.
+fn scaled_presets(seed: u64) -> Vec<(&'static str, GeneralParams)> {
+    let scale = |p: GeneralParams| GeneralParams {
+        sessions: 4,
+        txns_per_session: 6,
+        ops_per_txn: 4,
+        keys: 6,
+        ..p
+    };
+    vec![
+        ("general-rh", scale(general_rh(seed))),
+        ("general-rw", scale(general_rw(seed))),
+        ("general-wh", scale(general_wh(seed))),
+    ]
+}
+
+/// Build the full conformance corpus: correct-level runs of every preset
+/// and benchmark, fault-injected runs of every preset under every faulty
+/// level, and `anomalies` known-anomalous corpus replays.
+///
+/// Per seed: 2 correct levels × 3 presets + 3 benchmarks + 5 faulty
+/// levels × 3 presets = 24 cases; with `seeds_per_config = 2` and
+/// `anomalies = 24` the total is 72.
+pub fn conformance_corpus(
+    seed: u64,
+    seeds_per_config: u64,
+    anomalies: usize,
+) -> Vec<ConformanceCase> {
+    let mut cases = Vec::new();
+
+    for s in 0..seeds_per_config {
+        let seed = seed.wrapping_add(s).wrapping_mul(0x9E37_79B9);
+
+        // Correct levels: general presets.
+        for level in [IsolationLevel::Serializable, IsolationLevel::SnapshotIsolation] {
+            for (preset, params) in scaled_presets(seed) {
+                let sim = run(&generate(&params), &SimConfig::new(level, seed));
+                cases.push(ConformanceCase {
+                    name: format!("{preset}/{}/seed{seed:x}", level.name()),
+                    history: sim.history,
+                    expected: Expectation::Si {
+                        serializable: level == IsolationLevel::Serializable,
+                    },
+                });
+            }
+        }
+
+        // Correct level: benchmark presets (kept small for the baselines).
+        type Benchmark = fn(&BenchParams) -> polysi_workloads::Plan;
+        let bench = BenchParams { sessions: 4, txns_per_session: 8, seed };
+        let benches: [(&str, Benchmark); 3] =
+            [("rubis", rubis), ("tpcc", tpcc), ("ctwitter", ctwitter)];
+        for (name, make) in benches {
+            let sim = run(&make(&bench), &SimConfig::new(IsolationLevel::SnapshotIsolation, seed));
+            cases.push(ConformanceCase {
+                name: format!("{name}/snapshot-isolation/seed{seed:x}"),
+                history: sim.history,
+                expected: Expectation::Si { serializable: false },
+            });
+        }
+
+        // Faulty levels: the fault may or may not fire — checkers must
+        // agree, and any rejection must classify within the level's set.
+        for level in [
+            IsolationLevel::NoWriteConflictDetection,
+            IsolationLevel::StaleSnapshot,
+            IsolationLevel::PerKeySnapshot,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadUncommitted,
+        ] {
+            for (preset, params) in scaled_presets(seed) {
+                let sim = run(&generate(&params), &SimConfig::new(level, seed));
+                cases.push(ConformanceCase {
+                    name: format!("{preset}/{}/seed{seed:x}", level.name()),
+                    history: sim.history,
+                    expected: Expectation::FaultInjected { classes: fault_classes(level) },
+                });
+            }
+        }
+    }
+
+    // Known-anomalous replays: detection must be 100%.
+    for entry in generate_corpus(anomalies, seed) {
+        let classes = corpus_classes(&entry.source);
+        cases.push(ConformanceCase {
+            name: format!("corpus/{}", entry.source),
+            history: entry.history,
+            expected: Expectation::Anomalous { classes },
+        });
+    }
+
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_large_and_labelled() {
+        let cases = conformance_corpus(0x00C0_FFEE, 2, 24);
+        assert!(cases.len() >= 50, "only {} cases", cases.len());
+        assert!(cases.iter().any(|c| matches!(c.expected, Expectation::Si { .. })));
+        assert!(cases.iter().any(|c| matches!(c.expected, Expectation::FaultInjected { .. })));
+        assert!(cases.iter().any(|c| matches!(c.expected, Expectation::Anomalous { .. })));
+        // Anomalous cases always carry a non-empty class set.
+        for c in &cases {
+            if let Expectation::Anomalous { classes } = c.expected {
+                assert!(!classes.is_empty(), "{} has no allowed classes", c.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fault_classes_cover_all_faulty_levels() {
+        for level in [
+            IsolationLevel::NoWriteConflictDetection,
+            IsolationLevel::StaleSnapshot,
+            IsolationLevel::PerKeySnapshot,
+            IsolationLevel::ReadCommitted,
+            IsolationLevel::ReadUncommitted,
+        ] {
+            assert!(!fault_classes(level).is_empty(), "{}", level.name());
+            assert!(!corpus_classes(&format!("sim:{}", level.name())).is_empty());
+        }
+        assert!(fault_classes(IsolationLevel::SnapshotIsolation).is_empty());
+    }
+}

@@ -102,7 +102,8 @@ fn read_uncommitted_fault_yields_axiom_violations() {
     for seed in 0..15 {
         let plan = generate(&contended(seed));
         let out = run(&plan, &SimConfig::new(IsolationLevel::ReadUncommitted, seed));
-        if let Outcome::AxiomViolations(_) = check_si(&out.history, &CheckOptions::default()).outcome
+        if let Outcome::AxiomViolations(_) =
+            check_si(&out.history, &CheckOptions::default()).outcome
         {
             axiom_hits += 1;
         }

@@ -62,10 +62,9 @@ impl fmt::Display for AxiomViolation {
                 f,
                 "UniqueValue broken: {first} and {second} both wrote value {value} to key {key}"
             ),
-            AxiomViolation::UnknownValueRead { txn, key, value } => write!(
-                f,
-                "unknown value: {txn} read value {value} of key {key} that nobody wrote"
-            ),
+            AxiomViolation::UnknownValueRead { txn, key, value } => {
+                write!(f, "unknown value: {txn} read value {value} of key {key} that nobody wrote")
+            }
             AxiomViolation::WroteInitValue { txn, key } => {
                 write!(f, "{txn} wrote the reserved initial value to key {key}")
             }

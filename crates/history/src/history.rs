@@ -128,9 +128,9 @@ impl History {
     /// Session-order edges `(pred, succ)` between *consecutive* transactions
     /// of each session (the transitive reduction of `SO`).
     pub fn so_edges(&self) -> impl Iterator<Item = (TxnId, TxnId)> + '_ {
-        self.session_ranges.iter().flat_map(|r| {
-            (r.start..r.end.saturating_sub(1)).map(|i| (TxnId(i), TxnId(i + 1)))
-        })
+        self.session_ranges
+            .iter()
+            .flat_map(|r| (r.start..r.end.saturating_sub(1)).map(|i| (TxnId(i), TxnId(i + 1))))
     }
 
     /// Whether `a` precedes `b` in session order.
@@ -145,12 +145,7 @@ impl History {
         let sid = SessionId(self.session_ranges.len() as u32);
         let start = self.txns.len() as u32;
         for (n, (ops, status)) in txns.into_iter().enumerate() {
-            self.txns.push(Transaction {
-                session: sid,
-                index_in_session: n as u32,
-                ops,
-                status,
-            });
+            self.txns.push(Transaction { session: sid, index_in_session: n as u32, ops, status });
         }
         let end = self.txns.len() as u32;
         self.session_ranges.push(start..end);
@@ -229,10 +224,7 @@ impl HistoryBuilder {
 
     /// Record an arbitrary operation.
     pub fn op(&mut self, op: Op) -> &mut Self {
-        self.current_ops
-            .as_mut()
-            .expect("operation outside a transaction")
-            .push(op);
+        self.current_ops.as_mut().expect("operation outside a transaction").push(op);
         self
     }
 

@@ -80,8 +80,7 @@ impl KnownGraph {
                 indeg[v as usize] += 1;
             }
         }
-        let mut order: Vec<u32> =
-            (0..total as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut order: Vec<u32> = (0..total as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut head = 0;
         while head < order.len() {
             let u = order[head];

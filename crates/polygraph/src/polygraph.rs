@@ -285,9 +285,9 @@ mod tests {
         let mut g = Polygraph::from_history(&h, &f, ConstraintMode::Generalized);
         let _ = g.prune();
         assert!(
-            g.known.iter().any(|e| e.label == Label::Ww(k(1))
-                && e.from == TxnId(0)
-                && e.to == TxnId(1)),
+            g.known
+                .iter()
+                .any(|e| e.label == Label::Ww(k(1)) && e.from == TxnId(0) && e.to == TxnId(1)),
             "T0 -WW(x)-> T5 should be resolved; known: {:?}",
             g.known
         );
@@ -299,7 +299,10 @@ mod tests {
         let mut b = HistoryBuilder::new();
         b.session();
         for i in 0..5u64 {
-            b.begin().read(k(1), if i == 0 { Value::INIT } else { v(i) }).write(k(1), v(i + 1)).commit();
+            b.begin()
+                .read(k(1), if i == 0 { Value::INIT } else { v(i) })
+                .write(k(1), v(i + 1))
+                .commit();
         }
         let h = b.build();
         let f = Facts::analyze(&h);
@@ -338,8 +341,7 @@ mod tests {
                 assert_eq!(s.constraints_after, 1);
                 // The resolved constraints made both cross anti-dependencies
                 // known: RW(T2→T1) and RW(T1→T2).
-                let rw: Vec<_> =
-                    g.known.iter().filter(|e| !e.label.is_dep()).collect();
+                let rw: Vec<_> = g.known.iter().filter(|e| !e.label.is_dep()).collect();
                 assert_eq!(rw.len(), 2);
             }
             PruneResult::Violation(c) => {

@@ -57,10 +57,7 @@ fn main() {
                         s.transactions.len(),
                         s.restored.len()
                     );
-                    println!(
-                        "checking took {:.1} ms",
-                        report.timings.total().as_secs_f64() * 1e3
-                    );
+                    println!("checking took {:.1} ms", report.timings.total().as_secs_f64() * 1e3);
                 }
                 return;
             }

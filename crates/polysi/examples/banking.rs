@@ -50,10 +50,7 @@ fn main() {
         ],
     };
     let sim = run(&plan, &SimConfig::new(IsolationLevel::SnapshotIsolation, 42));
-    println!(
-        "simulator: {} transaction(s) aborted by write-conflict detection",
-        sim.aborts
-    );
+    println!("simulator: {} transaction(s) aborted by write-conflict detection", sim.aborts);
     let verdict = check_si(&sim.history, &CheckOptions::default());
     println!(
         "PolySI verdict on the recorded history: {}",

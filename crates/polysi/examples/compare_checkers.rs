@@ -39,17 +39,29 @@ fn main() {
 
     timed("PolySI", &mut || {
         let o = CheckOptions { interpret: false, ..Default::default() };
-        if check_si(&sim.history, &o).is_si() { "SI".into() } else { "violation".into() }
+        if check_si(&sim.history, &o).is_si() {
+            "SI".into()
+        } else {
+            "violation".into()
+        }
     });
     timed("PolySI w/o P", &mut || {
         let mut o = CheckOptions::without_pruning();
         o.interpret = false;
-        if check_si(&sim.history, &o).is_si() { "SI".into() } else { "violation".into() }
+        if check_si(&sim.history, &o).is_si() {
+            "SI".into()
+        } else {
+            "violation".into()
+        }
     });
     timed("PolySI w/o C+P", &mut || {
         let mut o = CheckOptions::without_compaction_and_pruning();
         o.interpret = false;
-        if check_si(&sim.history, &o).is_si() { "SI".into() } else { "violation".into() }
+        if check_si(&sim.history, &o).is_si() {
+            "SI".into()
+        } else {
+            "violation".into()
+        }
     });
     timed("dbcop", &mut || match dbcop_check_si(&sim.history, 20_000_000).verdict {
         DbcopVerdict::Si => "SI".into(),
@@ -57,7 +69,11 @@ fn main() {
         DbcopVerdict::Timeout => "timeout".into(),
     });
     timed("CobraSI", &mut || {
-        if cobra_si_check(&sim.history).0 == SiVerdict::Si { "SI".into() } else { "violation".into() }
+        if cobra_si_check(&sim.history).0 == SiVerdict::Si {
+            "SI".into()
+        } else {
+            "violation".into()
+        }
     });
     timed("Cobra (SER)", &mut || {
         if cobra_check_ser(&sim.history, &CobraOptions::default()).0 == SerVerdict::Serializable {

@@ -43,13 +43,26 @@ fn main() {
             println!("violation found: {}", v.anomaly);
             println!("\nviolating cycle:");
             for e in &v.cycle {
-                println!("  {} {} -> {}", e.label, history.txn(e.from).label(), history.txn(e.to).label());
+                println!(
+                    "  {} {} -> {}",
+                    e.label,
+                    history.txn(e.from).label(),
+                    history.txn(e.to).label()
+                );
             }
             if let Some(s) = &v.scenario {
-                println!("\ninterpreted scenario ({} transactions, {} restored):",
-                    s.transactions.len(), s.restored.len());
+                println!(
+                    "\ninterpreted scenario ({} transactions, {} restored):",
+                    s.transactions.len(),
+                    s.restored.len()
+                );
                 for e in &s.finalized {
-                    println!("  {} {} -> {}", e.label, history.txn(e.from).label(), history.txn(e.to).label());
+                    println!(
+                        "  {} {} -> {}",
+                        e.label,
+                        history.txn(e.from).label(),
+                        history.txn(e.to).label()
+                    );
                 }
                 println!("\nGraphviz (render with `dot -Tpng`):\n");
                 println!("{}", dot::finalized_to_dot(&history, s));

@@ -14,8 +14,7 @@ fn demo_emits_parseable_history_and_violation() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("# verdict: VIOLATION (long fork)"));
     // The emitted history parses back.
-    let body: String =
-        text.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
+    let body: String = text.lines().filter(|l| !l.starts_with('#')).collect::<Vec<_>>().join("\n");
     polysi::history::codec::decode(&body).expect("demo output is valid history text");
 }
 
@@ -42,13 +41,7 @@ fn check_rejects_lost_update_with_exit_code_and_dot() {
     )
     .unwrap();
     let dot = dir.join("bad.dot");
-    let out = bin()
-        .arg("check")
-        .arg(&path)
-        .arg("--dot")
-        .arg(&dot)
-        .output()
-        .expect("run check");
+    let out = bin().arg("check").arg(&path).arg("--dot").arg(&dot).output().expect("run check");
     assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stdout).contains("lost update"));
     let rendered = std::fs::read_to_string(&dot).expect("dot written");
@@ -65,6 +58,52 @@ fn stats_prints_counts() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("1 txns"), "{text}");
+}
+
+/// The `tests/fixtures/` regression corpus: known histories with known
+/// verdicts, exercised through the public CLI exactly as a user would.
+/// Each entry is (file, expected exit code, required stdout substring).
+#[test]
+fn fixture_corpus_has_stable_verdicts() {
+    let fixtures: [(&str, i32, &str); 5] = [
+        ("long_fork.txt", 1, "long fork"),
+        ("lost_update.txt", 1, "lost update"),
+        ("write_skew.txt", 0, "OK"),
+        ("aborted_read.txt", 1, "aborted read"),
+        ("serializable.txt", 0, "OK"),
+    ];
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (file, expected_code, needle) in fixtures {
+        let out = bin().arg("check").arg(dir.join(file)).output().expect("run check");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(
+            out.status.code(),
+            Some(expected_code),
+            "{file}: wrong exit code\nstdout: {stdout}"
+        );
+        assert!(stdout.contains(needle), "{file}: missing {needle:?} in output\n{stdout}");
+    }
+}
+
+/// Every fixture parses, and `polysi stats` succeeds on it regardless of
+/// the verdict.
+#[test]
+fn fixture_corpus_parses_and_has_stats() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut count = 0;
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("txt") {
+            continue;
+        }
+        count += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        polysi::history::codec::decode(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let out = bin().arg("stats").arg(&path).output().expect("run stats");
+        assert!(out.status.success(), "{}", path.display());
+        assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
+    }
+    assert_eq!(count, 5, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]

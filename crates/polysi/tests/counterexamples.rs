@@ -124,8 +124,5 @@ fn handcrafted_lost_update_yields_galera_shape() {
     }
     // Crucially, the unresolvable WW between the two updaters was dropped
     // (Figure 5d removes it as an "effect", not a "cause").
-    assert!(!s
-        .finalized
-        .iter()
-        .any(|e| matches!(e.label, Label::Ww(_)) && e.from != TxnId(0)));
+    assert!(!s.finalized.iter().any(|e| matches!(e.label, Label::Ww(_)) && e.from != TxnId(0)));
 }

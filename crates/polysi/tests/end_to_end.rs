@@ -31,8 +31,7 @@ fn full_pipeline_accepts_si_databases() {
 #[test]
 fn histories_survive_codec_round_trip_with_same_verdict() {
     for seed in 0..5 {
-        for level in [IsolationLevel::SnapshotIsolation, IsolationLevel::NoWriteConflictDetection]
-        {
+        for level in [IsolationLevel::SnapshotIsolation, IsolationLevel::NoWriteConflictDetection] {
             let plan = generate(&params(seed));
             let sim = run(&plan, &SimConfig::new(level, seed));
             let text = codec::encode(&sim.history);

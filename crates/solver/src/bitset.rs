@@ -141,22 +141,18 @@ impl BitRow {
 
     /// The set bits of `other & !self`, i.e. the bits that would be new.
     pub fn fresh_bits<'a>(&'a self, other: &'a [u64]) -> impl Iterator<Item = usize> + 'a {
-        self.words
-            .iter()
-            .zip(other)
-            .enumerate()
-            .flat_map(|(wi, (&mine, &theirs))| {
-                let mut novel = theirs & !mine;
-                std::iter::from_fn(move || {
-                    if novel == 0 {
-                        None
-                    } else {
-                        let b = novel.trailing_zeros() as usize;
-                        novel &= novel - 1;
-                        Some(wi * 64 + b)
-                    }
-                })
+        self.words.iter().zip(other).enumerate().flat_map(|(wi, (&mine, &theirs))| {
+            let mut novel = theirs & !mine;
+            std::iter::from_fn(move || {
+                if novel == 0 {
+                    None
+                } else {
+                    let b = novel.trailing_zeros() as usize;
+                    novel &= novel - 1;
+                    Some(wi * 64 + b)
+                }
             })
+        })
     }
 
     /// Iterate over set bits.

@@ -32,8 +32,8 @@
 
 pub mod bitset;
 mod heap;
-pub mod theory;
 mod solver;
+pub mod theory;
 mod types;
 
 pub use solver::{Model, SolveResult, Solver, SolverStats};

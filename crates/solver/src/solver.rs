@@ -201,10 +201,7 @@ impl Solver {
 
     /// Add an unconditional graph edge `u → v` (must precede `solve`).
     pub fn add_known_edge(&mut self, u: u32, v: u32) {
-        self.theory
-            .as_mut()
-            .expect("graph edges require Solver::with_graph")
-            .add_known_edge(u, v);
+        self.theory.as_mut().expect("graph edges require Solver::with_graph").add_known_edge(u, v);
     }
 
     /// Add a graph edge `u → v` present iff `lit` is true.
@@ -574,11 +571,7 @@ impl Solver {
                         }
                         None => {
                             let model = Model {
-                                assigns: self
-                                    .assigns
-                                    .iter()
-                                    .map(|&a| a == LBool::True)
-                                    .collect(),
+                                assigns: self.assigns.iter().map(|&a| a == LBool::True).collect(),
                             };
                             if let Some(t) = &self.theory {
                                 assert!(
@@ -837,13 +830,13 @@ mod budget_tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn conflict_budget_reports_unknown() {
         // Pigeonhole 6-into-5 forces many conflicts; a budget of 1 cannot
         // finish.
         let mut s = Solver::new();
-        let p: Vec<Vec<Lit>> = (0..6)
-            .map(|_| (0..5).map(|_| Lit::pos(s.new_var())).collect())
-            .collect();
+        let p: Vec<Vec<Lit>> =
+            (0..6).map(|_| (0..5).map(|_| Lit::pos(s.new_var())).collect()).collect();
         for row in &p {
             s.add_clause(row);
         }

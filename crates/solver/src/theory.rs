@@ -172,8 +172,7 @@ impl AcyclicityTheory {
     /// trail position `trail_pos`). On a cycle, returns the conflict clause
     /// (guards of the cycle's symbolic edges, negated).
     pub fn activate(&mut self, lit: Lit, trail_pos: usize) -> Option<Vec<Lit>> {
-        let Some(edges) = self.edges_of_lit.get(&lit) else { return None };
-        let edges = edges.clone();
+        let edges = self.edges_of_lit.get(&lit)?.clone();
         for (u, v) in edges {
             if u == v {
                 return Some(vec![!lit]);
@@ -256,11 +255,8 @@ impl AcyclicityTheory {
         // priorities and redistribute.
         delta_b.sort_unstable_by_key(|&x| self.ord[x as usize]);
         delta_f.sort_unstable_by_key(|&x| self.ord[x as usize]);
-        let mut slots: Vec<u32> = delta_b
-            .iter()
-            .chain(delta_f.iter())
-            .map(|&x| self.ord[x as usize])
-            .collect();
+        let mut slots: Vec<u32> =
+            delta_b.iter().chain(delta_f.iter()).map(|&x| self.ord[x as usize]).collect();
         slots.sort_unstable();
         for (node, slot) in delta_b.iter().chain(delta_f.iter()).zip(slots) {
             self.ord[*node as usize] = slot;

@@ -1,6 +1,7 @@
 //! Property tests: the CDCL solver with the acyclicity theory must agree
 //! with brute-force enumeration on random small instances.
 
+use polysi_solver::theory::{AcyclicityTheory, KnownGraph};
 use polysi_solver::{Lit, SolveResult, Solver, Var};
 use proptest::prelude::*;
 
@@ -100,8 +101,180 @@ fn run_solver(inst: &Instance) -> SolveResult {
     s.solve()
 }
 
+/// A random theory-only instance: a graph skeleton whose symbolic edges
+/// are guarded by literals over `nv` variables (several edges may share a
+/// guard, and a guard may appear in both polarities).
+#[derive(Debug, Clone)]
+struct TheoryInstance {
+    nv: u32,
+    nn: u32,
+    known_edges: Vec<(u32, u32)>,
+    sym_edges: Vec<(Lit, u32, u32)>,
+}
+
+fn theory_instance_strategy() -> impl Strategy<Value = TheoryInstance> {
+    (1u32..4, 2u32..6).prop_flat_map(|(nv, nn)| {
+        let known = prop::collection::vec((0..nn, 0..nn), 0..5);
+        let sym = prop::collection::vec((lit_strategy(nv), 0..nn, 0..nn), 0..7);
+        (known, sym).prop_map(move |(known_edges, sym_edges)| TheoryInstance {
+            nv,
+            nn,
+            known_edges,
+            sym_edges,
+        })
+    })
+}
+
+/// Ground truth for the theory: Kahn toposort over an explicit edge list.
+fn naive_acyclic(nn: u32, edges: &[(u32, u32)]) -> bool {
+    let n = nn as usize;
+    let mut out = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for &(u, v) in edges {
+        out[u as usize].push(v as usize);
+        indeg[v as usize] += 1;
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &v in &out[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    queue.len() == n
+}
+
+/// Build the theory for an instance and return it finalized, plus whether
+/// the known subgraph alone was acyclic.
+fn build_theory(inst: &TheoryInstance) -> (AcyclicityTheory, bool) {
+    let mut th = AcyclicityTheory::new(inst.nn as usize);
+    for &(u, v) in &inst.known_edges {
+        th.add_known_edge(u, v);
+    }
+    for &(l, u, v) in &inst.sym_edges {
+        th.add_symbolic_edge(l, u, v);
+    }
+    let known_ok = th.finalize() == KnownGraph::Acyclic;
+    (th, known_ok)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Drive `AcyclicityTheory` directly (no SAT core): for every guard
+    /// assignment, incremental activation must report a conflict exactly
+    /// when enumerate-and-toposort finds the enabled graph cyclic, any
+    /// conflict clause must be falsified by the assignment, and accepted
+    /// models must pass `validate_model`.
+    #[test]
+    fn acyclicity_theory_matches_enumerate_and_toposort(
+        inst in theory_instance_strategy()
+    ) {
+        for bits in 0u32..(1 << inst.nv) {
+            let lit_true = |l: Lit| (bits >> l.var().0 & 1 == 1) == l.is_pos();
+            let (mut th, known_ok) = build_theory(&inst);
+            prop_assert_eq!(
+                known_ok,
+                naive_acyclic(inst.nn, &inst.known_edges),
+                "finalize disagrees on the known subgraph: {:?}",
+                inst
+            );
+            if !known_ok {
+                continue; // Unsat regardless of the assignment.
+            }
+
+            let mut guards: Vec<Lit> = th.guard_lits().collect();
+            guards.sort(); // HashMap order is not deterministic.
+            let mut conflict = None;
+            for (pos, &l) in guards.iter().filter(|&&l| lit_true(l)).enumerate() {
+                if let Some(clause) = th.activate(l, pos) {
+                    conflict = Some(clause);
+                    break;
+                }
+            }
+
+            let mut enabled = inst.known_edges.clone();
+            enabled.extend(
+                inst.sym_edges
+                    .iter()
+                    .filter(|&&(l, _, _)| lit_true(l))
+                    .map(|&(_, u, v)| (u, v)),
+            );
+            let expected = naive_acyclic(inst.nn, &enabled);
+            prop_assert_eq!(
+                conflict.is_none(),
+                expected,
+                "theory verdict diverged under bits={:#b}: {:?}",
+                bits,
+                inst
+            );
+            match conflict {
+                Some(clause) => {
+                    prop_assert!(!clause.is_empty(), "empty conflict clause");
+                    for l in clause {
+                        prop_assert!(
+                            !lit_true(l),
+                            "conflict clause not falsified by the assignment: {:?}",
+                            inst
+                        );
+                    }
+                }
+                None => prop_assert!(
+                    th.validate_model(lit_true),
+                    "validate_model rejected an acyclic model: {:?}",
+                    inst
+                ),
+            }
+        }
+    }
+
+    /// Rollback restores the pre-activation state exactly: an activation
+    /// sequence that was conflict-free stays conflict-free when replayed
+    /// in reverse after a full rollback.
+    #[test]
+    fn acyclicity_theory_rollback_is_order_independent(
+        inst in theory_instance_strategy()
+    ) {
+        let bits = u32::MAX; // All-positive guards on.
+        let lit_true = |l: Lit| (bits >> l.var().0 & 1 == 1) == l.is_pos();
+        let (mut th, known_ok) = build_theory(&inst);
+        prop_assume!(known_ok);
+
+        let mut guards: Vec<Lit> = th.guard_lits().collect();
+        guards.sort();
+        guards.retain(|&l| lit_true(l));
+
+        let forward_conflicted = {
+            let mut conflicted = false;
+            for (pos, &l) in guards.iter().enumerate() {
+                if th.activate(l, pos).is_some() {
+                    conflicted = true;
+                    break;
+                }
+            }
+            conflicted
+        };
+        th.rollback(0);
+
+        let mut reverse_conflicted = false;
+        for (pos, &l) in guards.iter().rev().enumerate() {
+            if th.activate(l, pos).is_some() {
+                reverse_conflicted = true;
+                break;
+            }
+        }
+        prop_assert_eq!(
+            forward_conflicted,
+            reverse_conflicted,
+            "conflict status depends on activation order after rollback: {:?}",
+            inst
+        );
+    }
 
     #[test]
     fn solver_matches_brute_force(inst in instance_strategy()) {

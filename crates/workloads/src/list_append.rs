@@ -56,8 +56,7 @@ pub fn generate_list_history(params: &GeneralParams) -> ListHistoryRecord {
     let zipf = Zipf::new(params.keys.max(1), 0.99);
     let mut store: HashMap<Key, Vec<Value>> = HashMap::new();
     let mut counter = 1u64;
-    let mut sessions: Vec<Vec<ListTxnRecord>> =
-        (0..params.sessions).map(|_| Vec::new()).collect();
+    let mut sessions: Vec<Vec<ListTxnRecord>> = (0..params.sessions).map(|_| Vec::new()).collect();
     // Serial schedule: repeatedly pick a session that still owes
     // transactions and run its next transaction atomically.
     let mut remaining: Vec<usize> = vec![params.txns_per_session; params.sessions];
@@ -105,7 +104,12 @@ mod tests {
 
     #[test]
     fn generated_history_shape() {
-        let p = GeneralParams { sessions: 3, txns_per_session: 5, ops_per_txn: 4, ..Default::default() };
+        let p = GeneralParams {
+            sessions: 3,
+            txns_per_session: 5,
+            ops_per_txn: 4,
+            ..Default::default()
+        };
         let h = generate_list_history(&p);
         assert_eq!(h.sessions.len(), 3);
         assert!(h.sessions.iter().all(|s| s.len() == 5));

@@ -40,11 +40,7 @@ impl Table {
 
     /// Decode a cell key back into `(table_id, row, column)`.
     pub fn decode(key: Key) -> (u16, u64, u8) {
-        (
-            (key.0 >> TABLE_SHIFT) as u16,
-            (key.0 >> ROW_SHIFT) & ROW_MASK,
-            (key.0 & 0xFF) as u8,
-        )
+        ((key.0 >> TABLE_SHIFT) as u16, (key.0 >> ROW_SHIFT) & ROW_MASK, (key.0 & 0xFF) as u8)
     }
 
     /// `SELECT *`: read every cell of a row.

@@ -1,0 +1,162 @@
+//! Offline, in-tree shim of the `criterion` API surface this workspace
+//! uses: `Criterion`, benchmark groups with `bench_with_input`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BenchmarkId`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no route to crates.io, so the real
+//! `criterion` cannot be fetched. This shim keeps `cargo bench` working
+//! with honest wall-clock numbers (median of `sample_size` samples, one
+//! warm-up) printed as plain text — no statistics engine, plots, or
+//! baseline comparisons. Swap the workspace `criterion` path dependency
+//! for the registry crate when network access exists.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim times routine calls
+/// individually, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Routine input is cheap to hold; batch many per sample.
+    SmallInput,
+    /// Routine input is expensive to hold.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Passed to benchmark closures; drives the measured routine.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` (called once per sample after one warm-up call).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.elapsed.is_empty() {
+            return Duration::ZERO;
+        }
+        self.elapsed.sort();
+        self.elapsed[self.elapsed.len() / 2]
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, elapsed: Vec::with_capacity(samples) };
+    f(&mut b);
+    println!("{label:<40} median {:?} over {samples} samples", b.median());
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark (upstream default 100; shim default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, 10, &mut f);
+        self
+    }
+}
+
+/// Collect benchmark functions into one group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// The `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,138 @@
+//! Case execution: configuration, the deterministic per-test RNG, and the
+//! runner that drives a strategy through a test closure.
+
+use crate::strategy::Strategy;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// How a single generated case ended, short of success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains what.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is not counted.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration; construct with [`ProptestConfig::with_cases`] or
+/// `Default` (256 cases) and override per-suite via
+/// `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The generation RNG handed to strategies: the shared vendor `rand`
+/// generator seeded from the test name (and optionally
+/// `PROPTEST_RNG_SEED`), so every run of a given test replays the same
+/// case stream. Like the real proptest, this shim delegates its
+/// randomness to `rand` rather than carrying its own generator core.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Deterministic construction from an arbitrary byte string.
+    pub fn from_name(name: &str, extra: u64) -> Self {
+        use rand::SeedableRng as _;
+        // FNV-1a over the name, perturbed by `extra`.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { inner: rand::rngs::StdRng::seed_from_u64(h ^ extra.rotate_left(17)) }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        use rand::RngCore as _;
+        self.inner.next_u64()
+    }
+
+    /// Uniform value in `[0, span)`; `span == 0` yields 0 (used for
+    /// degenerate size ranges like `n..n+1`).
+    pub fn below(&mut self, span: u64) -> u64 {
+        if span <= 1 {
+            return 0;
+        }
+        (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
+    }
+}
+
+/// Drives `cases` generated inputs through a test closure.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// A runner with the given config; `PROPTEST_CASES` overrides the
+    /// case count from the environment.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config }
+    }
+
+    /// Run `test` against `cases` inputs from `strategy`. Panics on the
+    /// first failing case, printing the generated input (there is no
+    /// shrinking; the stream is deterministic per `name`).
+    pub fn run_named<S, F>(&mut self, name: &str, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.config.cases);
+        let seed =
+            std::env::var("PROPTEST_RNG_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(0u64);
+        let mut rng = TestRng::from_name(name, seed);
+        let max_rejects = cases.saturating_mul(16).max(1024);
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        while passed < cases {
+            let value = strategy.generate(&mut rng);
+            let repr = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "{name}: gave up after {rejected} rejected cases \
+                             ({passed}/{cases} passed)"
+                        );
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!("{name}: case {passed} failed: {msg}\n  input: {repr}")
+                }
+                Err(payload) => {
+                    eprintln!("{name}: case {passed} panicked\n  input: {repr}");
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
