@@ -18,6 +18,14 @@
 //!
 //! No GPU acceleration exists in this environment; this corresponds to the
 //! paper's "CobraSI w/o GPU" configuration (see EXPERIMENTS.md).
+//!
+//! The same SER semantics (plain acyclicity + RMW inference) is also a
+//! first-class mode of the main pipeline
+//! (`polysi_checker::engine::IsolationLevel::Ser`, built on
+//! `polysi_polygraph::Semantics::Ser`) with interpretation and sharding
+//! support. This module deliberately keeps its own independent closure and
+//! pruning implementation so the two can be differentially tested against
+//! each other (see `tests/agreement.rs` and the conformance harness).
 
 use polysi_history::{Facts, History, TxnId};
 use polysi_polygraph::{Constraint, ConstraintMode, Edge, Label};

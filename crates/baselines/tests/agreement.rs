@@ -84,6 +84,24 @@ fn serializable_sim_runs_pass_cobra() {
     }
 }
 
+/// The engine's first-class SER mode and the independent Cobra baseline
+/// must agree on every simulated history — the baselines crate's own
+/// differential anchor for the isolation-level promotion.
+#[test]
+fn engine_ser_mode_agrees_with_cobra() {
+    use polysi_checker::engine::{check, EngineOptions, IsolationLevel as Level};
+    let opts = EngineOptions { interpret: false, ..Default::default() };
+    for (i, h) in sims().enumerate() {
+        let engine = check(&h, Level::Ser, &opts).accepted();
+        let (cobra, _) = cobra_check_ser(&h, &CobraOptions::default());
+        assert_eq!(
+            engine,
+            cobra == SerVerdict::Serializable,
+            "case {i}: engine SER disagrees with Cobra\n{h:?}"
+        );
+    }
+}
+
 #[test]
 fn si_sim_runs_can_violate_ser_but_not_si() {
     // Write skew should eventually appear: SI accepts, SER rejects.

@@ -1,0 +1,76 @@
+//! Sharded vs. whole-history checking: wall-clock sweep over
+//! multi-component workloads (`polysi_workloads::multi_component`) at a
+//! fixed total size, varying how many independent key-range components the
+//! workload splits into.
+//!
+//! Per-shard work is superlinear in component size (reachability closure,
+//! solver search), so `--shards auto` wins twice: smaller units *and*
+//! scoped-thread parallelism across them. The `speedup` column is
+//! whole-history seconds over sharded seconds.
+//!
+//! Run with `POLYSI_SCALE=1` for larger workloads; the default scale is
+//! 0.25.
+
+use polysi_bench::{csv_append, scale, scaled, CountingAllocator};
+use polysi_checker::engine::{CheckEngine, EngineOptions, IsolationLevel, Sharding};
+use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
+use polysi_workloads::{multi_component, GeneralParams};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let seed = 0x5AAD_5EED;
+    let total_sessions = 8usize;
+    println!("# Sharded vs whole-history wall-clock (scale {})", scale());
+    println!(
+        "{:<12} {:>7} {:>7} {:>12} {:>12} {:>8}",
+        "components", "txns", "shards", "off (s)", "auto (s)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &components in &[1usize, 2, 4, 8] {
+        let base = GeneralParams {
+            sessions: (total_sessions / components).max(1),
+            txns_per_session: scaled(1600),
+            ops_per_txn: 8,
+            keys: 40,
+            read_pct: 50,
+            seed,
+            ..Default::default()
+        };
+        let plan = multi_component(&base, components);
+        let sim = run(&plan, &SimConfig::new(SimLevel::SnapshotIsolation, seed));
+        let h = sim.history;
+
+        let mut opts = EngineOptions { interpret: false, ..Default::default() };
+        opts.sharding = Sharding::Off;
+        let t = Instant::now();
+        let off = CheckEngine::new(IsolationLevel::Si, opts).check(&h);
+        let off_s = t.elapsed().as_secs_f64();
+
+        opts.sharding = Sharding::Auto;
+        let t = Instant::now();
+        let auto = CheckEngine::new(IsolationLevel::Si, opts).check(&h);
+        let auto_s = t.elapsed().as_secs_f64();
+
+        assert_eq!(off.is_si(), auto.is_si(), "sharding changed the verdict");
+        let shards = auto.shard_stats.map_or(1, |s| s.components);
+        println!(
+            "{:<12} {:>7} {:>7} {:>12.3} {:>12.3} {:>7.2}x",
+            components,
+            h.len(),
+            shards,
+            off_s,
+            auto_s,
+            off_s / auto_s
+        );
+        rows.push(format!(
+            "{components},{},{shards},{off_s:.6},{auto_s:.6},{}",
+            h.len(),
+            off.is_si()
+        ));
+    }
+    csv_append("shards", "components,txns,shards,off_seconds,auto_seconds,verdict_si", &rows);
+    println!("\nCSV appended to bench_results/shards.csv");
+}

@@ -28,6 +28,12 @@ pub enum Anomaly {
     /// Cyclic information flow among writes/reads only (Adya's G1c) that
     /// matches none of the patterns above.
     WriteReadCycle,
+    /// Two (or more) adjacent `RW` edges on the cycle: concurrent
+    /// transactions read overlapping data and wrote disjoint parts of it.
+    /// Such cycles survive only under plain SER acyclicity — SI cycles
+    /// never have adjacent `RW` edges (Theorem 6) — so this class appears
+    /// only in serializability mode.
+    WriteSkew,
 }
 
 impl Anomaly {
@@ -37,6 +43,11 @@ impl Anomaly {
         let has_so = cycle.iter().any(|e| e.label == Label::So);
         let keys: HashSet<_> = cycle.iter().filter_map(|e| e.label.key()).collect();
 
+        let adjacent_rw = (0..cycle.len())
+            .any(|i| !cycle[i].label.is_dep() && !cycle[(i + 1) % cycle.len()].label.is_dep());
+        if adjacent_rw {
+            return Anomaly::WriteSkew;
+        }
         if rw_count >= 2 {
             return Anomaly::LongFork;
         }
@@ -65,6 +76,7 @@ impl Anomaly {
             Anomaly::CausalityViolation => "causality violation",
             Anomaly::FracturedRead => "fractured read",
             Anomaly::WriteReadCycle => "write-read cycle",
+            Anomaly::WriteSkew => "write skew",
         }
     }
 }

@@ -1,15 +1,23 @@
-//! The `CheckSI` pipeline (Algorithm 1/2 of the paper): axioms →
-//! construction → pruning → encoding → solving, with per-stage timing for
-//! the decomposition analysis (Section 5.4.2).
+//! The `CheckSI` entry point and report types (Algorithm 1/2 of the
+//! paper): axioms → construction → pruning → encoding → solving, with
+//! per-stage timing for the decomposition analysis (Section 5.4.2).
+//!
+//! The pipeline itself lives in the staged [`crate::engine::CheckEngine`];
+//! [`check_si`] is a thin compatibility wrapper that runs the engine at
+//! [`crate::engine::IsolationLevel::Si`] with sharding off: same options,
+//! same verdicts. (Internals may differ from the pre-engine pipeline — the
+//! worklist prune can leave more constraints to the solver than the old
+//! full fixpoint, shifting `prune_stats`/`encode_stats` and occasionally
+//! the extracted witness cycle; verdicts are unaffected, as the property
+//! suite and conformance harness assert.)
 
 use crate::anomaly::Anomaly;
-use crate::interpret::{interpret, Scenario};
-use polysi_history::{AxiomViolation, Facts, History};
-use polysi_polygraph::{
-    ConstraintMode, Edge, KnownGraphResult, Polygraph, PruneResult, PruneStats,
-};
-use polysi_solver::{Lit, SolveResult, Solver, SolverStats};
-use std::time::{Duration, Instant};
+use crate::engine::{CheckEngine, EngineOptions, IsolationLevel, ShardStats};
+use crate::interpret::Scenario;
+use polysi_history::{AxiomViolation, History};
+use polysi_polygraph::{ConstraintMode, Edge, PruneStats};
+use polysi_solver::SolverStats;
+use std::time::Duration;
 
 /// Configuration of a check run. The defaults are the full PolySI
 /// configuration; the differential variants of Section 5.4.3 disable
@@ -52,7 +60,9 @@ impl CheckOptions {
     }
 }
 
-/// Wall-clock duration of each pipeline stage (Figure 9).
+/// Wall-clock duration of each pipeline stage (Figure 9). For sharded runs
+/// these are summed across components (CPU time, not wall-clock — the
+/// components run concurrently).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimings {
     /// Axiom checks + polygraph construction.
@@ -79,29 +89,31 @@ pub struct EncodeStats {
     pub vars: usize,
     /// Clauses added.
     pub clauses: usize,
-    /// Unconditional layered theory edges.
+    /// Unconditional theory edges.
     pub known_edges: usize,
-    /// Guard-conditional layered theory edges.
+    /// Guard-conditional theory edges.
     pub symbolic_edges: usize,
 }
 
 /// The verdict of a check.
 pub enum Outcome {
-    /// The history satisfies snapshot isolation.
+    /// The history satisfies the checked isolation level (named for the
+    /// original SI-only pipeline; [`CheckReport::accepted`] reads better
+    /// for SER runs).
     Si,
     /// A non-cyclic axiom failed (`Int`, aborted read, intermediate read,
-    /// UniqueValue, …); the history is not SI and graph analysis was
-    /// skipped.
+    /// UniqueValue, …); the history violates the level and graph analysis
+    /// was skipped.
     AxiomViolations(Vec<AxiomViolation>),
     /// A cyclic violation with its witness.
     CyclicViolation(Violation),
 }
 
-/// A cyclic SI violation.
+/// A cyclic isolation violation.
 pub struct Violation {
-    /// The violating cycle: typed dependency edges in which no two `RW`
+    /// The violating cycle: typed dependency edges. Under SI no two `RW`
     /// edges are adjacent (so the cycle survives the `(Dep);RW?` induce
-    /// rule of Theorem 6).
+    /// rule of Theorem 6); under SER any dependency cycle violates.
     pub cycle: Vec<Edge>,
     /// Heuristic anomaly classification of the cycle.
     pub anomaly: Anomaly,
@@ -114,20 +126,29 @@ pub struct Violation {
 pub struct CheckReport {
     /// The verdict.
     pub outcome: Outcome,
-    /// Per-stage wall-clock times.
+    /// Per-stage times (summed across shards on sharded runs).
     pub timings: StageTimings,
-    /// Pruning counters (Table 3), when pruning ran and completed.
+    /// Pruning counters (Table 3), when pruning ran and completed; merged
+    /// across shards on sharded runs.
     pub prune_stats: Option<PruneStats>,
     /// Encoded instance size.
     pub encode_stats: EncodeStats,
     /// Solver counters, when the solver ran.
     pub solver_stats: Option<SolverStats>,
+    /// Sharding decision, when the engine ran with `Sharding::Auto`.
+    pub shard_stats: Option<ShardStats>,
 }
 
 impl CheckReport {
-    /// Whether the history was accepted as SI.
+    /// Whether the history was accepted as SI (historical name; for SER
+    /// runs prefer [`CheckReport::accepted`]).
     pub fn is_si(&self) -> bool {
         matches!(self.outcome, Outcome::Si)
+    }
+
+    /// Whether the history satisfies the checked isolation level.
+    pub fn accepted(&self) -> bool {
+        self.is_si()
     }
 }
 
@@ -135,199 +156,13 @@ impl CheckReport {
 ///
 /// Sound and complete (Theorems 18/19): returns a violation iff the history
 /// does not satisfy SI, assuming determinate transactions.
+///
+/// Compatibility wrapper over the staged engine: identical to
+/// `engine::check(h, IsolationLevel::Si, …)` with sharding off (see the
+/// module docs for the internals that may differ from the pre-engine
+/// pipeline).
 pub fn check_si(h: &History, opts: &CheckOptions) -> CheckReport {
-    let mut timings = StageTimings::default();
-    let t0 = Instant::now();
-
-    // Stage 0: non-cyclic axioms (Section 4.5).
-    let facts = Facts::analyze(h);
-    if !facts.axioms_ok() {
-        timings.constructing = t0.elapsed();
-        return CheckReport {
-            outcome: Outcome::AxiomViolations(facts.violations),
-            timings,
-            prune_stats: None,
-            encode_stats: EncodeStats::default(),
-            solver_stats: None,
-        };
-    }
-
-    // Stage 1: construct the generalized polygraph.
-    let mut g = Polygraph::from_history(h, &facts, opts.mode);
-    timings.constructing = t0.elapsed();
-
-    // Stage 2: prune constraints.
-    let mut prune_stats = None;
-    if opts.pruning {
-        let t = Instant::now();
-        let pr = g.prune();
-        timings.pruning = t.elapsed();
-        match pr {
-            PruneResult::Pruned(stats) => prune_stats = Some(stats),
-            PruneResult::Violation(cycle) => {
-                return violation_report(
-                    h,
-                    &facts,
-                    cycle,
-                    opts,
-                    timings,
-                    None,
-                    EncodeStats::default(),
-                    None,
-                );
-            }
-        }
-    }
-
-    // Stage 3: encode into SAT modulo acyclicity. Selector phases are
-    // seeded from a topological order of the known graph so the solver's
-    // first full assignment is already near-acyclic.
-    let t = Instant::now();
-    let n = g.n;
-    let topo: Option<Vec<u32>> = if opts.phase_seeding {
-        match g.known_graph() {
-            KnownGraphResult::Acyclic(kg) => Some(kg.topo_positions()),
-            KnownGraphResult::Cyclic(_) => None, // solver will report Unsat
-        }
-    } else {
-        None
-    };
-    let mut solver = Solver::with_graph(2 * n);
-    let mut encode_stats = EncodeStats::default();
-    for e in &g.known {
-        add_layered_known(&mut solver, n, e);
-        encode_stats.known_edges += layered_count(e);
-    }
-    for cons in &g.constraints {
-        let var = solver.new_var();
-        let s = Lit::pos(var);
-        encode_stats.vars += 1;
-        if let Some(topo) = &topo {
-            solver.set_phase(var, phase_along_topo(topo, cons));
-        }
-        for e in &cons.either {
-            add_layered_symbolic(&mut solver, n, s, e);
-            encode_stats.symbolic_edges += layered_count(e);
-        }
-        for e in &cons.or {
-            add_layered_symbolic(&mut solver, n, !s, e);
-            encode_stats.symbolic_edges += layered_count(e);
-        }
-    }
-    timings.encoding = t.elapsed();
-
-    // Stage 4: solve.
-    let t = Instant::now();
-    let result = solver.solve();
-    let solver_stats = Some(*solver.stats());
-    match result {
-        SolveResult::Sat(_) => {
-            timings.solving = t.elapsed();
-            CheckReport { outcome: Outcome::Si, timings, prune_stats, encode_stats, solver_stats }
-        }
-        SolveResult::Unsat => {
-            let cycle = extract_cycle(&g);
-            timings.solving = t.elapsed();
-            violation_report(
-                h,
-                &facts,
-                cycle,
-                opts,
-                timings,
-                prune_stats,
-                encode_stats,
-                solver_stats,
-            )
-        }
-        SolveResult::Unknown => unreachable!("check_si sets no conflict budget"),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn violation_report(
-    h: &History,
-    facts: &Facts,
-    cycle: Vec<Edge>,
-    opts: &CheckOptions,
-    timings: StageTimings,
-    prune_stats: Option<PruneStats>,
-    encode_stats: EncodeStats,
-    solver_stats: Option<SolverStats>,
-) -> CheckReport {
-    let scenario = opts.interpret.then(|| interpret(h, facts, &cycle));
-    let anomaly = Anomaly::classify(&cycle);
-    CheckReport {
-        outcome: Outcome::CyclicViolation(Violation { cycle, anomaly, scenario }),
-        timings,
-        prune_stats,
-        encode_stats,
-        solver_stats,
-    }
-}
-
-/// On UNSAT, every resolution of the constraints is cyclic (Definition 15),
-/// so resolving everything one way and extracting a cycle yields a genuine
-/// counterexample. We try both uniform resolutions and keep the shorter
-/// cycle.
-fn extract_cycle(g: &Polygraph) -> Vec<Edge> {
-    let mut best: Option<Vec<Edge>> = None;
-    for either in [true, false] {
-        let mut edges = g.known.clone();
-        for c in &g.constraints {
-            let side = if either { &c.either } else { &c.or };
-            edges.extend(side.iter().copied());
-        }
-        if let KnownGraphResult::Cyclic(cycle) = polysi_polygraph::KnownGraph::build(g.n, &edges) {
-            if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
-                best = Some(cycle);
-            }
-        }
-    }
-    best.expect("UNSAT instance must be cyclic under a uniform resolution")
-}
-
-/// Prefer the constraint side whose `WW` edges agree with the known
-/// topological order.
-fn phase_along_topo(topo: &[u32], cons: &polysi_polygraph::Constraint) -> bool {
-    let agreement = |side: &[Edge]| -> i64 {
-        side.iter()
-            .filter(|e| matches!(e.label, polysi_polygraph::Label::Ww(_)))
-            .map(|e| if topo[e.from.idx()] < topo[e.to.idx()] { 1i64 } else { -1 })
-            .sum()
-    };
-    agreement(&cons.either) >= agreement(&cons.or)
-}
-
-#[inline]
-fn layered_count(e: &Edge) -> usize {
-    if e.label.is_dep() {
-        2
-    } else {
-        1
-    }
-}
-
-/// Add a known edge's layered images (see `polysi_polygraph::KnownGraph`):
-/// `Dep i→k` becomes `B(i)→B(k)` and `B(i)→M(k)`; `RW k→j` becomes
-/// `M(k)→B(j)`.
-fn add_layered_known(solver: &mut Solver, n: usize, e: &Edge) {
-    let (f, t) = (e.from.0, e.to.0);
-    if e.label.is_dep() {
-        solver.add_known_edge(f, t);
-        solver.add_known_edge(f, n as u32 + t);
-    } else {
-        solver.add_known_edge(n as u32 + f, t);
-    }
-}
-
-fn add_layered_symbolic(solver: &mut Solver, n: usize, guard: Lit, e: &Edge) {
-    let (f, t) = (e.from.0, e.to.0);
-    if e.label.is_dep() {
-        solver.add_symbolic_edge(guard, f, t);
-        solver.add_symbolic_edge(guard, f, n as u32 + t);
-    } else {
-        solver.add_symbolic_edge(guard, n as u32 + f, t);
-    }
+    CheckEngine::new(IsolationLevel::Si, EngineOptions::from(opts)).check(h)
 }
 
 #[cfg(test)]
@@ -497,6 +332,7 @@ mod tests {
         assert!(report.is_si());
         assert!(report.prune_stats.is_some());
         assert!(report.timings.total() > Duration::ZERO);
+        assert!(report.shard_stats.is_none(), "check_si never shards");
     }
 
     #[test]

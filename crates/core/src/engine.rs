@@ -1,0 +1,664 @@
+//! The staged `CheckEngine`: Algorithm 1/2 of the paper factored into
+//! explicit, reusable stages, parameterized by isolation level and sharded
+//! by key connectivity.
+//!
+//! # Stages
+//!
+//! Every check runs the same five [`Stage`]s, each mapping back to the
+//! paper's pseudocode:
+//!
+//! | Stage | Paper | What happens |
+//! |---|---|---|
+//! | [`Stage::Axioms`] | Algorithm 1, lines 2–4 (`CheckNonCyclicAxioms`) | `Int`, aborted/intermediate reads, UniqueValue via [`Facts::analyze`]; on failure the graph stages are skipped |
+//! | [`Stage::Construct`] | Algorithm 2 (`CreateKnownGraph` + `GenerateConstraints`) | known `SO ∪ WR` (+ init-read `RW`, + RMW-inferred `WW` under SER) edges and per-key writer-pair constraints |
+//! | [`Stage::Prune`] | Algorithm 1, lines 10–32 (`PruneConstraints`) | worklist-driven fixpoint resolving constraints whose one side closes a known cycle |
+//! | [`Stage::Encode`] | Algorithm 1, lines 5–7 (encoding, Section 4.4) | one selector variable per surviving constraint guarding graph edges in the SAT-modulo-acyclicity solver |
+//! | [`Stage::Solve`] | Algorithm 1, lines 8–9 (solving + counterexample) | CDCL search; on UNSAT a violating cycle is extracted, classified, and interpreted |
+//!
+//! # Isolation levels
+//!
+//! [`IsolationLevel::Si`] runs the paper's pipeline on the layered
+//! `(SO ∪ WR ∪ WW);RW?` graph. [`IsolationLevel::Ser`] reuses the same
+//! construction, pruning, encoding, and solving machinery under
+//! [`Semantics::Ser`]: plain acyclicity over `SO ∪ WR ∪ WW ∪ RW` plus
+//! Cobra's read-modify-write version-order inference — the logic of the
+//! `cobra` baseline promoted into the main API, with cycle classification
+//! and interpretation support.
+//!
+//! # Sharding
+//!
+//! With [`Sharding::Auto`] the engine partitions the history into
+//! key-connectivity components ([`ShardPlan`]): transaction sets sharing
+//! no keys and no session edges. Each component is constructed, pruned,
+//! encoded, and solved independently on scoped threads (axioms always run
+//! once, globally); stage timings and counters are merged into the single
+//! [`CheckReport`]. When key components are bridged by sessions the `SO`
+//! edges between them are cross-shard constraints and the engine falls
+//! back to whole-history checking
+//! ([`ShardFallback::CrossShardSessions`]).
+
+use crate::anomaly::Anomaly;
+use crate::check::{CheckOptions, CheckReport, EncodeStats, Outcome, StageTimings, Violation};
+use crate::interpret::interpret;
+use polysi_history::{Facts, History, ShardComponent, ShardFallback, ShardPlan};
+use polysi_polygraph::{
+    ConstraintMode, Edge, KnownGraph, KnownGraphResult, Label, Polygraph, PruneResult, PruneStats,
+    Semantics,
+};
+use polysi_solver::{Lit, SolveResult, Solver, SolverStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The isolation level a history is checked against (the *policy*; the
+/// graph-level *mechanism* is [`Semantics`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum IsolationLevel {
+    /// (Strong session) snapshot isolation — the paper's subject.
+    #[default]
+    Si,
+    /// Serializability, Cobra-style, on the same polygraph/solver
+    /// machinery.
+    Ser,
+}
+
+impl IsolationLevel {
+    /// Short stable name (`"si"` / `"ser"`), as accepted by the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsolationLevel::Si => "si",
+            IsolationLevel::Ser => "ser",
+        }
+    }
+
+    /// Human-readable name for verdict messages.
+    pub fn long_name(self) -> &'static str {
+        match self {
+            IsolationLevel::Si => "snapshot isolation",
+            IsolationLevel::Ser => "serializability",
+        }
+    }
+
+    /// The edge-composition semantics implementing this level.
+    pub fn semantics(self) -> Semantics {
+        match self {
+            IsolationLevel::Si => Semantics::Si,
+            IsolationLevel::Ser => Semantics::Ser,
+        }
+    }
+}
+
+/// Whether the engine may partition the history by key connectivity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Sharding {
+    /// Always check the whole history as one unit.
+    Off,
+    /// Shard when the history splits into two or more independent
+    /// components; fall back to whole-history checking otherwise.
+    #[default]
+    Auto,
+}
+
+/// One stage of the pipeline (see the module docs for the mapping back to
+/// Algorithm 1/2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Stage {
+    /// Non-cyclic axioms (Algorithm 1, lines 2–4).
+    Axioms,
+    /// Polygraph construction (Algorithm 2).
+    Construct,
+    /// Constraint pruning (Algorithm 1, lines 10–32).
+    Prune,
+    /// SAT-modulo-acyclicity encoding (Section 4.4).
+    Encode,
+    /// Solving and counterexample extraction.
+    Solve,
+}
+
+impl Stage {
+    /// Stage name as printed in traces and figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Axioms => "axioms",
+            Stage::Construct => "construct",
+            Stage::Prune => "prune",
+            Stage::Encode => "encode",
+            Stage::Solve => "solve",
+        }
+    }
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 5] =
+        [Stage::Axioms, Stage::Construct, Stage::Prune, Stage::Encode, Stage::Solve];
+}
+
+/// Engine knobs (everything but the isolation level, which is a
+/// first-class argument of [`check`] / [`CheckEngine::new`]).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Key-connectivity sharding.
+    pub sharding: Sharding,
+    /// Constraint representation (generalized vs. plain).
+    pub mode: ConstraintMode,
+    /// Run constraint pruning before encoding.
+    pub pruning: bool,
+    /// Run the interpretation algorithm on cyclic violations.
+    pub interpret: bool,
+    /// Seed solver decision phases along a topological order of the known
+    /// graph.
+    pub phase_seeding: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            sharding: Sharding::Auto,
+            mode: ConstraintMode::Generalized,
+            pruning: true,
+            interpret: true,
+            phase_seeding: true,
+        }
+    }
+}
+
+impl From<&CheckOptions> for EngineOptions {
+    /// The compatibility mapping used by `check_si`: same knobs, sharding
+    /// off (so the legacy entry point behaves exactly as before).
+    fn from(opts: &CheckOptions) -> Self {
+        EngineOptions {
+            sharding: Sharding::Off,
+            mode: opts.mode,
+            pruning: opts.pruning,
+            interpret: opts.interpret,
+            phase_seeding: opts.phase_seeding,
+        }
+    }
+}
+
+/// How the sharding stage partitioned (or declined to partition) the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Components checked independently (1 = whole-history).
+    pub components: usize,
+    /// Components under key connectivity alone; larger than `components`
+    /// when session edges forced a merge.
+    pub key_components: usize,
+    /// Transactions in the largest component.
+    pub largest: usize,
+    /// Why the engine fell back to whole-history checking, if it did.
+    pub fallback: Option<ShardFallback>,
+}
+
+/// Check `h` against `isolation` with the staged engine.
+///
+/// Sound and complete for both levels (Theorems 18/19 for SI; the Cobra
+/// reduction for SER), assuming determinate transactions.
+pub fn check(h: &History, isolation: IsolationLevel, opts: &EngineOptions) -> CheckReport {
+    CheckEngine::new(isolation, *opts).check(h)
+}
+
+/// The staged, shardable checking engine. Construct once, reuse across
+/// histories.
+pub struct CheckEngine {
+    isolation: IsolationLevel,
+    opts: EngineOptions,
+}
+
+/// What one pipeline unit (the whole history, or one shard) produced.
+/// Cycles are in *global* transaction ids.
+struct UnitReport {
+    cycle: Option<Vec<Edge>>,
+    timings: StageTimings,
+    prune_stats: Option<PruneStats>,
+    encode_stats: EncodeStats,
+    solver_stats: Option<SolverStats>,
+}
+
+impl CheckEngine {
+    /// An engine for `isolation` with the given knobs.
+    pub fn new(isolation: IsolationLevel, opts: EngineOptions) -> Self {
+        CheckEngine { isolation, opts }
+    }
+
+    /// The engine's isolation level.
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// Run the staged pipeline on a history.
+    pub fn check(&self, h: &History) -> CheckReport {
+        let mut timings = StageTimings::default();
+        let t0 = Instant::now();
+
+        // Stage::Axioms — run once, globally: axiom witnesses (e.g. an
+        // aborted write read in another session) may span what would
+        // otherwise be distinct shards. Its time is folded into
+        // `constructing`, as in the original pipeline.
+        let facts = Facts::analyze(h);
+        let axioms_time = t0.elapsed();
+        if !facts.axioms_ok() {
+            timings.constructing = axioms_time;
+            return CheckReport {
+                outcome: Outcome::AxiomViolations(facts.violations),
+                timings,
+                prune_stats: None,
+                encode_stats: EncodeStats::default(),
+                solver_stats: None,
+                shard_stats: None,
+            };
+        }
+
+        let (mut unit, shard_stats) = match self.opts.sharding {
+            Sharding::Off => (self.check_unit(h, &facts, None), None),
+            Sharding::Auto => {
+                let plan = ShardPlan::analyze(h);
+                let stats = ShardStats {
+                    components: plan.components.len().max(1),
+                    key_components: plan.key_components.max(1),
+                    largest: plan.largest().max(if plan.is_shardable() { 0 } else { h.len() }),
+                    fallback: plan.fallback(),
+                };
+                let unit = if plan.is_shardable() {
+                    self.check_shards(h, &facts, &plan)
+                } else {
+                    self.check_unit(h, &facts, None)
+                };
+                (unit, Some(stats))
+            }
+        };
+
+        unit.timings.constructing += axioms_time;
+
+        let outcome = match unit.cycle {
+            None => Outcome::Si,
+            Some(cycle) => {
+                let scenario = self.opts.interpret.then(|| interpret(h, &facts, &cycle));
+                let anomaly = Anomaly::classify(&cycle);
+                Outcome::CyclicViolation(Violation { cycle, anomaly, scenario })
+            }
+        };
+        CheckReport {
+            outcome,
+            timings: unit.timings,
+            prune_stats: unit.prune_stats,
+            encode_stats: unit.encode_stats,
+            solver_stats: unit.solver_stats,
+            shard_stats,
+        }
+    }
+
+    /// Check every component on scoped worker threads and merge the
+    /// results. The reported violation (if any) is the one from the
+    /// lowest-numbered violating component, so sharded runs stay
+    /// deterministic regardless of scheduling.
+    fn check_shards(&self, h: &History, facts: &Facts, plan: &ShardPlan) -> UnitReport {
+        let ncomp = plan.components.len();
+        let workers =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).clamp(1, ncomp);
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, UnitReport)>> = Mutex::new(Vec::with_capacity(ncomp));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= ncomp {
+                        break;
+                    }
+                    let unit = self.check_unit(h, facts, Some(&plan.components[i]));
+                    results.lock().expect("shard worker panicked").push((i, unit));
+                });
+            }
+        });
+        let mut units = results.into_inner().expect("shard worker panicked");
+        units.sort_by_key(|&(i, _)| i);
+
+        let mut merged = UnitReport {
+            cycle: None,
+            timings: StageTimings::default(),
+            prune_stats: None,
+            encode_stats: EncodeStats::default(),
+            solver_stats: None,
+        };
+        for (_, u) in units {
+            if merged.cycle.is_none() {
+                merged.cycle = u.cycle;
+            }
+            merged.timings.constructing += u.timings.constructing;
+            merged.timings.pruning += u.timings.pruning;
+            merged.timings.encoding += u.timings.encoding;
+            merged.timings.solving += u.timings.solving;
+            merged.prune_stats = match (merged.prune_stats, u.prune_stats) {
+                (Some(a), Some(b)) => Some(a.merge(b)),
+                (a, b) => a.or(b),
+            };
+            merged.encode_stats.vars += u.encode_stats.vars;
+            merged.encode_stats.clauses += u.encode_stats.clauses;
+            merged.encode_stats.known_edges += u.encode_stats.known_edges;
+            merged.encode_stats.symbolic_edges += u.encode_stats.symbolic_edges;
+            merged.solver_stats = match (merged.solver_stats, u.solver_stats) {
+                (Some(a), Some(b)) => Some(merge_solver_stats(a, b)),
+                (a, b) => a.or(b),
+            };
+        }
+        merged
+    }
+
+    /// Stages Construct → Prune → Encode → Solve for one unit: the whole
+    /// history (`comp == None`) or one key-connectivity component.
+    fn check_unit(&self, h: &History, facts: &Facts, comp: Option<&ShardComponent>) -> UnitReport {
+        let semantics = self.isolation.semantics();
+        let mut timings = StageTimings::default();
+        let translate = |mut cycle: Vec<Edge>| {
+            if let Some(c) = comp {
+                for e in &mut cycle {
+                    e.from = c.global(e.from);
+                    e.to = c.global(e.to);
+                }
+            }
+            cycle
+        };
+
+        // Stage::Construct.
+        let t = Instant::now();
+        let mut g = match comp {
+            None => Polygraph::from_history_with(h, facts, self.opts.mode, semantics),
+            Some(c) => Polygraph::from_component(h, facts, self.opts.mode, semantics, c),
+        };
+        timings.constructing = t.elapsed();
+
+        // Stage::Prune.
+        let mut prune_stats = None;
+        if self.opts.pruning {
+            let t = Instant::now();
+            let pr = g.prune();
+            timings.pruning = t.elapsed();
+            match pr {
+                PruneResult::Pruned(stats) => prune_stats = Some(stats),
+                PruneResult::Violation(cycle) => {
+                    return UnitReport {
+                        cycle: Some(translate(cycle)),
+                        timings,
+                        prune_stats: None,
+                        encode_stats: EncodeStats::default(),
+                        solver_stats: None,
+                    };
+                }
+            }
+        }
+
+        // Stage::Encode.
+        let t = Instant::now();
+        let (mut solver, encode_stats) = encode(&g, self.opts.phase_seeding);
+        timings.encoding = t.elapsed();
+
+        // Stage::Solve.
+        let t = Instant::now();
+        let result = solver.solve();
+        let solver_stats = Some(*solver.stats());
+        let cycle = match result {
+            SolveResult::Sat(_) => None,
+            SolveResult::Unsat => Some(translate(extract_cycle(&g))),
+            SolveResult::Unknown => unreachable!("the engine sets no conflict budget"),
+        };
+        timings.solving = t.elapsed();
+        UnitReport { cycle, timings, prune_stats, encode_stats, solver_stats }
+    }
+}
+
+fn merge_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
+    SolverStats {
+        decisions: a.decisions + b.decisions,
+        propagations: a.propagations + b.propagations,
+        conflicts: a.conflicts + b.conflicts,
+        theory_conflicts: a.theory_conflicts + b.theory_conflicts,
+        learned_clauses: a.learned_clauses + b.learned_clauses,
+        restarts: a.restarts + b.restarts,
+    }
+}
+
+/// Encode a polygraph into the SAT-modulo-acyclicity solver. Under SI the
+/// theory graph is the layered one (2n nodes, `Dep` edges fan out to
+/// boundary + mid images); under SER it is the plain n-node graph with
+/// every edge direct. Selector phases are seeded from a topological order
+/// of the known graph so the solver's first full assignment is already
+/// near-acyclic.
+fn encode(g: &Polygraph, phase_seeding: bool) -> (Solver, EncodeStats) {
+    let n = g.n;
+    let semantics = g.semantics;
+    let topo: Option<Vec<u32>> = if phase_seeding {
+        match g.known_graph() {
+            KnownGraphResult::Acyclic(kg) => Some(kg.topo_positions()),
+            KnownGraphResult::Cyclic(_) => None, // solver will report Unsat
+        }
+    } else {
+        None
+    };
+    let nodes = match semantics {
+        Semantics::Si => 2 * n,
+        Semantics::Ser => n,
+    };
+    let mut solver = Solver::with_graph(nodes);
+    let mut encode_stats = EncodeStats::default();
+    for e in &g.known {
+        add_known(&mut solver, n, e, semantics);
+        encode_stats.known_edges += edge_count(e, semantics);
+    }
+    for cons in &g.constraints {
+        let var = solver.new_var();
+        let s = Lit::pos(var);
+        encode_stats.vars += 1;
+        if let Some(topo) = &topo {
+            solver.set_phase(var, phase_along_topo(topo, cons, semantics));
+        }
+        for e in &cons.either {
+            add_symbolic(&mut solver, n, s, e, semantics);
+            encode_stats.symbolic_edges += edge_count(e, semantics);
+        }
+        for e in &cons.or {
+            add_symbolic(&mut solver, n, !s, e, semantics);
+            encode_stats.symbolic_edges += edge_count(e, semantics);
+        }
+    }
+    (solver, encode_stats)
+}
+
+/// On UNSAT, every resolution of the constraints is cyclic (Definition 15),
+/// so resolving everything one way and extracting a cycle yields a genuine
+/// counterexample. We try both uniform resolutions and keep the shorter
+/// cycle.
+fn extract_cycle(g: &Polygraph) -> Vec<Edge> {
+    let mut best: Option<Vec<Edge>> = None;
+    for either in [true, false] {
+        let mut edges = g.known.clone();
+        for c in &g.constraints {
+            let side = if either { &c.either } else { &c.or };
+            edges.extend(side.iter().copied());
+        }
+        if let KnownGraphResult::Cyclic(cycle) = KnownGraph::build_with(g.n, &edges, g.semantics) {
+            if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+                best = Some(cycle);
+            }
+        }
+    }
+    best.expect("UNSAT instance must be cyclic under a uniform resolution")
+}
+
+/// Prefer the constraint side whose edges agree with the known topological
+/// order. Under SI only `WW` edges vote (the `RW` companions follow them);
+/// under SER every edge is a plain edge and votes.
+fn phase_along_topo(topo: &[u32], cons: &polysi_polygraph::Constraint, sem: Semantics) -> bool {
+    let agreement = |side: &[Edge]| -> i64 {
+        side.iter()
+            .filter(|e| sem == Semantics::Ser || matches!(e.label, Label::Ww(_)))
+            .map(|e| if topo[e.from.idx()] < topo[e.to.idx()] { 1i64 } else { -1 })
+            .sum()
+    };
+    agreement(&cons.either) >= agreement(&cons.or)
+}
+
+/// Theory edges contributed by one typed edge.
+#[inline]
+fn edge_count(e: &Edge, sem: Semantics) -> usize {
+    if sem == Semantics::Si && e.label.is_dep() {
+        2
+    } else {
+        1
+    }
+}
+
+/// Add a known edge's theory image. Under SI, the layered mapping (see
+/// [`KnownGraph`]): `Dep i→k` becomes `B(i)→B(k)` and `B(i)→M(k)`;
+/// `RW k→j` becomes `M(k)→B(j)`. Under SER, one direct edge.
+fn add_known(solver: &mut Solver, n: usize, e: &Edge, sem: Semantics) {
+    let (f, t) = (e.from.0, e.to.0);
+    match sem {
+        Semantics::Ser => solver.add_known_edge(f, t),
+        Semantics::Si => {
+            if e.label.is_dep() {
+                solver.add_known_edge(f, t);
+                solver.add_known_edge(f, n as u32 + t);
+            } else {
+                solver.add_known_edge(n as u32 + f, t);
+            }
+        }
+    }
+}
+
+fn add_symbolic(solver: &mut Solver, n: usize, guard: Lit, e: &Edge, sem: Semantics) {
+    let (f, t) = (e.from.0, e.to.0);
+    match sem {
+        Semantics::Ser => solver.add_symbolic_edge(guard, f, t),
+        Semantics::Si => {
+            if e.label.is_dep() {
+                solver.add_symbolic_edge(guard, f, t);
+                solver.add_symbolic_edge(guard, f, n as u32 + t);
+            } else {
+                solver.add_symbolic_edge(guard, n as u32 + f, t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polysi_history::{HistoryBuilder, Key, Value};
+
+    fn k(n: u64) -> Key {
+        Key(n)
+    }
+    fn v(n: u64) -> Value {
+        Value(n)
+    }
+
+    /// Three-way write skew: every transaction reads one key and writes the
+    /// next. SI accepts (the cycle is all-RW); SER rejects.
+    fn write_skew_chain() -> polysi_history::History {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).write(k(2), v(2)).write(k(3), v(3)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(2), v(22)).commit();
+        b.session();
+        b.begin().read(k(2), v(2)).write(k(3), v(33)).commit();
+        b.session();
+        b.begin().read(k(3), v(3)).write(k(1), v(11)).commit();
+        b.build()
+    }
+
+    /// Two disjoint groups: group A is a clean serial chain, group B a lost
+    /// update.
+    fn two_components_one_bad() -> polysi_history::History {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).write(k(1), v(2)).commit();
+        b.session();
+        b.begin().write(k(10), v(100)).commit();
+        b.session();
+        b.begin().read(k(10), v(100)).write(k(10), v(101)).commit();
+        b.session();
+        b.begin().read(k(10), v(100)).write(k(10), v(102)).commit();
+        b.build()
+    }
+
+    #[test]
+    fn ser_rejects_what_si_accepts() {
+        let h = write_skew_chain();
+        let opts = EngineOptions::default();
+        assert!(check(&h, IsolationLevel::Si, &opts).is_si());
+        let ser = check(&h, IsolationLevel::Ser, &opts);
+        assert!(!ser.is_si());
+        match &ser.outcome {
+            Outcome::CyclicViolation(viol) => {
+                assert!(!viol.cycle.is_empty());
+                assert!(viol.scenario.is_some(), "interpretation must run under SER too");
+            }
+            _ => panic!("SER violation must be cyclic"),
+        }
+    }
+
+    #[test]
+    fn sharded_violation_translates_to_global_ids() {
+        let h = two_components_one_bad();
+        let report = check(&h, IsolationLevel::Si, &EngineOptions::default());
+        let stats = report.shard_stats.expect("auto sharding records stats");
+        assert_eq!(stats.components, 2);
+        assert_eq!(stats.fallback, None);
+        match &report.outcome {
+            Outcome::CyclicViolation(viol) => {
+                assert_eq!(viol.anomaly, Anomaly::LostUpdate);
+                // All cycle endpoints are the *global* ids of group B.
+                for e in &viol.cycle {
+                    assert!(e.from.0 >= 2 && e.to.0 >= 2, "cycle uses local ids: {:?}", viol.cycle);
+                }
+            }
+            _ => panic!("the lost-update component must be rejected"),
+        }
+        // Off agrees.
+        let off = EngineOptions { sharding: Sharding::Off, ..Default::default() };
+        assert!(!check(&h, IsolationLevel::Si, &off).is_si());
+    }
+
+    #[test]
+    fn sharded_and_whole_history_stats_both_flow() {
+        let h = two_components_one_bad();
+        let auto = check(&h, IsolationLevel::Ser, &EngineOptions::default());
+        assert!(auto.shard_stats.is_some());
+        assert!(!auto.is_si(), "a lost update is not serializable");
+        let off = check(
+            &h,
+            IsolationLevel::Ser,
+            &EngineOptions { sharding: Sharding::Off, ..Default::default() },
+        );
+        assert!(off.shard_stats.is_none());
+        assert_eq!(auto.is_si(), off.is_si());
+    }
+
+    #[test]
+    fn fallback_reported_for_bridging_sessions() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.session();
+        b.begin().write(k(10), v(100)).commit();
+        b.session();
+        b.begin().read(k(1), v(1)).commit();
+        b.begin().read(k(10), v(100)).commit();
+        let report = check(&b.build(), IsolationLevel::Si, &EngineOptions::default());
+        assert!(report.is_si());
+        let stats = report.shard_stats.unwrap();
+        assert_eq!(stats.components, 1);
+        assert_eq!(stats.key_components, 2);
+        assert_eq!(stats.fallback, Some(ShardFallback::CrossShardSessions));
+    }
+
+    #[test]
+    fn stage_names_cover_the_pipeline() {
+        let names: Vec<_> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["axioms", "construct", "prune", "encode", "solve"]);
+        assert_eq!(IsolationLevel::Ser.name(), "ser");
+        assert_eq!(IsolationLevel::Si.long_name(), "snapshot isolation");
+    }
+}

@@ -44,6 +44,7 @@
 pub mod anomaly;
 mod check;
 pub mod dot;
+pub mod engine;
 pub mod interpret;
 pub mod list;
 pub mod oracle;
@@ -52,5 +53,7 @@ pub use anomaly::Anomaly;
 pub use check::{
     check_si, CheckOptions, CheckReport, EncodeStats, Outcome, StageTimings, Violation,
 };
+pub use engine::{check, CheckEngine, EngineOptions, IsolationLevel, ShardStats, Sharding, Stage};
 pub use interpret::{Certainty, Scenario};
 pub use list::{check_si_list, ListHistory, ListOp, ListReport, ListTxn, ListViolation};
+pub use polysi_history::ShardFallback;

@@ -101,6 +101,52 @@ fn intermediate_read(base: u64) -> History {
     b.build()
 }
 
+/// Template: multi-component (shardable) lost update — a clean serial
+/// chain on one key group plus a lost update on a disjoint group, with no
+/// session spanning the two. Exercises the sharded checking path: the
+/// anomaly must be caught inside its own component.
+fn sharded_lost_update(base: u64) -> History {
+    let (a, x) = (Key(base), Key(base + 50));
+    let mut b = HistoryBuilder::new();
+    // Component A: clean.
+    b.session();
+    b.begin().write(a, Value(base + 1)).commit();
+    b.session();
+    b.begin().read(a, Value(base + 1)).write(a, Value(base + 2)).commit();
+    // Component B: lost update.
+    b.session();
+    b.begin().write(x, Value(base + 61)).commit();
+    b.session();
+    b.begin().read(x, Value(base + 61)).write(x, Value(base + 62)).commit();
+    b.session();
+    b.begin().read(x, Value(base + 61)).write(x, Value(base + 63)).commit();
+    b.build()
+}
+
+/// Template: multi-component long fork — the Figure 3 shape confined to
+/// one of two otherwise independent key groups.
+fn sharded_long_fork(base: u64) -> History {
+    let (a, x, y) = (Key(base), Key(base + 50), Key(base + 51));
+    let mut b = HistoryBuilder::new();
+    // Component A: clean read-modify-write pair.
+    b.session();
+    b.begin().write(a, Value(base + 1)).commit();
+    b.session();
+    b.begin().read(a, Value(base + 1)).write(a, Value(base + 2)).commit();
+    // Component B: long fork.
+    b.session();
+    b.begin().write(x, Value(base + 60)).write(y, Value(base + 70)).commit();
+    b.session();
+    b.begin().write(x, Value(base + 61)).commit();
+    b.session();
+    b.begin().write(y, Value(base + 71)).commit();
+    b.session();
+    b.begin().read(x, Value(base + 61)).read(y, Value(base + 70)).commit();
+    b.session();
+    b.begin().read(x, Value(base + 60)).read(y, Value(base + 71)).commit();
+    b.build()
+}
+
 /// A template: key/value base offset → anomalous history.
 type Template = fn(u64) -> History;
 
@@ -109,13 +155,15 @@ type Template = fn(u64) -> History;
 /// The paper replays 2477 known anomalies; `generate_corpus(2477, seed)`
 /// produces the same volume here.
 pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
-    let templates: [(&str, Template); 6] = [
+    let templates: [(&str, Template); 8] = [
         ("template:lost-update", lost_update),
         ("template:long-fork", long_fork),
         ("template:causality-violation", causality_violation),
         ("template:fractured-read", fractured_read),
         ("template:aborted-read", aborted_read),
         ("template:intermediate-read", intermediate_read),
+        ("template:sharded-lost-update", sharded_lost_update),
+        ("template:sharded-long-fork", sharded_long_fork),
     ];
     let faults = [
         IsolationLevel::NoWriteConflictDetection,
@@ -188,13 +236,13 @@ mod tests {
     }
 
     #[test]
-    fn templates_cover_six_anomaly_families() {
-        let corpus = generate_corpus(12, 1);
+    fn templates_cover_eight_anomaly_families() {
+        let corpus = generate_corpus(16, 1);
         let names: std::collections::HashSet<_> = corpus
             .iter()
             .filter(|e| e.source.starts_with("template:"))
             .map(|e| e.source.clone())
             .collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 8);
     }
 }

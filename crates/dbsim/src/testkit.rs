@@ -114,8 +114,8 @@ pub fn fault_classes(level: IsolationLevel) -> &'static [&'static str] {
 /// (see [`crate::corpus::generate_corpus`]).
 pub fn corpus_classes(source: &str) -> &'static [&'static str] {
     match source {
-        "template:lost-update" => &["lost update"],
-        "template:long-fork" => &["long fork"],
+        "template:lost-update" | "template:sharded-lost-update" => &["lost update"],
+        "template:long-fork" | "template:sharded-long-fork" => &["long fork"],
         "template:causality-violation" => &["causality violation"],
         "template:fractured-read" => &["fractured read"],
         "template:aborted-read" => &["aborted read"],

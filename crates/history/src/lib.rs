@@ -25,12 +25,14 @@ mod facts;
 mod history;
 mod ids;
 mod op;
+pub mod shard;
 pub mod stats;
 
 pub use facts::{AxiomViolation, Facts, WrSource};
 pub use history::{History, HistoryBuilder, SessionView};
 pub use ids::{Key, SessionId, TxnId, Value};
 pub use op::{Op, TxnStatus};
+pub use shard::{ShardComponent, ShardFallback, ShardPlan};
 
 /// A convenient alias for the outcome of history well-formedness analysis.
 pub type AxiomResult = Result<(), AxiomViolation>;

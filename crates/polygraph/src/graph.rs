@@ -13,6 +13,7 @@
 //! edge — i.e. no two adjacent `RW` edges).
 
 use crate::edge::Edge;
+use crate::polygraph::Semantics;
 use polysi_history::TxnId;
 use polysi_solver::bitset::BitMatrix;
 
@@ -42,17 +43,32 @@ fn b(i: u32) -> u32 {
 }
 
 impl KnownGraph {
-    /// Build the layered graph from known typed edges; detect cycles.
+    /// Build the layered graph from known typed edges under SI semantics;
+    /// detect cycles.
     pub fn build(n: usize, known: &[Edge]) -> KnownGraphResult {
+        Self::build_with(n, known, Semantics::Si)
+    }
+
+    /// Build the reachability oracle under explicit edge semantics. Under
+    /// [`Semantics::Si`] the graph is layered as described above; under
+    /// [`Semantics::Ser`] every edge — `RW` included — is a plain
+    /// boundary-to-boundary edge (mid nodes stay isolated), so paths and
+    /// cycles are those of the ordinary dependency graph
+    /// `SO ∪ WR ∪ WW ∪ RW`. The SI-specific queries
+    /// ([`Self::rw_closes_cycle`], [`Self::witness_pred`],
+    /// [`Self::dep_edge_between`]) are meaningful only for SI-built graphs.
+    pub fn build_with(n: usize, known: &[Edge], semantics: Semantics) -> KnownGraphResult {
         let mut adj: Vec<Vec<(u32, Edge)>> = vec![Vec::new(); 2 * n];
         let mut dep_in = BitMatrix::new(n);
         for &e in known {
             let (f, t) = (e.from.0, e.to.0);
             debug_assert_ne!(f, t, "self edges are malformed: {e:?}");
-            if e.label.is_dep() {
+            if semantics == Semantics::Ser || e.label.is_dep() {
                 adj[b(f) as usize].push((b(t), e));
-                adj[b(f) as usize].push((n as u32 + t, e));
-                dep_in.set(t as usize, f as usize);
+                if semantics == Semantics::Si {
+                    adj[b(f) as usize].push((n as u32 + t, e));
+                    dep_in.set(t as usize, f as usize);
+                }
             } else {
                 adj[(n as u32 + f) as usize].push((b(t), e));
             }

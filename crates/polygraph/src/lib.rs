@@ -17,7 +17,12 @@
 //!   induced graph;
 //! * [`KnownGraph`] — a reachability oracle over the known induced SI graph
 //!   `Dep ∪ (Dep ; AntiDep)`, implemented on a layered graph so the
-//!   quadratic composition is never materialized.
+//!   quadratic composition is never materialized;
+//! * [`Semantics`] — the edge-composition rule: SI's `(Dep);RW?` layered
+//!   graph or SER's plain acyclicity over all dependency edges;
+//! * [`Polygraph::from_component`] — shard-aware construction over one
+//!   key-connectivity component ([`polysi_history::ShardComponent`]) of a
+//!   history, at cost proportional to the shard.
 
 mod constraint;
 mod edge;
@@ -27,4 +32,4 @@ mod polygraph;
 pub use constraint::Constraint;
 pub use edge::{Edge, Label};
 pub use graph::{KnownGraph, KnownGraphResult};
-pub use polygraph::{ConstraintMode, Polygraph, PruneResult, PruneStats};
+pub use polygraph::{ConstraintMode, Polygraph, PruneResult, PruneStats, Semantics};

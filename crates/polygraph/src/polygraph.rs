@@ -1,10 +1,11 @@
 //! Generalized polygraph construction (Section 4.2) and constraint pruning
-//! (Section 4.3, Algorithm 1).
+//! (Section 4.3, Algorithm 1), for both SI and SER edge semantics and for
+//! whole histories as well as key-connectivity shards.
 
 use crate::constraint::Constraint;
 use crate::edge::{Edge, Label};
 use crate::graph::{KnownGraph, KnownGraphResult};
-use polysi_history::{Facts, History, TxnId};
+use polysi_history::{Facts, History, ShardComponent, TxnId, WrSource};
 
 /// Which constraint representation to generate (Section 5.4.3's
 /// differential variants).
@@ -18,17 +19,36 @@ pub enum ConstraintMode {
     Plain,
 }
 
+/// Edge-composition semantics of the induced dependency graph — the
+/// *mechanism* behind an isolation level (the *policy* lives in
+/// `polysi_checker::engine::IsolationLevel`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Semantics {
+    /// Snapshot isolation: cycles of the induced graph
+    /// `(SO ∪ WR ∪ WW) ; RW?` (Definition 11) — no two adjacent `RW`
+    /// edges, realized by the layered [`KnownGraph`].
+    #[default]
+    Si,
+    /// Serializability: plain acyclicity over `SO ∪ WR ∪ WW ∪ RW`
+    /// (Cobra-style). Construction additionally applies read-modify-write
+    /// version-order inference, which is sound only under SER.
+    Ser,
+}
+
 /// A generalized polygraph `G = (V, E, C)` over the transactions of one
-/// history: known typed edges plus unresolved constraints.
+/// history (or one of its key-connectivity shards): known typed edges plus
+/// unresolved constraints.
 pub struct Polygraph {
     /// Number of transactions (vertex count).
     pub n: usize,
     /// Known edges. Initially `SO ∪ WR` plus the anti-dependencies implied
-    /// by reads of initial values; pruning appends resolved constraint
-    /// edges.
+    /// by reads of initial values (plus RMW-inferred `WW` edges under
+    /// [`Semantics::Ser`]); pruning appends resolved constraint edges.
     pub known: Vec<Edge>,
     /// Unresolved constraints.
     pub constraints: Vec<Constraint>,
+    /// Edge-composition semantics used by pruning and reachability.
+    pub semantics: Semantics,
 }
 
 /// Counters reported in the paper's Table 3.
@@ -46,6 +66,20 @@ pub struct PruneStats {
     pub unknown_deps_after: usize,
 }
 
+impl PruneStats {
+    /// Merge per-shard counters into whole-run stats: counts add up;
+    /// `iterations` takes the maximum because shards prune concurrently.
+    pub fn merge(self, other: PruneStats) -> PruneStats {
+        PruneStats {
+            iterations: self.iterations.max(other.iterations),
+            constraints_before: self.constraints_before + other.constraints_before,
+            unknown_deps_before: self.unknown_deps_before + other.unknown_deps_before,
+            constraints_after: self.constraints_after + other.constraints_after,
+            unknown_deps_after: self.unknown_deps_after + other.unknown_deps_after,
+        }
+    }
+}
+
 /// Result of [`Polygraph::prune`].
 pub enum PruneResult {
     /// Pruning finished; remaining constraints go to the solver.
@@ -58,54 +92,38 @@ pub enum PruneResult {
 
 impl Polygraph {
     /// Build the generalized polygraph of a history (procedures
-    /// `CreateKnownGraph` and `GenerateConstraints` of Algorithm 2).
+    /// `CreateKnownGraph` and `GenerateConstraints` of Algorithm 2) under
+    /// SI semantics.
     ///
     /// `facts` must come from [`Facts::analyze`] on the same history and be
     /// free of axiom violations.
     pub fn from_history(h: &History, facts: &Facts, mode: ConstraintMode) -> Self {
-        let n = h.len();
-        let mut known: Vec<Edge> = Vec::new();
-        // Session order: consecutive edges generate the same reachability
-        // as the full transitive SO relation.
-        for (a, b) in h.so_edges() {
-            known.push(Edge::new(a, b, Label::So));
-        }
-        // Write-read edges.
-        for (w, r, key) in facts.wr_edges() {
-            known.push(Edge::new(w, r, Label::Wr(key)));
-        }
-        // Reads of the initial value: the initial version precedes every
-        // write, so such readers have known anti-dependencies to *all*
-        // writers of the key.
-        for (&key, readers) in &facts.init_readers {
-            if let Some(writers) = facts.writers.get(&key) {
-                for &r in readers {
-                    for &w in writers {
-                        if w != r {
-                            known.push(Edge::new(r, w, Label::Rw(key)));
-                        }
-                    }
-                }
-            }
-        }
-        // Constraints per key per writer pair.
-        let mut constraints = Vec::new();
-        for (&key, writers) in &facts.writers {
-            for (i, &t) in writers.iter().enumerate() {
-                for &s in &writers[i + 1..] {
-                    let readers = |w: TxnId| facts.readers_of(key, w);
-                    match mode {
-                        ConstraintMode::Generalized => {
-                            constraints.push(Constraint::generalized(key, t, s, readers));
-                        }
-                        ConstraintMode::Plain => {
-                            constraints.extend(Constraint::plain(key, t, s, readers));
-                        }
-                    }
-                }
-            }
-        }
-        Polygraph { n, known, constraints }
+        Self::from_history_with(h, facts, mode, Semantics::Si)
+    }
+
+    /// [`Polygraph::from_history`] with explicit edge semantics.
+    pub fn from_history_with(
+        h: &History,
+        facts: &Facts,
+        mode: ConstraintMode,
+        semantics: Semantics,
+    ) -> Self {
+        build_polygraph(h, facts, mode, semantics, None)
+    }
+
+    /// Build the polygraph of one key-connectivity component, reusing the
+    /// whole-history `facts` (axioms run once globally; no per-shard
+    /// re-analysis). Vertices are the component-local dense transaction
+    /// ids — translate cycles back with [`ShardComponent::global`]. Cost is
+    /// proportional to the component, not the history.
+    pub fn from_component(
+        h: &History,
+        facts: &Facts,
+        mode: ConstraintMode,
+        semantics: Semantics,
+        comp: &ShardComponent,
+    ) -> Self {
+        build_polygraph(h, facts, mode, semantics, Some(comp))
     }
 
     /// Total uncertain dependency edges across unresolved constraints.
@@ -116,22 +134,38 @@ impl Polygraph {
     /// Build the reachability oracle over the current known edges, or
     /// return a violating cycle if the known part is already cyclic.
     pub fn known_graph(&self) -> KnownGraphResult {
-        KnownGraph::build(self.n, &self.known)
+        KnownGraph::build_with(self.n, &self.known, self.semantics)
     }
 
     /// Prune constraints to a fixpoint (procedure `PruneConstraints`,
-    /// Algorithm 1 lines 10–32).
+    /// Algorithm 1 lines 10–32), worklist-driven.
     ///
     /// A constraint possibility is *impossible* when adding any one of its
     /// edges would close a cycle in the known induced graph `KI`; the
     /// constraint then resolves to the other side, whose edges become known.
-    /// If both sides are impossible the history violates SI.
+    /// If both sides are impossible the history violates the isolation
+    /// level.
+    ///
+    /// After the first full pass, only constraints *incident* to a
+    /// transaction touched by edges resolved in the previous pass are
+    /// re-tested. This is a sound under-approximation of the full fixpoint
+    /// (reachability added between two untouched transactions can be
+    /// missed); whatever survives goes to the solver, so verdicts are
+    /// unaffected. The survivor buffer is reused across passes instead of
+    /// being reallocated.
     pub fn prune(&mut self) -> PruneResult {
         let mut stats = PruneStats {
             constraints_before: self.constraints.len(),
             unknown_deps_before: self.unknown_deps(),
             ..Default::default()
         };
+        let semantics = self.semantics;
+        let mut next = Vec::with_capacity(self.constraints.len());
+        // Transactions incident to edges resolved in the previous pass;
+        // `first` forces a full sweep before the worklist narrows.
+        let mut first = true;
+        let mut touched = vec![false; self.n];
+        let mut touched_now = vec![false; self.n];
         loop {
             stats.iterations += 1;
             let kg = match self.known_graph() {
@@ -139,32 +173,45 @@ impl Polygraph {
                 KnownGraphResult::Cyclic(cycle) => return PruneResult::Violation(cycle),
             };
             let mut changed = false;
-            let mut next = Vec::with_capacity(self.constraints.len());
+            touched_now.iter_mut().for_each(|t| *t = false);
+            next.clear();
             for cons in self.constraints.drain(..) {
-                let bad_either = side_impossible(&kg, &cons.either);
-                let bad_or = side_impossible(&kg, &cons.or);
+                let retest = first
+                    || cons
+                        .either
+                        .iter()
+                        .chain(&cons.or)
+                        .any(|e| touched[e.from.idx()] || touched[e.to.idx()]);
+                if !retest {
+                    next.push(cons);
+                    continue;
+                }
+                let bad_either = side_impossible(&kg, &cons.either, semantics);
+                let bad_or = side_impossible(&kg, &cons.or, semantics);
                 match (bad_either, bad_or) {
                     (true, true) => {
                         // Neither possibility can hold (line 57/65).
-                        let cycle = witness_cycle(&kg, &cons.either)
+                        let cycle = witness_cycle(&kg, &cons.either, semantics)
                             .expect("side_impossible implies a witness");
                         return PruneResult::Violation(cycle);
                     }
                     (true, false) => {
-                        self.known.extend(cons.or.iter().copied());
+                        resolve(&mut self.known, &mut touched_now, &cons.or);
                         changed = true;
                     }
                     (false, true) => {
-                        self.known.extend(cons.either.iter().copied());
+                        resolve(&mut self.known, &mut touched_now, &cons.either);
                         changed = true;
                     }
                     (false, false) => next.push(cons),
                 }
             }
-            self.constraints = next;
+            std::mem::swap(&mut self.constraints, &mut next);
             if !changed {
                 break;
             }
+            first = false;
+            std::mem::swap(&mut touched, &mut touched_now);
         }
         stats.constraints_after = self.constraints.len();
         stats.unknown_deps_after = self.unknown_deps();
@@ -172,21 +219,144 @@ impl Polygraph {
     }
 }
 
-/// Whether adding any single edge of `side` closes a cycle in `KI`
-/// (Figure 4 of the paper: WW edges via plain reachability, RW edges via a
-/// `Dep` predecessor of the source).
-fn side_impossible(kg: &KnownGraph, side: &[Edge]) -> bool {
-    side.iter().any(|e| match e.label {
-        Label::Rw(_) => kg.rw_closes_cycle(e.from, e.to),
+/// Append a resolved constraint side to the known edges, recording the
+/// transactions it touches for the next worklist pass.
+fn resolve(known: &mut Vec<Edge>, touched_now: &mut [bool], side: &[Edge]) {
+    for e in side {
+        touched_now[e.from.idx()] = true;
+        touched_now[e.to.idx()] = true;
+    }
+    known.extend(side.iter().copied());
+}
+
+/// Shared constructor behind [`Polygraph::from_history_with`] (iterating
+/// the whole history) and [`Polygraph::from_component`] (iterating one
+/// component's transactions and keys, then remapping to local ids).
+fn build_polygraph(
+    h: &History,
+    facts: &Facts,
+    mode: ConstraintMode,
+    semantics: Semantics,
+    comp: Option<&ShardComponent>,
+) -> Polygraph {
+    let n = comp.map_or(h.len(), ShardComponent::len);
+    let mut known: Vec<Edge> = Vec::new();
+    // Session order: consecutive edges generate the same reachability as
+    // the full transitive SO relation. Sessions never span components, so
+    // every successor stays inside `comp`.
+    match comp {
+        None => {
+            for (a, b) in h.so_edges() {
+                known.push(Edge::new(a, b, Label::So));
+            }
+        }
+        Some(c) => {
+            for &t in &c.txns {
+                if let Some(s) = h.so_successor(t) {
+                    known.push(Edge::new(t, s, Label::So));
+                }
+            }
+        }
+    }
+    // Write-read edges; under SER also the read-modify-write inference:
+    // a reader of `x` that writes `x` immediately follows its source in
+    // `x`'s version order (any interposed writer would have been read
+    // instead), so the `WW` edge is known. Keys never span components, so
+    // every source stays inside `comp`.
+    let readers: Box<dyn Iterator<Item = TxnId> + '_> = match comp {
+        None => Box::new((0..h.len() as u32).map(TxnId)),
+        Some(c) => Box::new(c.txns.iter().copied()),
+    };
+    for r in readers {
+        for &(key, _, src) in &facts.reads[r.idx()] {
+            if let WrSource::Txn(w) = src {
+                if w != r {
+                    known.push(Edge::new(w, r, Label::Wr(key)));
+                    if semantics == Semantics::Ser && facts.writes_key(r, key) {
+                        known.push(Edge::new(w, r, Label::Ww(key)));
+                    }
+                }
+            }
+        }
+    }
+    // Reads of the initial value: the initial version precedes every
+    // write, so such readers have known anti-dependencies to *all* writers
+    // of the key.
+    for key in component_keys(&facts.init_readers, comp) {
+        if let Some(writers) = facts.writers.get(&key) {
+            for &r in &facts.init_readers[&key] {
+                for &w in writers {
+                    if w != r {
+                        known.push(Edge::new(r, w, Label::Rw(key)));
+                    }
+                }
+            }
+        }
+    }
+    // Constraints per key per writer pair.
+    let mut constraints = Vec::new();
+    for key in component_keys(&facts.writers, comp) {
+        let writers = &facts.writers[&key];
+        for (i, &t) in writers.iter().enumerate() {
+            for &s in &writers[i + 1..] {
+                let readers = |w: TxnId| facts.readers_of(key, w);
+                match mode {
+                    ConstraintMode::Generalized => {
+                        constraints.push(Constraint::generalized(key, t, s, readers));
+                    }
+                    ConstraintMode::Plain => {
+                        constraints.extend(Constraint::plain(key, t, s, readers));
+                    }
+                }
+            }
+        }
+    }
+    // Translate to component-local vertex ids.
+    if let Some(c) = comp {
+        let local = |t: TxnId| c.local(t).expect("edge endpoint outside its component");
+        for e in &mut known {
+            e.from = local(e.from);
+            e.to = local(e.to);
+        }
+        for cons in &mut constraints {
+            for e in cons.either.iter_mut().chain(cons.or.iter_mut()) {
+                e.from = local(e.from);
+                e.to = local(e.to);
+            }
+        }
+    }
+    Polygraph { n, known, constraints, semantics }
+}
+
+/// The keys of `map` restricted to a component (all of them for the
+/// whole-history build). Component key lists are small relative to the
+/// history, so iteration cost stays proportional to the shard.
+fn component_keys<'a, V>(
+    map: &'a std::collections::BTreeMap<polysi_history::Key, V>,
+    comp: Option<&'a ShardComponent>,
+) -> Box<dyn Iterator<Item = polysi_history::Key> + 'a> {
+    match comp {
+        None => Box::new(map.keys().copied()),
+        Some(c) => Box::new(c.keys.iter().copied().filter(move |k| map.contains_key(k))),
+    }
+}
+
+/// Whether adding any single edge of `side` closes a cycle in `KI`.
+/// Under SI (Figure 4 of the paper) `WW` edges test plain reachability and
+/// `RW` edges look for a `Dep` predecessor of the source; under SER every
+/// edge tests plain reachability.
+fn side_impossible(kg: &KnownGraph, side: &[Edge], semantics: Semantics) -> bool {
+    side.iter().any(|e| match (semantics, e.label) {
+        (Semantics::Si, Label::Rw(_)) => kg.rw_closes_cycle(e.from, e.to),
         _ => kg.reaches(e.to, e.from),
     })
 }
 
 /// Construct the violating cycle witnessing that `side` is impossible.
-fn witness_cycle(kg: &KnownGraph, side: &[Edge]) -> Option<Vec<Edge>> {
+fn witness_cycle(kg: &KnownGraph, side: &[Edge], semantics: Semantics) -> Option<Vec<Edge>> {
     for &e in side {
-        match e.label {
-            Label::Rw(_) => {
+        match (semantics, e.label) {
+            (Semantics::Si, Label::Rw(_)) => {
                 if kg.rw_closes_cycle(e.from, e.to) {
                     // Cycle: prec -Dep-> from -RW-> to ⇝ prec.
                     let prec = kg.witness_pred(e.from, e.to);

@@ -1,22 +1,26 @@
 //! The `polysi` command-line checker: read a history in the text format
-//! (see `polysi_history::codec`) and report the SI verdict, the anomaly
-//! class, and optionally the interpreted counterexample as Graphviz DOT.
+//! (see `polysi_history::codec`) and report the isolation verdict, the
+//! anomaly class, and optionally the interpreted counterexample as
+//! Graphviz DOT.
 //!
 //! ```sh
-//! polysi check history.txt            # verdict + anomaly + cycle
+//! polysi check history.txt                  # SI verdict + anomaly + cycle
+//! polysi check history.txt --isolation ser  # serializability instead of SI
+//! polysi check history.txt --shards auto    # shard by key connectivity
 //! polysi check history.txt --dot out.dot
 //! polysi check history.txt --no-pruning
-//! polysi stats history.txt            # workload statistics only
-//! polysi demo                         # run the built-in long-fork demo
+//! polysi stats history.txt                  # workload statistics only
+//! polysi demo                               # run the built-in long-fork demo
 //! ```
 
+use polysi::checker::engine::{CheckEngine, EngineOptions, IsolationLevel, Sharding};
 use polysi::checker::{check_si, dot, CheckOptions, Outcome};
 use polysi::history::{codec, stats::HistoryStats, History};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
     );
     ExitCode::from(2)
 }
@@ -31,7 +35,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => {
             let Some(path) = args.get(1) else { return usage() };
-            let mut opts = CheckOptions::default();
+            let mut opts = EngineOptions { sharding: Sharding::Off, ..Default::default() };
+            let mut isolation = IsolationLevel::Si;
             let mut dot_path: Option<String> = None;
             let mut quiet = false;
             let mut i = 2;
@@ -40,6 +45,28 @@ fn main() -> ExitCode {
                     "--no-pruning" => opts.pruning = false,
                     "--plain" => opts.mode = polysi::polygraph::ConstraintMode::Plain,
                     "--quiet" => quiet = true,
+                    "--isolation" => {
+                        i += 1;
+                        isolation = match args.get(i).map(String::as_str) {
+                            Some("si") => IsolationLevel::Si,
+                            Some("ser") => IsolationLevel::Ser,
+                            other => {
+                                eprintln!("--isolation takes si|ser, got {other:?}");
+                                return usage();
+                            }
+                        };
+                    }
+                    "--shards" => {
+                        i += 1;
+                        opts.sharding = match args.get(i).map(String::as_str) {
+                            Some("auto") => Sharding::Auto,
+                            Some("off") => Sharding::Off,
+                            other => {
+                                eprintln!("--shards takes auto|off, got {other:?}");
+                                return usage();
+                            }
+                        };
+                    }
                     "--dot" => {
                         i += 1;
                         dot_path = args.get(i).cloned();
@@ -61,13 +88,28 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            let report = check_si(&history, &opts);
+            // Wall-clock as observed here: `report.timings` sums per-shard
+            // CPU time on sharded runs, which overstates elapsed time.
+            let t0 = std::time::Instant::now();
+            let report = CheckEngine::new(isolation, opts).check(&history);
+            let elapsed = t0.elapsed();
+            let shard_line = report.shard_stats.map(|s| match s.fallback {
+                None => {
+                    format!("sharded into {} components (largest {} txns)", s.components, s.largest)
+                }
+                Some(f) => {
+                    format!("whole-history check ({f:?}, {} key components)", s.key_components)
+                }
+            });
             match &report.outcome {
                 Outcome::Si => {
-                    println!("OK: history satisfies snapshot isolation");
+                    println!("OK: history satisfies {}", isolation.long_name());
                     if !quiet {
                         println!("  {}", HistoryStats::of(&history));
-                        println!("  checked in {:?}", report.timings.total());
+                        if let Some(line) = &shard_line {
+                            println!("  {line}");
+                        }
+                        println!("  checked in {elapsed:?}");
                     }
                     ExitCode::SUCCESS
                 }
@@ -81,6 +123,9 @@ fn main() -> ExitCode {
                 Outcome::CyclicViolation(v) => {
                     println!("VIOLATION: {}", v.anomaly);
                     if !quiet {
+                        if let Some(line) = &shard_line {
+                            println!("  {line}");
+                        }
                         for e in &v.cycle {
                             println!(
                                 "  {} {} -> {}",

@@ -17,10 +17,10 @@ fn corpus_templates_classified_as_named() {
         seen.insert(template.to_string());
         let report = check_si(&entry.history, &CheckOptions::default());
         match (template, &report.outcome) {
-            ("lost-update", Outcome::CyclicViolation(v)) => {
+            ("lost-update" | "sharded-lost-update", Outcome::CyclicViolation(v)) => {
                 assert_eq!(v.anomaly, Anomaly::LostUpdate)
             }
-            ("long-fork", Outcome::CyclicViolation(v)) => {
+            ("long-fork" | "sharded-long-fork", Outcome::CyclicViolation(v)) => {
                 assert_eq!(v.anomaly, Anomaly::LongFork)
             }
             ("causality-violation", Outcome::CyclicViolation(v)) => {
@@ -41,7 +41,7 @@ fn corpus_templates_classified_as_named() {
             (t, _) => panic!("template {t} produced the wrong outcome kind"),
         }
     }
-    assert_eq!(seen.len(), 6, "all six templates exercised: {seen:?}");
+    assert_eq!(seen.len(), 8, "all eight templates exercised: {seen:?}");
 }
 
 #[test]

@@ -65,12 +65,16 @@ fn stats_prints_counts() {
 /// Each entry is (file, expected exit code, required stdout substring).
 #[test]
 fn fixture_corpus_has_stable_verdicts() {
-    let fixtures: [(&str, i32, &str); 5] = [
+    let fixtures: [(&str, i32, &str); 9] = [
         ("long_fork.txt", 1, "long fork"),
         ("lost_update.txt", 1, "lost update"),
         ("write_skew.txt", 0, "OK"),
         ("aborted_read.txt", 1, "aborted read"),
         ("serializable.txt", 0, "OK"),
+        ("shard_disjoint_components.txt", 0, "OK"),
+        ("shard_component_lost_update.txt", 1, "lost update"),
+        ("shard_cross_session_fallback.txt", 0, "OK"),
+        ("ser_write_skew_chain.txt", 0, "OK"),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for (file, expected_code, needle) in fixtures {
@@ -82,7 +86,70 @@ fn fixture_corpus_has_stable_verdicts() {
             "{file}: wrong exit code\nstdout: {stdout}"
         );
         assert!(stdout.contains(needle), "{file}: missing {needle:?} in output\n{stdout}");
+        // `--shards auto` never changes a verdict, only the execution plan.
+        let sharded = bin()
+            .arg("check")
+            .arg(dir.join(file))
+            .args(["--shards", "auto"])
+            .output()
+            .expect("run sharded check");
+        assert_eq!(
+            sharded.status.code(),
+            Some(expected_code),
+            "{file}: --shards auto changed the verdict"
+        );
     }
+}
+
+/// The serializability mode: SER rejects SI-acceptable write skew and the
+/// sharded run agrees with the whole-history one.
+#[test]
+fn isolation_ser_flag_rejects_write_skew() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for file in ["write_skew.txt", "ser_write_skew_chain.txt"] {
+        for shards in ["off", "auto"] {
+            let out = bin()
+                .arg("check")
+                .arg(dir.join(file))
+                .args(["--isolation", "ser", "--shards", shards])
+                .output()
+                .expect("run ser check");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert_eq!(out.status.code(), Some(1), "{file} --shards {shards}\n{stdout}");
+            assert!(stdout.contains("write skew"), "{file}: {stdout}");
+        }
+    }
+    // A serial history stays serializable.
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("serializable.txt"))
+        .args(["--isolation", "ser"])
+        .output()
+        .expect("run ser check");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("serializability"));
+}
+
+/// `--shards auto` reports its partition (or the fallback reason).
+#[test]
+fn shards_auto_reports_partition() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("shard_disjoint_components.txt"))
+        .args(["--shards", "auto"])
+        .output()
+        .expect("run check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sharded into 2 components"), "{stdout}");
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("shard_cross_session_fallback.txt"))
+        .args(["--shards", "auto"])
+        .output()
+        .expect("run check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CrossShardSessions"), "{stdout}");
 }
 
 /// Every fixture parses, and `polysi stats` succeeds on it regardless of
@@ -103,7 +170,7 @@ fn fixture_corpus_parses_and_has_stats() {
         assert!(out.status.success(), "{}", path.display());
         assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
     }
-    assert_eq!(count, 5, "fixture corpus changed size without updating the verdict table");
+    assert_eq!(count, 9, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]

@@ -22,6 +22,7 @@ use polysi::baselines::{
     cobra_check_ser, cobra_si_check, dbcop_check_si, CobraOptions, DbcopVerdict, SerVerdict,
     SiVerdict,
 };
+use polysi::checker::engine::{check, EngineOptions, IsolationLevel, Sharding};
 use polysi::checker::{check_si, oracle::oracle_check_si_with_limit, CheckOptions, Outcome};
 use polysi::dbsim::testkit::{conformance_corpus, ConformanceCase, Expectation};
 use polysi::history::{AxiomViolation, Facts, History};
@@ -185,6 +186,37 @@ fn injected_anomalies_are_caught_and_classified() {
         }
     }
     assert!(anomalous >= CORPUS_ANOMALIES, "only {anomalous} anomalous cases swept");
+}
+
+/// The engine's first-class SER mode is differentially tested against the
+/// independent Cobra baseline on the full conformance corpus: zero verdict
+/// disagreements, sharded or not.
+#[test]
+fn engine_ser_mode_agrees_with_cobra_on_corpus() {
+    for case in corpus() {
+        let cobra = cobra_check_ser(&case.history, &CobraOptions::default()).0;
+        for sharding in [Sharding::Off, Sharding::Auto] {
+            let opts = EngineOptions { sharding, interpret: false, ..Default::default() };
+            let engine = check(&case.history, IsolationLevel::Ser, &opts);
+            assert_eq!(
+                engine.accepted(),
+                cobra == SerVerdict::Serializable,
+                "{}: engine SER ({sharding:?}) disagrees with Cobra",
+                case.name
+            );
+        }
+        // The hierarchy inside the engine itself: SER acceptance implies
+        // SI acceptance.
+        let opts =
+            EngineOptions { sharding: Sharding::Off, interpret: false, ..Default::default() };
+        if check(&case.history, IsolationLevel::Ser, &opts).accepted() {
+            assert!(
+                check(&case.history, IsolationLevel::Si, &opts).accepted(),
+                "{}: engine says SER but not SI",
+                case.name
+            );
+        }
+    }
 }
 
 /// Cobra's serializability verdict respects the isolation hierarchy on

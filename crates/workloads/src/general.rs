@@ -157,6 +157,42 @@ pub fn general_wh(seed: u64) -> GeneralParams {
     GeneralParams { read_pct: 30, ..general_rh(seed) }
 }
 
+/// Generate a *multi-component* (shardable) workload: `components`
+/// independent copies of `base`, each on its own disjoint key range
+/// (`c * base.keys ..`), with all sessions concatenated into one plan.
+///
+/// Because no key and no session spans two copies, the resulting history
+/// partitions into at least `components` key-connectivity components
+/// (`polysi_history::ShardPlan`) and the checking engine can verify the
+/// copies in parallel. This models federated or partitioned deployments —
+/// many services sharing one database but never touching each other's
+/// rows — the target of the `--shards auto` checking mode.
+pub fn multi_component(base: &GeneralParams, components: usize) -> Plan {
+    let mut sessions = Vec::new();
+    for c in 0..components.max(1) {
+        let params = GeneralParams {
+            seed: base.seed.wrapping_add(c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..*base
+        };
+        let offset = c as u64 * base.keys.max(1);
+        for sess in generate(&params).sessions {
+            sessions.push(
+                sess.into_iter()
+                    .map(|txn| {
+                        txn.into_iter()
+                            .map(|op| match op {
+                                OpIntent::Read(k) => OpIntent::Read(Key(k.0 + offset)),
+                                OpIntent::Write(k) => OpIntent::Write(Key(k.0 + offset)),
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            );
+        }
+    }
+    Plan { sessions }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +285,31 @@ mod tests {
         }
         let frac = hot as f64 / total as f64;
         assert!((0.75..=0.85).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn multi_component_keeps_key_ranges_disjoint() {
+        let base = GeneralParams {
+            sessions: 2,
+            txns_per_session: 3,
+            ops_per_txn: 4,
+            keys: 10,
+            ..Default::default()
+        };
+        let plan = multi_component(&base, 3);
+        assert_eq!(plan.sessions.len(), 6);
+        for (si, sess) in plan.sessions.iter().enumerate() {
+            let comp = (si / 2) as u64;
+            for op in sess.iter().flatten() {
+                let k = op.key().0;
+                assert!(
+                    (comp * 10..(comp + 1) * 10).contains(&k),
+                    "session {si} (component {comp}) escaped its key range: key {k}"
+                );
+            }
+        }
+        // Degenerate arguments collapse to the plain generator shape.
+        assert_eq!(multi_component(&base, 0).sessions.len(), 2);
     }
 
     #[test]

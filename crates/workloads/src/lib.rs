@@ -17,6 +17,7 @@ mod plan;
 pub mod sql;
 
 pub use general::{
-    general_rh, general_rw, general_wh, generate, GeneralParams, KeyDistribution, Zipf,
+    general_rh, general_rw, general_wh, generate, multi_component, GeneralParams, KeyDistribution,
+    Zipf,
 };
 pub use plan::{OpIntent, Plan};

@@ -2,7 +2,7 @@
 //!
 //! The build environment has no route to crates.io, so the real `proptest`
 //! cannot be fetched. This crate implements the subset the test suites
-//! need — the [`Strategy`] trait with `prop_map`/`prop_flat_map`, integer
+//! need — the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, integer
 //! ranges and tuples as strategies, `any::<bool>()`, [`collection::vec`],
 //! [`strategy::Just`], the `proptest!`/`prop_assert*`/`prop_assume!`
 //! macros, and a case-running [`test_runner::TestRunner`] — with one
