@@ -1,0 +1,104 @@
+//! Prune-stage wall-clock: rebuild-vs-incremental reachability oracle ×
+//! sweep thread count, on 3200-txn `general` and `multi_component`
+//! workloads.
+//!
+//! The rebuild row is the pre-incremental loop (a from-scratch Kahn sort +
+//! closure per pass); `incremental` maintains the oracle across passes via
+//! `KnownGraph::insert_edges` and, at `threads > 1`, fans the per-pass
+//! constraint sweep out over scoped threads. Following the scaling-paradox
+//! lesson of "When More Cores Hurts", every parallel row reports its
+//! speedup against the *sequential incremental* baseline as well as
+//! against the rebuild loop — a parallel configuration that loses to
+//! either is a regression, not a win.
+//!
+//! `--quick` shrinks the workload and the thread sweep for CI smoke runs.
+
+use polysi_bench::{csv_append, CountingAllocator};
+use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
+use polysi_history::Facts;
+use polysi_polygraph::{ConstraintMode, Polygraph, PruneOptions, PruneResult};
+use polysi_workloads::{multi_component, GeneralParams};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One timed prune run; returns (seconds, accepted, survivors, known len).
+fn timed(base: &Polygraph, opts: &PruneOptions) -> (f64, bool, usize, usize) {
+    let mut g = base.clone();
+    let t = Instant::now();
+    let result = g.prune_with(opts);
+    let secs = t.elapsed().as_secs_f64();
+    (secs, matches!(result, PruneResult::Pruned(_)), g.constraints.len(), g.known.len())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = 0x009C_EEED;
+    let total_sessions = 8usize;
+    let txns = if quick { 480 } else { 3200 };
+    let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    println!("# Prune stage: rebuild vs incremental × threads ({txns} txns)");
+    println!(
+        "{:<16} {:>7} {:>9} {:<12} {:>7} {:>10} {:>9} {:>9}",
+        "workload", "txns", "cons", "mode", "threads", "secs", "vs-reb", "vs-seq"
+    );
+    let mut rows = Vec::new();
+    for (name, components) in [("general", 1usize), ("multi_component", 4)] {
+        let base = GeneralParams {
+            sessions: (total_sessions / components).max(1),
+            txns_per_session: txns / total_sessions,
+            ops_per_txn: 8,
+            keys: 40,
+            read_pct: 50,
+            seed,
+            ..Default::default()
+        };
+        let plan = multi_component(&base, components);
+        let sim = run(&plan, &SimConfig::new(SimLevel::SnapshotIsolation, seed));
+        let h = sim.history;
+        let facts = Facts::analyze(&h);
+        assert!(facts.axioms_ok(), "{name}: axioms failed");
+        let g = Polygraph::from_history(&h, &facts, ConstraintMode::Generalized);
+        let cons = g.constraints.len();
+
+        let mut measurements = vec![(
+            "rebuild",
+            1usize,
+            timed(&g, &PruneOptions { incremental: false, ..Default::default() }),
+        )];
+        for &t in threads {
+            let m = timed(&g, &PruneOptions { threads: t, ..Default::default() });
+            measurements.push(("incremental", t, m));
+        }
+        let rebuild_secs = measurements[0].2 .0;
+        let seq_secs = measurements
+            .iter()
+            .find(|(mode, t, _)| *mode == "incremental" && *t == 1)
+            .map_or(rebuild_secs, |(_, _, m)| m.0);
+        let reference = (measurements[0].2 .1, measurements[0].2 .2, measurements[0].2 .3);
+        for (mode, nthreads, (secs, ok, survivors, known)) in measurements {
+            assert_eq!(
+                reference,
+                (ok, survivors, known),
+                "{name}/{mode}/{nthreads} diverged from the rebuild loop"
+            );
+            let vs_rebuild = rebuild_secs / secs;
+            let vs_seq = seq_secs / secs;
+            println!(
+                "{name:<16} {:>7} {cons:>9} {mode:<12} {nthreads:>7} {secs:>10.3} {vs_rebuild:>8.2}x {vs_seq:>8.2}x",
+                h.len()
+            );
+            rows.push(format!(
+                "{name},{},{cons},{mode},{nthreads},{secs:.6},{vs_rebuild:.3},{vs_seq:.3},{ok}",
+                h.len()
+            ));
+        }
+    }
+    csv_append(
+        "prune",
+        "workload,txns,constraints,mode,threads,seconds,speedup_vs_rebuild,speedup_vs_seq,accepted",
+        &rows,
+    );
+    println!("\nCSV appended to bench_results/prune.csv");
+}

@@ -11,7 +11,7 @@
 //! |---|---|---|
 //! | [`Stage::Axioms`] | Algorithm 1, lines 2–4 (`CheckNonCyclicAxioms`) | `Int`, aborted/intermediate reads, UniqueValue via [`Facts::analyze`]; on failure the graph stages are skipped |
 //! | [`Stage::Construct`] | Algorithm 2 (`CreateKnownGraph` + `GenerateConstraints`) | known `SO ∪ WR` (+ init-read `RW`, + RMW-inferred `WW` under SER) edges and per-key writer-pair constraints |
-//! | [`Stage::Prune`] | Algorithm 1, lines 10–32 (`PruneConstraints`) | worklist-driven fixpoint resolving constraints whose one side closes a known cycle |
+//! | [`Stage::Prune`] | Algorithm 1, lines 10–32 (`PruneConstraints`) | worklist-driven fixpoint resolving constraints whose one side closes a known cycle; the reachability oracle updates incrementally across passes and the per-pass sweep can fan out over [`PruneThreads`] scoped threads |
 //! | [`Stage::Encode`] | Algorithm 1, lines 5–7 (encoding, Section 4.4) | one selector variable per surviving constraint guarding graph edges in the SAT-modulo-acyclicity solver |
 //! | [`Stage::Solve`] | Algorithm 1, lines 8–9 (solving + counterexample) | CDCL search; on UNSAT a violating cycle is extracted, classified, and interpreted |
 //!
@@ -42,8 +42,8 @@ use crate::check::{CheckOptions, CheckReport, EncodeStats, Outcome, StageTimings
 use crate::interpret::interpret;
 use polysi_history::{Facts, History, ShardComponent, ShardFallback, ShardPlan};
 use polysi_polygraph::{
-    ConstraintMode, Edge, KnownGraph, KnownGraphResult, Label, Polygraph, PruneResult, PruneStats,
-    Semantics,
+    ConstraintMode, Edge, KnownGraph, KnownGraphResult, Label, Polygraph, PruneOptions,
+    PruneResult, PruneStats, Semantics,
 };
 use polysi_solver::{Lit, SolveResult, Solver, SolverStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -99,6 +99,35 @@ pub enum Sharding {
     Auto,
 }
 
+/// Worker threads for the intra-component constraint sweep of the Prune
+/// stage. Any setting produces byte-identical verdicts, resolved-edge
+/// sets, and counterexample cycles — the sweep is read-only against the
+/// shared reachability oracle and resolutions are applied in constraint
+/// order — so this is purely a performance knob (CLI `--prune-threads`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PruneThreads {
+    /// Use the machine's available parallelism, divided across concurrent
+    /// shard pipelines when the history is sharded.
+    #[default]
+    Auto,
+    /// Exactly `n` sweep threads per pruning unit (1 = sequential).
+    Fixed(usize),
+}
+
+impl PruneThreads {
+    /// Resolve to a concrete thread count for one of `units` concurrently
+    /// pruning pipeline units. `Fixed` is capped at a small multiple of
+    /// the machine's parallelism — an absurd `--prune-threads` value must
+    /// degrade to oversubscription, not exhaust the process thread limit.
+    fn resolve(self, units: usize) -> usize {
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        match self {
+            PruneThreads::Fixed(n) => n.clamp(1, cores.saturating_mul(4).max(64)),
+            PruneThreads::Auto => (cores / units.max(1)).max(1),
+        }
+    }
+}
+
 /// One stage of the pipeline (see the module docs for the mapping back to
 /// Algorithm 1/2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -147,6 +176,8 @@ pub struct EngineOptions {
     /// Seed solver decision phases along a topological order of the known
     /// graph.
     pub phase_seeding: bool,
+    /// Intra-component parallelism of the Prune stage's constraint sweep.
+    pub prune_threads: PruneThreads,
 }
 
 impl Default for EngineOptions {
@@ -157,13 +188,17 @@ impl Default for EngineOptions {
             pruning: true,
             interpret: true,
             phase_seeding: true,
+            prune_threads: PruneThreads::Auto,
         }
     }
 }
 
 impl From<&CheckOptions> for EngineOptions {
     /// The compatibility mapping used by `check_si`: same knobs, sharding
-    /// off (so the legacy entry point behaves exactly as before).
+    /// off and a sequential prune sweep. Verdict-compatible with earlier
+    /// releases; the witness cycle on a rejected history may differ (the
+    /// incremental oracle surfaces violations at insert time rather than
+    /// at the next pass's rebuild).
     fn from(opts: &CheckOptions) -> Self {
         EngineOptions {
             sharding: Sharding::Off,
@@ -171,6 +206,7 @@ impl From<&CheckOptions> for EngineOptions {
             pruning: opts.pruning,
             interpret: opts.interpret,
             phase_seeding: opts.phase_seeding,
+            prune_threads: PruneThreads::Fixed(1),
         }
     }
 }
@@ -249,7 +285,9 @@ impl CheckEngine {
         }
 
         let (mut unit, shard_stats) = match self.opts.sharding {
-            Sharding::Off => (self.check_unit(h, &facts, None), None),
+            Sharding::Off => {
+                (self.check_unit(h, &facts, None, self.prune_options(&facts, 1)), None)
+            }
             Sharding::Auto => {
                 let plan = ShardPlan::analyze(h);
                 let stats = ShardStats {
@@ -261,7 +299,7 @@ impl CheckEngine {
                 let unit = if plan.is_shardable() {
                     self.check_shards(h, &facts, &plan)
                 } else {
-                    self.check_unit(h, &facts, None)
+                    self.check_unit(h, &facts, None, self.prune_options(&facts, 1))
                 };
                 (unit, Some(stats))
             }
@@ -295,6 +333,9 @@ impl CheckEngine {
         let ncomp = plan.components.len();
         let workers =
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).clamp(1, ncomp);
+        // Shard pipelines run `workers`-wide, so each unit's intra-prune
+        // sweep gets a proportional share of the machine.
+        let prune_opts = self.prune_options(facts, workers);
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, UnitReport)>> = Mutex::new(Vec::with_capacity(ncomp));
         std::thread::scope(|s| {
@@ -304,7 +345,7 @@ impl CheckEngine {
                     if i >= ncomp {
                         break;
                     }
-                    let unit = self.check_unit(h, facts, Some(&plan.components[i]));
+                    let unit = self.check_unit(h, facts, Some(&plan.components[i]), prune_opts);
                     results.lock().expect("shard worker panicked").push((i, unit));
                 });
             }
@@ -343,9 +384,26 @@ impl CheckEngine {
         merged
     }
 
+    /// Prune options for one pipeline unit, `units` of which prune
+    /// concurrently: the thread knob resolves against the machine, and the
+    /// sweep chunk size derives from the history's txn-degree hints —
+    /// high-degree workloads carry more edges per constraint, so chunks
+    /// shrink to keep parallel sweep stragglers short.
+    fn prune_options(&self, facts: &Facts, units: usize) -> PruneOptions {
+        let threads = self.opts.prune_threads.resolve(units);
+        let chunk_size = (512.0 / (1.0 + facts.mean_txn_degree())).round() as usize;
+        PruneOptions { threads, chunk_size: chunk_size.clamp(16, 512), ..Default::default() }
+    }
+
     /// Stages Construct → Prune → Encode → Solve for one unit: the whole
     /// history (`comp == None`) or one key-connectivity component.
-    fn check_unit(&self, h: &History, facts: &Facts, comp: Option<&ShardComponent>) -> UnitReport {
+    fn check_unit(
+        &self,
+        h: &History,
+        facts: &Facts,
+        comp: Option<&ShardComponent>,
+        prune_opts: PruneOptions,
+    ) -> UnitReport {
         let semantics = self.isolation.semantics();
         let mut timings = StageTimings::default();
         let translate = |mut cycle: Vec<Edge>| {
@@ -368,12 +426,16 @@ impl CheckEngine {
 
         // Stage::Prune.
         let mut prune_stats = None;
+        let mut oracle = None;
         if self.opts.pruning {
             let t = Instant::now();
-            let pr = g.prune();
+            let (pr, orc) = g.prune_with_oracle(&prune_opts);
             timings.pruning = t.elapsed();
             match pr {
-                PruneResult::Pruned(stats) => prune_stats = Some(stats),
+                PruneResult::Pruned(stats) => {
+                    prune_stats = Some(stats);
+                    oracle = orc;
+                }
                 PruneResult::Violation(cycle) => {
                     return UnitReport {
                         cycle: Some(translate(cycle)),
@@ -386,9 +448,11 @@ impl CheckEngine {
             }
         }
 
-        // Stage::Encode.
+        // Stage::Encode. Phase seeding reuses the oracle pruning just
+        // maintained (it reflects every resolved edge) instead of paying a
+        // second from-scratch closure build.
         let t = Instant::now();
-        let (mut solver, encode_stats) = encode(&g, self.opts.phase_seeding);
+        let (mut solver, encode_stats) = encode(&g, self.opts.phase_seeding, oracle.as_deref());
         timings.encoding = t.elapsed();
 
         // Stage::Solve.
@@ -421,14 +485,22 @@ fn merge_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
 /// boundary + mid images); under SER it is the plain n-node graph with
 /// every edge direct. Selector phases are seeded from a topological order
 /// of the known graph so the solver's first full assignment is already
-/// near-acyclic.
-fn encode(g: &Polygraph, phase_seeding: bool) -> (Solver, EncodeStats) {
+/// near-acyclic; `oracle` (the reachability oracle pruning handed back,
+/// when it ran) supplies that order without a rebuild.
+fn encode(
+    g: &Polygraph,
+    phase_seeding: bool,
+    oracle: Option<&KnownGraph>,
+) -> (Solver, EncodeStats) {
     let n = g.n;
     let semantics = g.semantics;
     let topo: Option<Vec<u32>> = if phase_seeding {
-        match g.known_graph() {
-            KnownGraphResult::Acyclic(kg) => Some(kg.topo_positions()),
-            KnownGraphResult::Cyclic(_) => None, // solver will report Unsat
+        match oracle {
+            Some(kg) => Some(kg.topo_positions()),
+            None => match g.known_graph() {
+                KnownGraphResult::Acyclic(kg) => Some(kg.topo_positions()),
+                KnownGraphResult::Cyclic(_) => None, // solver will report Unsat
+            },
         }
     } else {
         None
@@ -652,6 +724,47 @@ mod tests {
         assert_eq!(stats.components, 1);
         assert_eq!(stats.key_components, 2);
         assert_eq!(stats.fallback, Some(ShardFallback::CrossShardSessions));
+    }
+
+    #[test]
+    fn prune_threads_do_not_change_reports() {
+        let histories = [write_skew_chain(), two_components_one_bad()];
+        for h in &histories {
+            for isolation in [IsolationLevel::Si, IsolationLevel::Ser] {
+                let run = |threads: PruneThreads| {
+                    let opts = EngineOptions { prune_threads: threads, ..Default::default() };
+                    check(h, isolation, &opts)
+                };
+                let seq = run(PruneThreads::Fixed(1));
+                for threads in [PruneThreads::Fixed(4), PruneThreads::Auto] {
+                    let par = run(threads);
+                    assert_eq!(seq.is_si(), par.is_si(), "{isolation:?} {threads:?}");
+                    let cycles = |r: &crate::check::CheckReport| match &r.outcome {
+                        Outcome::CyclicViolation(v) => format!("{:?}", v.cycle),
+                        _ => String::new(),
+                    };
+                    assert_eq!(cycles(&seq), cycles(&par), "{isolation:?} {threads:?}");
+                    assert_eq!(
+                        seq.prune_stats.map(|s| (s.constraints_after, s.unknown_deps_after)),
+                        par.prune_stats.map(|s| (s.constraints_after, s.unknown_deps_after)),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prune_threads_resolve() {
+        assert_eq!(PruneThreads::Fixed(3).resolve(8), 3);
+        assert_eq!(PruneThreads::Fixed(0).resolve(1), 1);
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        assert_eq!(
+            PruneThreads::Fixed(usize::MAX).resolve(1),
+            cores.saturating_mul(4).max(64),
+            "absurd --prune-threads values must be capped, not spawned"
+        );
+        assert!(PruneThreads::Auto.resolve(1) >= 1);
+        assert!(PruneThreads::Auto.resolve(usize::MAX) >= 1);
     }
 
     #[test]

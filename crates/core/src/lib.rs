@@ -53,7 +53,9 @@ pub use anomaly::Anomaly;
 pub use check::{
     check_si, CheckOptions, CheckReport, EncodeStats, Outcome, StageTimings, Violation,
 };
-pub use engine::{check, CheckEngine, EngineOptions, IsolationLevel, ShardStats, Sharding, Stage};
+pub use engine::{
+    check, CheckEngine, EngineOptions, IsolationLevel, PruneThreads, ShardStats, Sharding, Stage,
+};
 pub use interpret::{Certainty, Scenario};
 pub use list::{check_si_list, ListHistory, ListOp, ListReport, ListTxn, ListViolation};
 pub use polysi_history::ShardFallback;

@@ -147,6 +147,104 @@ fn sharded_long_fork(base: u64) -> History {
     b.build()
 }
 
+/// Template: a long session-order RMW chain on `x` with sparse
+/// cross-session reads from an independent `y` chain, capped by a stale
+/// read-modify-write pair on the chain tail. The chain makes pruning do a
+/// deep SO-driven resolution cascade before the lost update surfaces —
+/// the shape the incremental prune oracle is optimized for.
+fn so_chain_lost_update(base: u64) -> History {
+    let (x, y) = (Key(base), Key(base + 1));
+    let chain = 6u64;
+    let mut b = HistoryBuilder::new();
+    b.session(); // long RMW chain on x
+    b.begin().write(x, Value(base + 1)).commit();
+    for i in 1..chain {
+        b.begin().read(x, Value(base + i)).write(x, Value(base + i + 1)).commit();
+    }
+    b.session(); // independent chain on y with a sparse stale read of x
+    b.begin().write(y, Value(base + 20)).commit();
+    b.begin()
+        .read(y, Value(base + 20))
+        .read(x, Value(base + 1))
+        .write(y, Value(base + 21))
+        .commit();
+    b.begin().read(y, Value(base + 21)).write(y, Value(base + 22)).commit();
+    b.session(); // stale RMW pair on the x-chain tail: lost update
+    b.begin().read(x, Value(base + chain)).write(x, Value(base + 50)).commit();
+    b.session();
+    b.begin().read(x, Value(base + chain)).write(x, Value(base + 51)).commit();
+    b.build()
+}
+
+/// Template: a cross-session `WR` RMW chain (one session per link) capped
+/// by a stale pair — every writer pair on the key is a constraint, and
+/// resolving link `i` is what makes link `i+1` resolvable: a deep
+/// resolution cascade ending in a lost update.
+fn cascade_lost_update(base: u64) -> History {
+    let x = Key(base);
+    let links = 5u64;
+    let mut b = HistoryBuilder::new();
+    b.session();
+    b.begin().write(x, Value(base + 1)).commit();
+    for i in 1..links {
+        b.session();
+        b.begin().read(x, Value(base + i)).write(x, Value(base + i + 1)).commit();
+    }
+    b.session();
+    b.begin().read(x, Value(base + links)).write(x, Value(base + 60)).commit();
+    b.session();
+    b.begin().read(x, Value(base + links)).write(x, Value(base + 61)).commit();
+    b.build()
+}
+
+/// Template: the Figure 3 long fork staged behind a long session-order RMW
+/// chain — the chain feeds the anchor transaction (the fork's `T0`, which
+/// writes *both* keys' "old" versions), so the fork's constraints sit
+/// behind a cascade of SO-resolved ones.
+fn so_chain_long_fork(base: u64) -> History {
+    let (x, y) = (Key(base), Key(base + 1));
+    let chain = 4u64;
+    let mut b = HistoryBuilder::new();
+    b.session(); // chain establishing x's version history, then the anchor
+    b.begin().write(x, Value(base + 1)).commit();
+    for i in 1..chain {
+        b.begin().read(x, Value(base + i)).write(x, Value(base + i + 1)).commit();
+    }
+    b.begin()
+        .read(x, Value(base + chain))
+        .write(x, Value(base + 10))
+        .write(y, Value(base + 20))
+        .commit();
+    b.session();
+    b.begin().write(x, Value(base + 50)).commit(); // concurrent new x
+    b.session();
+    b.begin().write(y, Value(base + 60)).commit(); // concurrent new y
+    b.session();
+    // Sees the new x but the anchor's y...
+    b.begin().read(x, Value(base + 50)).read(y, Value(base + 20)).commit();
+    b.session();
+    // ...while this one sees the anchor's x and the new y: a long fork.
+    b.begin().read(x, Value(base + 10)).read(y, Value(base + 60)).commit();
+    b.build()
+}
+
+/// Template: causality violation across a long session-order write chain —
+/// a second session observes the chain's last write, then (later in its
+/// own session) reads the chain's first key as unwritten. The violating
+/// cycle threads the entire chain.
+fn so_cascade_causality(base: u64) -> History {
+    let chain = 6u64;
+    let mut b = HistoryBuilder::new();
+    b.session();
+    for i in 0..chain {
+        b.begin().write(Key(base + i), Value(base + i + 1)).commit();
+    }
+    b.session();
+    b.begin().read(Key(base + chain - 1), Value(base + chain)).commit();
+    b.begin().read(Key(base), Value::INIT).commit();
+    b.build()
+}
+
 /// A template: key/value base offset → anomalous history.
 type Template = fn(u64) -> History;
 
@@ -155,7 +253,7 @@ type Template = fn(u64) -> History;
 /// The paper replays 2477 known anomalies; `generate_corpus(2477, seed)`
 /// produces the same volume here.
 pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
-    let templates: [(&str, Template); 8] = [
+    let templates: [(&str, Template); 12] = [
         ("template:lost-update", lost_update),
         ("template:long-fork", long_fork),
         ("template:causality-violation", causality_violation),
@@ -164,6 +262,10 @@ pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
         ("template:intermediate-read", intermediate_read),
         ("template:sharded-lost-update", sharded_lost_update),
         ("template:sharded-long-fork", sharded_long_fork),
+        ("template:so-chain-lost-update", so_chain_lost_update),
+        ("template:cascade-lost-update", cascade_lost_update),
+        ("template:so-chain-long-fork", so_chain_long_fork),
+        ("template:so-cascade-causality", so_cascade_causality),
     ];
     let faults = [
         IsolationLevel::NoWriteConflictDetection,
@@ -236,13 +338,13 @@ mod tests {
     }
 
     #[test]
-    fn templates_cover_eight_anomaly_families() {
-        let corpus = generate_corpus(16, 1);
+    fn templates_cover_twelve_anomaly_families() {
+        let corpus = generate_corpus(24, 1);
         let names: std::collections::HashSet<_> = corpus
             .iter()
             .filter(|e| e.source.starts_with("template:"))
             .map(|e| e.source.clone())
             .collect();
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 12);
     }
 }

@@ -12,7 +12,9 @@
 //!   committed by anyone else between its begin and commit.
 //!
 //! The search is a memoized DFS over `(session positions, committed store,
-//! in-flight guards)` states. This is the same style of state-space search
+//! in-flight guards)` states: per-prefix failure verdicts are cached and
+//! answered before the state budget is charged, so only genuinely novel
+//! states consume budget. This is the same style of state-space search
 //! as the dbcop baseline \[Biswas & Enea, OOPSLA'19\] — polynomial for a
 //! fixed session count in the best case but exponential under high
 //! concurrency, which is exactly the degradation Figure 6 of the paper
@@ -76,13 +78,18 @@ impl Search {
         if self.done() {
             return ReplayResult::Si;
         }
-        self.states += 1;
-        if self.states > self.budget {
-            return ReplayResult::Budget;
-        }
+        // Memoized per-prefix verdict first: a state already proven a dead
+        // end answers for free, *before* it counts against the budget —
+        // the search re-reaches the same (positions, store, guards) prefix
+        // through many interleavings, so this is what keeps the budget for
+        // genuinely novel states.
         let fp = self.fingerprint();
         if self.failed.contains(&fp) {
             return ReplayResult::NotSi;
+        }
+        self.states += 1;
+        if self.states > self.budget {
+            return ReplayResult::Budget;
         }
         let mut saw_budget = false;
         for s in 0..self.sessions.len() {

@@ -114,9 +114,16 @@ pub fn fault_classes(level: IsolationLevel) -> &'static [&'static str] {
 /// (see [`crate::corpus::generate_corpus`]).
 pub fn corpus_classes(source: &str) -> &'static [&'static str] {
     match source {
-        "template:lost-update" | "template:sharded-lost-update" => &["lost update"],
-        "template:long-fork" | "template:sharded-long-fork" => &["long fork"],
-        "template:causality-violation" => &["causality violation"],
+        "template:lost-update"
+        | "template:sharded-lost-update"
+        | "template:so-chain-lost-update"
+        | "template:cascade-lost-update" => &["lost update"],
+        "template:long-fork" | "template:sharded-long-fork" | "template:so-chain-long-fork" => {
+            &["long fork"]
+        }
+        "template:causality-violation" | "template:so-cascade-causality" => {
+            &["causality violation"]
+        }
         "template:fractured-read" => &["fractured read"],
         "template:aborted-read" => &["aborted read"],
         "template:intermediate-read" => &["intermediate read"],

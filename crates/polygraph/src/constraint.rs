@@ -23,6 +23,13 @@ impl Constraint {
         self.either.len() + self.or.len()
     }
 
+    /// Whether any endpoint of the constraint's edges lies in the
+    /// `touched` transaction set — the worklist retest criterion of
+    /// `Polygraph::prune_with`.
+    pub fn incident(&self, touched: &[bool]) -> bool {
+        self.either.iter().chain(&self.or).any(|e| touched[e.from.idx()] || touched[e.to.idx()])
+    }
+
     /// The generalized constraint between writers `t` and `s` on `key`
     /// (Definition 9): `either` orders `t` before `s` (plus the implied
     /// anti-dependencies from `t`'s readers), `or` the reverse.

@@ -18,14 +18,40 @@ use polysi_history::TxnId;
 use polysi_solver::bitset::BitMatrix;
 
 /// Reachability oracle over the known induced SI graph.
+///
+/// The oracle is *incremental*: [`KnownGraph::insert_edges`] extends it with
+/// newly known edges in time proportional to the affected region — the
+/// layered topological order is maintained Pearce–Kelly style (the same
+/// affected-region reordering as `polysi_solver::theory::AcyclicityTheory`)
+/// and closure rows are updated by propagating the target's row into the
+/// ancestors of the source over the reverse adjacency — instead of the
+/// from-scratch Kahn sort + reverse-topological closure sweep of
+/// [`KnownGraph::build_with`]. Constraint pruning leans on this: passes
+/// after the first touch `O(affected)` closure rows rather than
+/// `O(n·m/64)`.
 pub struct KnownGraph {
     n: usize,
+    /// Edge-composition semantics the graph was built under.
+    semantics: Semantics,
     /// Layered adjacency: `adj[g2node] = (g2target, underlying edge)`.
     adj: Vec<Vec<(u32, Edge)>>,
+    /// Reverse layered adjacency (sources per node): the ancestor
+    /// iteration order of incremental closure updates.
+    radj: Vec<Vec<u32>>,
     /// `dep_in.row(j)` = transactions with a known `Dep` edge into `j`.
     dep_in: BitMatrix,
     /// Closure rows over layered nodes (2n × n columns, boundary targets).
     closure: BitMatrix,
+    /// Topological priority of each layered node (a permutation of
+    /// `0..2n`), maintained dynamically across insertions.
+    ord: Vec<u32>,
+    /// Closure rows grown by incremental updates (performance counter).
+    closure_updates: usize,
+    /// Typed edges accepted by [`KnownGraph::insert_edges`].
+    inserted_edges: usize,
+    // Pearce–Kelly DFS scratch (stamped to avoid clearing).
+    stamp: u32,
+    visited: Vec<u32>,
 }
 
 /// Result of building the known graph.
@@ -59,24 +85,43 @@ impl KnownGraph {
     /// [`Self::dep_edge_between`]) are meaningful only for SI-built graphs.
     pub fn build_with(n: usize, known: &[Edge], semantics: Semantics) -> KnownGraphResult {
         let mut adj: Vec<Vec<(u32, Edge)>> = vec![Vec::new(); 2 * n];
+        let mut radj: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
         let mut dep_in = BitMatrix::new(n);
         for &e in known {
             let (f, t) = (e.from.0, e.to.0);
             debug_assert_ne!(f, t, "self edges are malformed: {e:?}");
             if semantics == Semantics::Ser || e.label.is_dep() {
                 adj[b(f) as usize].push((b(t), e));
+                radj[b(t) as usize].push(b(f));
                 if semantics == Semantics::Si {
                     adj[b(f) as usize].push((n as u32 + t, e));
+                    radj[(n as u32 + t) as usize].push(b(f));
                     dep_in.set(t as usize, f as usize);
                 }
             } else {
                 adj[(n as u32 + f) as usize].push((b(t), e));
+                radj[b(t) as usize].push(n as u32 + f);
             }
         }
-        let g = KnownGraph { n, adj, dep_in, closure: BitMatrix::rect(0, 0) };
+        let g = KnownGraph {
+            n,
+            semantics,
+            adj,
+            radj,
+            dep_in,
+            closure: BitMatrix::rect(0, 0),
+            ord: vec![0; 2 * n],
+            closure_updates: 0,
+            inserted_edges: 0,
+            stamp: 0,
+            visited: vec![0; 2 * n],
+        };
         match g.topological_order() {
             Some(order) => {
                 let mut g = g;
+                for (pos, &node) in order.iter().enumerate() {
+                    g.ord[node as usize] = pos as u32;
+                }
                 g.compute_closure(&order);
                 KnownGraphResult::Acyclic(Box::new(g))
             }
@@ -130,15 +175,198 @@ impl KnownGraph {
     /// Positions of the boundary nodes in a topological order of the known
     /// induced graph: `pos[i] < pos[j]` means `i` can safely precede `j`.
     /// Used to seed solver phases with a near-acyclic initial orientation.
+    /// Reads the dynamically maintained order, so it stays cheap after any
+    /// number of [`KnownGraph::insert_edges`] calls.
     pub fn topo_positions(&self) -> Vec<u32> {
-        let order = self.topological_order().expect("KnownGraph is acyclic by construction");
-        let mut pos = vec![0u32; self.n];
-        for (p, &node) in order.iter().enumerate() {
-            if (node as usize) < self.n {
-                pos[node as usize] = p as u32;
+        self.ord[..self.n].to_vec()
+    }
+
+    /// The semantics the graph was built under.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Closure rows grown by incremental updates so far.
+    pub fn closure_updates(&self) -> usize {
+        self.closure_updates
+    }
+
+    /// Typed edges accepted by [`KnownGraph::insert_edges`] so far.
+    pub fn inserted_edges(&self) -> usize {
+        self.inserted_edges
+    }
+
+    /// The raw closure matrix (2n layered rows × n boundary columns), for
+    /// diagnostics and equivalence tests against a from-scratch build.
+    pub fn closure(&self) -> &BitMatrix {
+        &self.closure
+    }
+
+    /// Extend the oracle with newly known typed edges, maintaining the
+    /// topological order and the closure incrementally.
+    ///
+    /// Edges are applied in order; the first edge that would close a
+    /// violating cycle aborts the batch and returns that cycle (typed, no
+    /// two adjacent `RW` under SI), with every *earlier* edge of the batch
+    /// already applied. On `Ok` the oracle is exactly equivalent to a
+    /// from-scratch [`KnownGraph::build_with`] over the union of edges.
+    pub fn insert_edges(&mut self, batch: &[Edge]) -> Result<(), Vec<Edge>> {
+        for &e in batch {
+            if let Some(cycle) = self.closing_cycle(e) {
+                return Err(cycle);
+            }
+            self.insert_acyclic(e);
+        }
+        Ok(())
+    }
+
+    /// The violating cycle that adding `e` to the known graph would close,
+    /// if any — the incremental counterpart of the cyclicity check in
+    /// [`KnownGraph::build_with`]. Read-only; usable from parallel sweeps.
+    pub fn closing_cycle(&self, e: Edge) -> Option<Vec<Edge>> {
+        let (f, t) = (e.from, e.to);
+        debug_assert_ne!(f, t, "self edges are malformed: {e:?}");
+        if self.semantics == Semantics::Si && !e.label.is_dep() {
+            // RW f→t closes a cycle iff some Dep predecessor of `f` is
+            // reached from (or equals) `t` (Figure 4b).
+            if !self.rw_closes_cycle(f, t) {
+                return None;
+            }
+            let prec = self.witness_pred(f, t);
+            let mut cycle = vec![self.dep_edge_between(prec, f), e];
+            if t != prec {
+                cycle.extend(self.find_path(t, prec).expect("witness_pred reachability"));
+            }
+            return Some(cycle);
+        }
+        // Plain edge (SER) or Dep boundary image (SI): t ⇝ f.
+        if self.reaches(t, f) {
+            let mut cycle = vec![e];
+            cycle.extend(self.find_path(t, f).expect("reaches held"));
+            return Some(cycle);
+        }
+        // Dep i→k under SI also adds B(i)→M(k); a path M(k) ⇝ B(i) — an
+        // `RW` out of `k` composing back — closes a cycle the boundary
+        // image misses.
+        if self.semantics == Semantics::Si && self.closure.get(self.n + t.idx(), f.idx()) {
+            for &(j, rw) in &self.adj[self.n + t.idx()] {
+                let j = TxnId(j);
+                if j == f {
+                    return Some(vec![e, rw]);
+                }
+                if self.reaches(j, f) {
+                    let mut cycle = vec![e, rw];
+                    cycle.extend(self.find_path(j, f).expect("closure row held"));
+                    return Some(cycle);
+                }
+            }
+            unreachable!("M-node closure bit without a witnessing RW successor");
+        }
+        None
+    }
+
+    /// Insert one typed edge known not to close a cycle: push the layered
+    /// images, restore the topological order (Pearce–Kelly affected-region
+    /// reordering), and propagate closure rows into the ancestors.
+    fn insert_acyclic(&mut self, e: Edge) {
+        let (f, t) = (e.from.0 as usize, e.to.0 as usize);
+        let layered: [(usize, usize); 2] = match (self.semantics, e.label.is_dep()) {
+            (Semantics::Ser, _) => [(f, t), (usize::MAX, 0)],
+            (Semantics::Si, true) => [(f, t), (f, self.n + t)],
+            (Semantics::Si, false) => [(self.n + f, t), (usize::MAX, 0)],
+        };
+        for &(lu, lv) in layered.iter().filter(|&&(lu, _)| lu != usize::MAX) {
+            self.pk_reorder(lu as u32, lv as u32);
+            self.adj[lu].push((lv as u32, e));
+            self.radj[lv].push(lu as u32);
+            self.propagate_closure(lu, lv);
+        }
+        if self.semantics == Semantics::Si && e.label.is_dep() {
+            self.dep_in.set(t, f);
+        }
+        self.inserted_edges += 1;
+    }
+
+    /// Merge `closure[lv] ∪ {lv}` into `closure[lu]`, then BFS the reverse
+    /// adjacency, re-propagating every row that actually grew. Rows gain at
+    /// most `n` bits ever, so total incremental work is bounded by the
+    /// closure size, not the pass count.
+    fn propagate_closure(&mut self, lu: usize, lv: usize) {
+        let mut changed = self.closure.or_row_into(lv, lu);
+        if lv < self.n {
+            changed |= self.closure.set_fresh(lu, lv);
+        }
+        if !changed {
+            return;
+        }
+        self.closure_updates += 1;
+        let mut queue: Vec<u32> = vec![lu as u32];
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head] as usize;
+            head += 1;
+            for i in 0..self.radj[x].len() {
+                let w = self.radj[x][i] as usize;
+                if w != x && self.closure.or_row_into(x, w) {
+                    self.closure_updates += 1;
+                    queue.push(w as u32);
+                }
             }
         }
-        pos
+    }
+
+    /// Pearce–Kelly: make `ord` a valid topological order again after the
+    /// (acyclicity-prechecked) insertion of layered edge `u → v`. In-order
+    /// insertions are O(1); otherwise the affected region — forward from
+    /// `v` below `ord[u]`, backward from `u` above `ord[v]` — is discovered
+    /// by a double DFS and its priorities are pooled and redistributed,
+    /// exactly as in `polysi_solver::theory::AcyclicityTheory::insert`.
+    fn pk_reorder(&mut self, u: u32, v: u32) {
+        let (lb, ub) = (self.ord[v as usize], self.ord[u as usize]);
+        if ub < lb {
+            return;
+        }
+        // Forward DFS from v over nodes with ord <= ub.
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let mut delta_f: Vec<u32> = Vec::new();
+        let mut stack = vec![v];
+        self.visited[v as usize] = stamp;
+        while let Some(x) = stack.pop() {
+            debug_assert_ne!(x, u, "pk_reorder called with a cycle-closing edge");
+            delta_f.push(x);
+            for &(y, _) in &self.adj[x as usize] {
+                if self.ord[y as usize] <= ub && self.visited[y as usize] != stamp {
+                    self.visited[y as usize] = stamp;
+                    stack.push(y);
+                }
+            }
+        }
+        // Backward DFS from u over nodes with ord >= lb.
+        self.stamp += 1;
+        let bstamp = self.stamp;
+        let mut delta_b: Vec<u32> = Vec::new();
+        let mut stack = vec![u];
+        self.visited[u as usize] = bstamp;
+        while let Some(x) = stack.pop() {
+            delta_b.push(x);
+            for &y in &self.radj[x as usize] {
+                if self.ord[y as usize] >= lb && self.visited[y as usize] != bstamp {
+                    self.visited[y as usize] = bstamp;
+                    stack.push(y);
+                }
+            }
+        }
+        // δB (sources) must precede δF (sinks): pool their current
+        // priorities and redistribute.
+        delta_b.sort_unstable_by_key(|&x| self.ord[x as usize]);
+        delta_f.sort_unstable_by_key(|&x| self.ord[x as usize]);
+        let mut slots: Vec<u32> =
+            delta_b.iter().chain(delta_f.iter()).map(|&x| self.ord[x as usize]).collect();
+        slots.sort_unstable();
+        for (node, slot) in delta_b.iter().chain(delta_f.iter()).zip(slots) {
+            self.ord[*node as usize] = slot;
+        }
     }
 
     /// Whether `a` reaches `b` in the known induced SI graph (non-reflexive:
@@ -153,12 +381,10 @@ impl KnownGraph {
     /// `∃ prec` with a known `Dep` edge `prec → from` such that
     /// `to == prec` or `to ⇝ prec` (Figure 4b of the paper).
     pub fn rw_closes_cycle(&self, from: TxnId, to: TxnId) -> bool {
-        let preds = self.dep_in.row(from.0 as usize);
         if self.dep_in.get(from.0 as usize, to.0 as usize) {
             return true;
         }
-        let row = self.closure.row(b(to.0) as usize);
-        row.iter().zip(preds).any(|(&r, &p)| r & p != 0)
+        self.closure.row_intersects(b(to.0) as usize, self.dep_in.row(from.0 as usize))
     }
 
     /// Some `Dep` predecessor of `from` that `to` can reach (or equals),
@@ -398,6 +624,88 @@ mod tests {
         let p = g.find_path(TxnId(0), TxnId(3)).unwrap();
         assert_eq!(p, vec![so(0, 1), wr(1, 2), rw(2, 3)]);
         assert!(g.find_path(TxnId(3), TxnId(0)).is_none());
+    }
+
+    #[test]
+    fn insert_edges_matches_rebuild() {
+        let initial = [so(0, 1), wr(1, 2)];
+        let extra = [ww(2, 3), rw(3, 4), wr(0, 4)];
+        let mut g = acyclic(5, &initial);
+        g.insert_edges(&extra).expect("acyclic");
+        let all: Vec<Edge> = initial.iter().chain(&extra).copied().collect();
+        let full = acyclic(5, &all);
+        for a in 0..5u32 {
+            for w in 0..5u32 {
+                assert_eq!(
+                    g.reaches(TxnId(a), TxnId(w)),
+                    full.reaches(TxnId(a), TxnId(w)),
+                    "reaches({a}, {w})"
+                );
+            }
+        }
+        assert_eq!(g.closure().count_ones(), full.closure().count_ones());
+        assert_eq!(g.inserted_edges(), 3);
+        assert!(g.closure_updates() > 0);
+        // The maintained order stays topological for the induced graph.
+        let pos = g.topo_positions();
+        for a in 0..5usize {
+            for w in 0..5usize {
+                if g.reaches(TxnId(a as u32), TxnId(w as u32)) {
+                    assert!(pos[a] < pos[w], "order violates reachability {a} -> {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insert_detects_dep_cycle() {
+        let mut g = acyclic(3, &[wr(0, 1), ww(1, 2)]);
+        let err = g.insert_edges(&[ww(2, 0)]).unwrap_err();
+        assert_eq!(err.len(), 3);
+        assert_eq!(err[0], ww(2, 0));
+    }
+
+    #[test]
+    fn insert_detects_rw_composition_cycle() {
+        // Dep 0→1 known; RW 1→0 closes 0→1→0.
+        let mut g = acyclic(2, &[wr(0, 1)]);
+        let err = g.insert_edges(&[rw(1, 0)]).unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err.contains(&rw(1, 0)));
+    }
+
+    #[test]
+    fn insert_dep_detects_mid_path_cycle() {
+        // RW 1→0 is fine on its own (no Dep predecessor of 1 yet), but a
+        // later Dep 0→1 composes with it into the cycle 0 -WR-> 1 -RW-> 0 —
+        // visible only through the mid-node image of the new Dep edge.
+        let mut g = acyclic(2, &[]);
+        g.insert_edges(&[rw(1, 0)]).expect("lone RW composes with nothing");
+        let err = g.insert_edges(&[wr(0, 1)]).unwrap_err();
+        assert_eq!(err, vec![wr(0, 1), rw(1, 0)]);
+    }
+
+    #[test]
+    fn insert_batch_applies_prefix_before_failing() {
+        let mut g = acyclic(3, &[so(0, 1)]);
+        let err = g.insert_edges(&[ww(1, 2), ww(2, 0)]).unwrap_err();
+        assert_eq!(err[0], ww(2, 0));
+        // The first batch edge landed before the violation.
+        assert!(g.reaches(TxnId(0), TxnId(2)));
+    }
+
+    #[test]
+    fn insert_edges_under_ser_semantics() {
+        let mut g = match KnownGraph::build_with(3, &[wr(0, 1)], Semantics::Ser) {
+            KnownGraphResult::Acyclic(g) => g,
+            KnownGraphResult::Cyclic(c) => panic!("unexpected cycle {c:?}"),
+        };
+        // Under SER an RW edge is a plain edge: it extends reachability...
+        g.insert_edges(&[rw(1, 2)]).expect("chain");
+        assert!(g.reaches(TxnId(0), TxnId(2)));
+        // ...and a back edge closes a plain cycle.
+        let err = g.insert_edges(&[rw(2, 0)]).unwrap_err();
+        assert_eq!(err.len(), 3);
     }
 
     #[test]

@@ -32,4 +32,4 @@ mod polygraph;
 pub use constraint::Constraint;
 pub use edge::{Edge, Label};
 pub use graph::{KnownGraph, KnownGraphResult};
-pub use polygraph::{ConstraintMode, Polygraph, PruneResult, PruneStats, Semantics};
+pub use polygraph::{ConstraintMode, Polygraph, PruneOptions, PruneResult, PruneStats, Semantics};

@@ -6,6 +6,9 @@ use crate::constraint::Constraint;
 use crate::edge::{Edge, Label};
 use crate::graph::{KnownGraph, KnownGraphResult};
 use polysi_history::{Facts, History, ShardComponent, TxnId, WrSource};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Which constraint representation to generate (Section 5.4.3's
 /// differential variants).
@@ -38,6 +41,7 @@ pub enum Semantics {
 /// A generalized polygraph `G = (V, E, C)` over the transactions of one
 /// history (or one of its key-connectivity shards): known typed edges plus
 /// unresolved constraints.
+#[derive(Clone)]
 pub struct Polygraph {
     /// Number of transactions (vertex count).
     pub n: usize,
@@ -51,7 +55,8 @@ pub struct Polygraph {
     pub semantics: Semantics,
 }
 
-/// Counters reported in the paper's Table 3.
+/// Counters reported in the paper's Table 3, plus the incremental-oracle
+/// and per-pass timing counters of this implementation's prune stage.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PruneStats {
     /// Fixpoint iterations executed.
@@ -64,11 +69,25 @@ pub struct PruneStats {
     pub constraints_after: usize,
     /// Uncertain dependency edges remaining after pruning.
     pub unknown_deps_after: usize,
+    /// From-scratch reachability-oracle builds: 1 on the incremental path,
+    /// one per pass on the rebuild path.
+    pub graph_builds: usize,
+    /// Closure rows grown by incremental `insert_edges` updates.
+    pub closure_updates: usize,
+    /// Typed edges fed to the oracle incrementally (resolved constraint
+    /// sides).
+    pub incremental_edges: usize,
+    /// Wall-clock of the first (full-sweep) pass, including the initial
+    /// oracle build.
+    pub first_pass: Duration,
+    /// Wall-clock of all later (worklist) passes combined.
+    pub later_passes: Duration,
 }
 
 impl PruneStats {
     /// Merge per-shard counters into whole-run stats: counts add up;
-    /// `iterations` takes the maximum because shards prune concurrently.
+    /// `iterations` takes the maximum because shards prune concurrently;
+    /// pass timings add up (CPU time, like the engine's stage timings).
     pub fn merge(self, other: PruneStats) -> PruneStats {
         PruneStats {
             iterations: self.iterations.max(other.iterations),
@@ -76,6 +95,50 @@ impl PruneStats {
             unknown_deps_before: self.unknown_deps_before + other.unknown_deps_before,
             constraints_after: self.constraints_after + other.constraints_after,
             unknown_deps_after: self.unknown_deps_after + other.unknown_deps_after,
+            graph_builds: self.graph_builds + other.graph_builds,
+            closure_updates: self.closure_updates + other.closure_updates,
+            incremental_edges: self.incremental_edges + other.incremental_edges,
+            first_pass: self.first_pass + other.first_pass,
+            later_passes: self.later_passes + other.later_passes,
+        }
+    }
+}
+
+/// Knobs of [`Polygraph::prune_with`]. The defaults reproduce the
+/// sequential incremental pipeline. `threads`, `chunk_size`, and
+/// `parallel_min` are pure performance knobs: any setting yields
+/// byte-identical verdicts, resolved-edge sets, and counterexample cycles
+/// (the sweep is read-only and resolutions are applied in constraint
+/// order). `incremental` preserves verdicts but may surface a violation
+/// at a different point of a pass, so witnesses and the resolved prefix
+/// can differ between the two oracle modes on *rejected* histories.
+#[derive(Clone, Copy, Debug)]
+pub struct PruneOptions {
+    /// Worker threads for the per-pass constraint sweep (1 = in-place).
+    pub threads: usize,
+    /// Maintain the reachability oracle incrementally across passes via
+    /// [`KnownGraph::insert_edges`]; `false` rebuilds it from scratch every
+    /// pass (the pre-incremental loop, kept for the `prune` bench's
+    /// rebuild-vs-incremental comparison).
+    pub incremental: bool,
+    /// Constraints per parallel work unit; `0` derives a size from the
+    /// worklist length and thread count. Callers with workload knowledge
+    /// (e.g. the engine, from txn-degree hints) can override.
+    pub chunk_size: usize,
+    /// Worklists shorter than this stay in-place even when `threads > 1`
+    /// — thread setup would dominate, and later worklist passes are
+    /// usually tiny. Tests lower it to force the threaded path on small
+    /// inputs.
+    pub parallel_min: usize,
+}
+
+impl Default for PruneOptions {
+    fn default() -> Self {
+        PruneOptions {
+            threads: 1,
+            incremental: true,
+            chunk_size: 0,
+            parallel_min: PARALLEL_SWEEP_MIN,
         }
     }
 }
@@ -138,7 +201,18 @@ impl Polygraph {
     }
 
     /// Prune constraints to a fixpoint (procedure `PruneConstraints`,
-    /// Algorithm 1 lines 10–32), worklist-driven.
+    /// Algorithm 1 lines 10–32) with the default [`PruneOptions`]:
+    /// sequential sweep, incremental oracle.
+    pub fn prune(&mut self) -> PruneResult {
+        self.prune_with(&PruneOptions::default())
+    }
+
+    /// [`Polygraph::prune_with`], discarding the final oracle.
+    pub fn prune_with(&mut self, opts: &PruneOptions) -> PruneResult {
+        self.prune_with_oracle(opts).0
+    }
+
+    /// Worklist-driven constraint pruning.
     ///
     /// A constraint possibility is *impossible* when adding any one of its
     /// edges would close a cycle in the known induced graph `KI`; the
@@ -146,77 +220,209 @@ impl Polygraph {
     /// If both sides are impossible the history violates the isolation
     /// level.
     ///
+    /// Each pass is staged: a read-only *sweep* tests the worklist against
+    /// the shared oracle — chunked across scoped threads when
+    /// `opts.threads > 1` — and emits one resolution per constraint;
+    /// the main thread then *applies* them in constraint order (so the
+    /// lowest-index contradiction wins and results are identical for any
+    /// thread count), feeding resolved edges to the oracle via
+    /// [`KnownGraph::insert_edges`] (or rebuilding per pass when
+    /// `opts.incremental` is off).
+    ///
     /// After the first full pass, only constraints *incident* to a
     /// transaction touched by edges resolved in the previous pass are
     /// re-tested. This is a sound under-approximation of the full fixpoint
     /// (reachability added between two untouched transactions can be
     /// missed); whatever survives goes to the solver, so verdicts are
-    /// unaffected. The survivor buffer is reused across passes instead of
-    /// being reallocated.
-    pub fn prune(&mut self) -> PruneResult {
+    /// unaffected.
+    ///
+    /// On [`PruneResult::Pruned`] the finished reachability oracle is
+    /// returned alongside — it reflects every resolved edge, so encoding
+    /// can reuse it (e.g. [`KnownGraph::topo_positions`] for phase
+    /// seeding) instead of rebuilding from scratch.
+    pub fn prune_with_oracle(
+        &mut self,
+        opts: &PruneOptions,
+    ) -> (PruneResult, Option<Box<KnownGraph>>) {
         let mut stats = PruneStats {
             constraints_before: self.constraints.len(),
             unknown_deps_before: self.unknown_deps(),
             ..Default::default()
         };
         let semantics = self.semantics;
-        let mut next = Vec::with_capacity(self.constraints.len());
+        let t_first = Instant::now();
+        let mut kg = match self.known_graph() {
+            KnownGraphResult::Acyclic(g) => g,
+            KnownGraphResult::Cyclic(cycle) => return (PruneResult::Violation(cycle), None),
+        };
+        stats.graph_builds = 1;
         // Transactions incident to edges resolved in the previous pass;
         // `first` forces a full sweep before the worklist narrows.
         let mut first = true;
         let mut touched = vec![false; self.n];
         let mut touched_now = vec![false; self.n];
+        let mut work: Vec<u32> = Vec::with_capacity(self.constraints.len());
         loop {
+            let t_pass = Instant::now();
             stats.iterations += 1;
-            let kg = match self.known_graph() {
-                KnownGraphResult::Acyclic(g) => g,
-                KnownGraphResult::Cyclic(cycle) => return PruneResult::Violation(cycle),
-            };
-            let mut changed = false;
-            touched_now.iter_mut().for_each(|t| *t = false);
-            next.clear();
-            for cons in self.constraints.drain(..) {
-                let retest = first
-                    || cons
-                        .either
+            work.clear();
+            if first {
+                work.extend(0..self.constraints.len() as u32);
+            } else {
+                work.extend(
+                    self.constraints
                         .iter()
-                        .chain(&cons.or)
-                        .any(|e| touched[e.from.idx()] || touched[e.to.idx()]);
-                if !retest {
-                    next.push(cons);
-                    continue;
-                }
-                let bad_either = side_impossible(&kg, &cons.either, semantics);
-                let bad_or = side_impossible(&kg, &cons.or, semantics);
-                match (bad_either, bad_or) {
-                    (true, true) => {
+                        .enumerate()
+                        .filter(|(_, c)| c.incident(&touched))
+                        .map(|(i, _)| i as u32),
+                );
+            }
+            let outcomes = sweep(&kg, &self.constraints, &work, semantics, opts);
+            touched_now.iter_mut().for_each(|t| *t = false);
+            let mut resolved = vec![false; self.constraints.len()];
+            let mut changed = false;
+            for (idx, res) in outcomes {
+                match res {
+                    Resolution::Contradiction { witness } => {
                         // Neither possibility can hold (line 57/65).
-                        let cycle = witness_cycle(&kg, &cons.either, semantics)
-                            .expect("side_impossible implies a witness");
-                        return PruneResult::Violation(cycle);
+                        return (PruneResult::Violation(witness), None);
                     }
-                    (true, false) => {
-                        resolve(&mut self.known, &mut touched_now, &cons.or);
+                    Resolution::Forced { either } => {
+                        let cons = &self.constraints[idx as usize];
+                        let side = if either { &cons.either } else { &cons.or };
+                        if opts.incremental {
+                            // An earlier resolution of this apply phase may
+                            // have made this side impossible too: the
+                            // insertion then surfaces the violating cycle.
+                            if let Err(cycle) = kg.insert_edges(side) {
+                                return (PruneResult::Violation(cycle), None);
+                            }
+                        }
+                        resolve(&mut self.known, &mut touched_now, side);
+                        resolved[idx as usize] = true;
                         changed = true;
                     }
-                    (false, true) => {
-                        resolve(&mut self.known, &mut touched_now, &cons.either);
-                        changed = true;
-                    }
-                    (false, false) => next.push(cons),
                 }
             }
-            std::mem::swap(&mut self.constraints, &mut next);
+            if changed {
+                let mut i = 0;
+                self.constraints.retain(|_| {
+                    let keep = !resolved[i];
+                    i += 1;
+                    keep
+                });
+            }
+            // The rebuild-mode oracle refresh belongs to the pass whose
+            // resolutions made it necessary, so it runs before the pass
+            // timer is read — otherwise the rebuild cost (the very thing
+            // the rebuild-vs-incremental counters compare) would land in
+            // neither timing bucket.
+            if changed && !opts.incremental {
+                kg = match self.known_graph() {
+                    KnownGraphResult::Acyclic(g) => g,
+                    KnownGraphResult::Cyclic(cycle) => {
+                        return (PruneResult::Violation(cycle), None)
+                    }
+                };
+                stats.graph_builds += 1;
+            }
+            let dt = if first { t_first.elapsed() } else { t_pass.elapsed() };
+            if first {
+                stats.first_pass = dt;
+            } else {
+                stats.later_passes += dt;
+            }
             if !changed {
                 break;
             }
             first = false;
             std::mem::swap(&mut touched, &mut touched_now);
         }
+        stats.closure_updates = kg.closure_updates();
+        stats.incremental_edges = kg.inserted_edges();
         stats.constraints_after = self.constraints.len();
         stats.unknown_deps_after = self.unknown_deps();
-        PruneResult::Pruned(stats)
+        (PruneResult::Pruned(stats), Some(kg))
     }
+}
+
+/// What the sweep decided about one constraint, against the shared
+/// read-only oracle of the pass. Constraints with neither side impossible
+/// emit nothing — they simply survive — so on accepting workloads (where
+/// most tests are inconclusive) the sweep output stays small.
+enum Resolution {
+    /// Exactly one side is impossible: the other (`either`?) is forced.
+    Forced { either: bool },
+    /// Both sides are impossible; `witness` is the violating cycle of the
+    /// `either` side.
+    Contradiction { witness: Vec<Edge> },
+}
+
+/// Test one constraint against the oracle (read-only); `None` = open.
+fn test_constraint(kg: &KnownGraph, cons: &Constraint, semantics: Semantics) -> Option<Resolution> {
+    let bad_either = side_impossible(kg, &cons.either, semantics);
+    let bad_or = side_impossible(kg, &cons.or, semantics);
+    match (bad_either, bad_or) {
+        (true, true) => Some(Resolution::Contradiction {
+            witness: witness_cycle(kg, &cons.either, semantics)
+                .expect("side_impossible implies a witness"),
+        }),
+        (true, false) => Some(Resolution::Forced { either: false }),
+        (false, true) => Some(Resolution::Forced { either: true }),
+        (false, false) => None,
+    }
+}
+
+/// Default for [`PruneOptions::parallel_min`]: below this worklist size a
+/// parallel sweep costs more in thread setup than it saves. In practice
+/// only the full first sweep fans out.
+const PARALLEL_SWEEP_MIN: usize = 1024;
+
+/// One sweep chunk's output: the chunk index (for deterministic
+/// reassembly) and the tested constraints' resolutions.
+type ChunkResolutions = (usize, Vec<(u32, Resolution)>);
+
+/// Test `work` (constraint indices) against the oracle, in order. With
+/// `opts.threads > 1` and enough work, disjoint chunks are tested on scoped
+/// threads; chunk results are reassembled in chunk order, so the output is
+/// identical to the sequential sweep.
+fn sweep(
+    kg: &KnownGraph,
+    constraints: &[Constraint],
+    work: &[u32],
+    semantics: Semantics,
+    opts: &PruneOptions,
+) -> Vec<(u32, Resolution)> {
+    let test =
+        |&i: &u32| test_constraint(kg, &constraints[i as usize], semantics).map(|res| (i, res));
+    if opts.threads <= 1 || work.len() < opts.parallel_min.max(2) {
+        return work.iter().filter_map(test).collect();
+    }
+    let chunk = if opts.chunk_size > 0 {
+        opts.chunk_size.max(1)
+    } else {
+        // ~8 chunks per thread keeps stragglers short without drowning in
+        // scheduling overhead.
+        (work.len() / (opts.threads * 8)).clamp(32, 2048)
+    };
+    let chunks: Vec<&[u32]> = work.chunks(chunk).collect();
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<ChunkResolutions>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    std::thread::scope(|s| {
+        for _ in 0..opts.threads.min(chunks.len()) {
+            s.spawn(|| loop {
+                let ci = next.fetch_add(1, Ordering::Relaxed);
+                if ci >= chunks.len() {
+                    break;
+                }
+                let out: Vec<(u32, Resolution)> = chunks[ci].iter().filter_map(test).collect();
+                results.lock().expect("sweep worker panicked").push((ci, out));
+            });
+        }
+    });
+    let mut per_chunk = results.into_inner().expect("sweep worker panicked");
+    per_chunk.sort_unstable_by_key(|&(ci, _)| ci);
+    per_chunk.into_iter().flat_map(|(_, v)| v).collect()
 }
 
 /// Append a resolved constraint side to the known edges, recording the
@@ -544,6 +750,95 @@ mod tests {
             .known
             .iter()
             .any(|e| e.label == Label::Rw(k(1)) && e.from == TxnId(0) && e.to == TxnId(1)));
+    }
+
+    /// Any thread count produces byte-identical resolved-edge sets,
+    /// surviving constraints, and witnesses; the rebuild mode additionally
+    /// agrees on the verdict (its violation point within a pass may
+    /// differ, so the resolved set is only compared on acceptance).
+    #[test]
+    fn prune_modes_agree() {
+        let histories = [long_fork(), {
+            let mut b = HistoryBuilder::new();
+            b.session();
+            for i in 0..8u64 {
+                b.begin()
+                    .read(k(1), if i == 0 { Value::INIT } else { v(i) })
+                    .write(k(1), v(i + 1))
+                    .commit();
+            }
+            b.session();
+            b.begin().read(k(1), v(8)).write(k(1), v(100)).commit();
+            b.build()
+        }];
+        for h in &histories {
+            let f = Facts::analyze(h);
+            let base = Polygraph::from_history(h, &f, ConstraintMode::Generalized);
+            let run = |opts: PruneOptions| {
+                let mut g = base.clone();
+                let result = g.prune_with(&opts);
+                let witness = match &result {
+                    PruneResult::Pruned(_) => None,
+                    PruneResult::Violation(c) => Some(c.clone()),
+                };
+                (witness, g.known.clone(), g.constraints.len())
+            };
+            let seq = run(PruneOptions::default());
+            for threads in [2usize, 4, 7] {
+                // parallel_min: 0 forces the threaded sweep even on these
+                // small worklists — without it the size cutoff would fall
+                // back to the sequential path and the comparison would be
+                // vacuous.
+                let par = run(PruneOptions { threads, parallel_min: 0, ..Default::default() });
+                assert_eq!(seq, par, "threads={threads} diverged");
+                let par = run(PruneOptions {
+                    threads,
+                    chunk_size: 1,
+                    parallel_min: 0,
+                    ..Default::default()
+                });
+                assert_eq!(seq, par, "threads={threads} chunk=1 diverged");
+            }
+            let rebuild = run(PruneOptions { incremental: false, ..Default::default() });
+            assert_eq!(seq.0.is_none(), rebuild.0.is_none(), "verdict diverged across modes");
+            if seq.0.is_none() {
+                assert_eq!(seq, rebuild, "accepting prune diverged across modes");
+            }
+        }
+    }
+
+    /// The incremental path builds the oracle once and records its
+    /// closure-update counters.
+    #[test]
+    fn incremental_prune_builds_once() {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        for i in 0..6u64 {
+            b.begin()
+                .read(k(1), if i == 0 { Value::INIT } else { v(i) })
+                .write(k(1), v(i + 1))
+                .commit();
+        }
+        let h = b.build();
+        let f = Facts::analyze(&h);
+        let mut g = Polygraph::from_history(&h, &f, ConstraintMode::Generalized);
+        let mut rebuild = g.clone();
+        match g.prune_with(&PruneOptions::default()) {
+            PruneResult::Pruned(s) => {
+                assert_eq!(s.graph_builds, 1);
+                assert!(s.incremental_edges > 0, "resolutions must flow through insert_edges");
+                assert!(s.closure_updates > 0);
+                assert!(s.iterations >= 2, "a serial RMW chain needs a cascade");
+            }
+            PruneResult::Violation(c) => panic!("serial chain flagged: {c:?}"),
+        }
+        match rebuild.prune_with(&PruneOptions { incremental: false, ..Default::default() }) {
+            PruneResult::Pruned(s) => {
+                assert!(s.graph_builds >= 2, "rebuild mode rebuilds per pass");
+                assert_eq!(s.incremental_edges, 0);
+            }
+            PruneResult::Violation(c) => panic!("serial chain flagged: {c:?}"),
+        }
     }
 
     #[test]

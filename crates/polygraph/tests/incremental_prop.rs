@@ -1,0 +1,167 @@
+//! Property tests: after any random interleaving of
+//! `KnownGraph::insert_edges` calls, the incremental oracle must be
+//! indistinguishable from a from-scratch `KnownGraph::build_with` over the
+//! same edge set — closure, topo positions (as an order), cycle verdict,
+//! and witness validity — under both SI and SER semantics.
+
+use polysi_history::{Key, TxnId};
+use polysi_polygraph::{Edge, KnownGraph, KnownGraphResult, Label, Semantics};
+use proptest::prelude::*;
+
+/// A random edge set over `n` transactions plus a batch split plan.
+#[derive(Debug, Clone)]
+struct Plan {
+    n: usize,
+    edges: Vec<Edge>,
+    /// How many edges go into the initial build; the rest arrive through
+    /// `insert_edges` in batches of the given sizes (cycled).
+    initial: usize,
+    batch_sizes: Vec<usize>,
+    semantics: Semantics,
+}
+
+fn edge_strategy(n: u32) -> impl Strategy<Value = Edge> {
+    (0..n, 0..n - 1, 0u8..4, 0u64..3).prop_map(move |(f, t0, kind, key)| {
+        // Skew `t` so self-edges never occur.
+        let t = if t0 >= f { t0 + 1 } else { t0 };
+        let label = match kind {
+            0 => Label::So,
+            1 => Label::Wr(Key(key)),
+            2 => Label::Ww(Key(key)),
+            _ => Label::Rw(Key(key)),
+        };
+        Edge::new(TxnId(f), TxnId(t), label)
+    })
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (3u32..9, any::<bool>()).prop_flat_map(|(n, ser)| {
+        let edges = prop::collection::vec(edge_strategy(n), 0..18);
+        let batch_sizes = prop::collection::vec(1usize..4, 1..4);
+        (edges, batch_sizes, 0usize..6).prop_map(move |(edges, batch_sizes, initial)| Plan {
+            n: n as usize,
+            initial: initial.min(edges.len()),
+            edges,
+            batch_sizes,
+            semantics: if ser { Semantics::Ser } else { Semantics::Si },
+        })
+    })
+}
+
+/// Check a violating cycle: edges chain up, the cycle closes, every edge
+/// is drawn from `allowed`, and under SI no two `RW` edges are adjacent.
+fn assert_valid_cycle(cycle: &[Edge], allowed: &[Edge], semantics: Semantics) {
+    assert!(!cycle.is_empty(), "empty witness");
+    for (i, e) in cycle.iter().enumerate() {
+        let next = &cycle[(i + 1) % cycle.len()];
+        assert_eq!(e.to, next.from, "cycle does not chain: {cycle:?}");
+        assert!(allowed.contains(e), "witness edge {e:?} was never inserted");
+        if semantics == Semantics::Si {
+            assert!(
+                e.label.is_dep() || next.label.is_dep(),
+                "adjacent RW edges in an SI witness: {cycle:?}"
+            );
+        }
+    }
+}
+
+/// Drive the incremental path over the plan. Returns the final oracle on
+/// acceptance, or the (validated) witness position on violation.
+fn run_incremental(plan: &Plan) -> Result<Box<KnownGraph>, usize> {
+    let initial = &plan.edges[..plan.initial];
+    let mut g = match KnownGraph::build_with(plan.n, initial, plan.semantics) {
+        KnownGraphResult::Acyclic(g) => g,
+        KnownGraphResult::Cyclic(cycle) => {
+            assert_valid_cycle(&cycle, initial, plan.semantics);
+            return Err(plan.initial);
+        }
+    };
+    let mut next = plan.initial;
+    let mut batch = 0;
+    while next < plan.edges.len() {
+        let size = plan.batch_sizes[batch % plan.batch_sizes.len()];
+        batch += 1;
+        let end = (next + size).min(plan.edges.len());
+        match g.insert_edges(&plan.edges[next..end]) {
+            Ok(()) => next = end,
+            Err(cycle) => {
+                assert_valid_cycle(&cycle, &plan.edges[..end], plan.semantics);
+                // The batch prefix before the violating edge was applied;
+                // pin down the offending edge for the verdict comparison.
+                let bad = (next..end)
+                    .find(|&i| {
+                        matches!(
+                            KnownGraph::build_with(plan.n, &plan.edges[..=i], plan.semantics),
+                            KnownGraphResult::Cyclic(_)
+                        )
+                    })
+                    .expect("insert_edges reported a cycle no prefix rebuild sees");
+                return Err(bad + 1);
+            }
+        }
+    }
+    Ok(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn incremental_equals_from_scratch(plan in plan_strategy()) {
+        match run_incremental(&plan) {
+            Err(prefix) => {
+                // The incremental path flagged a violation at `prefix`
+                // edges: the from-scratch build of that prefix must be
+                // cyclic too (and of the prefix minus one, acyclic — the
+                // helper already pinned the first cyclic prefix).
+                prop_assert!(matches!(
+                    KnownGraph::build_with(plan.n, &plan.edges[..prefix], plan.semantics),
+                    KnownGraphResult::Cyclic(_)
+                ));
+            }
+            Ok(g) => {
+                let full = match KnownGraph::build_with(plan.n, &plan.edges, plan.semantics) {
+                    KnownGraphResult::Acyclic(f) => f,
+                    KnownGraphResult::Cyclic(c) => {
+                        return Err(TestCaseError::fail(format!(
+                            "incremental accepted a cyclic edge set: {c:?}"
+                        )));
+                    }
+                };
+                // Closure rows — boundary and mid — must be bit-identical.
+                prop_assert_eq!(g.closure().count_ones(), full.closure().count_ones());
+                for row in 0..2 * plan.n {
+                    prop_assert_eq!(
+                        g.closure().row(row),
+                        full.closure().row(row),
+                        "closure row {} diverged",
+                        row
+                    );
+                }
+                // Derived queries agree, and the maintained topo positions
+                // are a valid order for the final reachability.
+                let pos = g.topo_positions();
+                for a in 0..plan.n as u32 {
+                    for w in 0..plan.n as u32 {
+                        let (a, w) = (TxnId(a), TxnId(w));
+                        prop_assert_eq!(g.reaches(a, w), full.reaches(a, w));
+                        if plan.semantics == Semantics::Si {
+                            prop_assert_eq!(
+                                g.rw_closes_cycle(a, w),
+                                full.rw_closes_cycle(a, w)
+                            );
+                        }
+                        if a != w && g.reaches(a, w) {
+                            prop_assert!(
+                                pos[a.idx()] < pos[w.idx()],
+                                "positions contradict reachability {:?} -> {:?}",
+                                a,
+                                w
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -7,20 +7,21 @@
 //! polysi check history.txt                  # SI verdict + anomaly + cycle
 //! polysi check history.txt --isolation ser  # serializability instead of SI
 //! polysi check history.txt --shards auto    # shard by key connectivity
+//! polysi check history.txt --prune-threads 4  # parallel constraint sweep
 //! polysi check history.txt --dot out.dot
 //! polysi check history.txt --no-pruning
 //! polysi stats history.txt                  # workload statistics only
 //! polysi demo                               # run the built-in long-fork demo
 //! ```
 
-use polysi::checker::engine::{CheckEngine, EngineOptions, IsolationLevel, Sharding};
+use polysi::checker::engine::{CheckEngine, EngineOptions, IsolationLevel, PruneThreads, Sharding};
 use polysi::checker::{check_si, dot, CheckOptions, Outcome};
 use polysi::history::{codec, stats::HistoryStats, History};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--dot <out.dot>] [--no-pruning]\n               [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
     );
     ExitCode::from(2)
 }
@@ -63,6 +64,23 @@ fn main() -> ExitCode {
                             Some("off") => Sharding::Off,
                             other => {
                                 eprintln!("--shards takes auto|off, got {other:?}");
+                                return usage();
+                            }
+                        };
+                    }
+                    "--prune-threads" => {
+                        i += 1;
+                        opts.prune_threads = match args.get(i).map(String::as_str) {
+                            Some("auto") => PruneThreads::Auto,
+                            Some(n) => match n.parse::<usize>() {
+                                Ok(n) if n >= 1 => PruneThreads::Fixed(n),
+                                _ => {
+                                    eprintln!("--prune-threads takes N|auto, got {n:?}");
+                                    return usage();
+                                }
+                            },
+                            None => {
+                                eprintln!("--prune-threads takes N|auto");
                                 return usage();
                             }
                         };

@@ -7,7 +7,8 @@ use polysi::dbsim::corpus::generate_corpus;
 
 #[test]
 fn corpus_templates_classified_as_named() {
-    // Enough entries to include at least two instances of each template.
+    // Enough entries to include at least one instance of each of the
+    // twelve templates (they alternate with fault-injected draws).
     let corpus = generate_corpus(30, 5);
     let mut seen = std::collections::HashSet::new();
     for entry in corpus {
@@ -17,13 +18,22 @@ fn corpus_templates_classified_as_named() {
         seen.insert(template.to_string());
         let report = check_si(&entry.history, &CheckOptions::default());
         match (template, &report.outcome) {
-            ("lost-update" | "sharded-lost-update", Outcome::CyclicViolation(v)) => {
+            (
+                "lost-update"
+                | "sharded-lost-update"
+                | "so-chain-lost-update"
+                | "cascade-lost-update",
+                Outcome::CyclicViolation(v),
+            ) => {
                 assert_eq!(v.anomaly, Anomaly::LostUpdate)
             }
-            ("long-fork" | "sharded-long-fork", Outcome::CyclicViolation(v)) => {
+            (
+                "long-fork" | "sharded-long-fork" | "so-chain-long-fork",
+                Outcome::CyclicViolation(v),
+            ) => {
                 assert_eq!(v.anomaly, Anomaly::LongFork)
             }
-            ("causality-violation", Outcome::CyclicViolation(v)) => {
+            ("causality-violation" | "so-cascade-causality", Outcome::CyclicViolation(v)) => {
                 assert!(
                     matches!(v.anomaly, Anomaly::CausalityViolation | Anomaly::WriteReadCycle),
                     "got {:?}",
@@ -41,7 +51,7 @@ fn corpus_templates_classified_as_named() {
             (t, _) => panic!("template {t} produced the wrong outcome kind"),
         }
     }
-    assert_eq!(seen.len(), 8, "all eight templates exercised: {seen:?}");
+    assert_eq!(seen.len(), 12, "all twelve templates exercised: {seen:?}");
 }
 
 #[test]

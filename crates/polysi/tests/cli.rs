@@ -65,7 +65,7 @@ fn stats_prints_counts() {
 /// Each entry is (file, expected exit code, required stdout substring).
 #[test]
 fn fixture_corpus_has_stable_verdicts() {
-    let fixtures: [(&str, i32, &str); 9] = [
+    let fixtures: [(&str, i32, &str); 11] = [
         ("long_fork.txt", 1, "long fork"),
         ("lost_update.txt", 1, "lost update"),
         ("write_skew.txt", 0, "OK"),
@@ -75,6 +75,8 @@ fn fixture_corpus_has_stable_verdicts() {
         ("shard_component_lost_update.txt", 1, "lost update"),
         ("shard_cross_session_fallback.txt", 0, "OK"),
         ("ser_write_skew_chain.txt", 0, "OK"),
+        ("prune_so_chain_lost_update.txt", 1, "lost update"),
+        ("prune_so_chain_clean.txt", 0, "OK"),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for (file, expected_code, needle) in fixtures {
@@ -98,7 +100,31 @@ fn fixture_corpus_has_stable_verdicts() {
             Some(expected_code),
             "{file}: --shards auto changed the verdict"
         );
+        // Neither does the prune sweep's thread count. (`auto` is the
+        // flagless default, so the base run above already covers it.)
+        for threads in ["1", "4"] {
+            let parallel = bin()
+                .arg("check")
+                .arg(dir.join(file))
+                .args(["--prune-threads", threads])
+                .output()
+                .expect("run parallel-prune check");
+            assert_eq!(
+                parallel.status.code(),
+                Some(expected_code),
+                "{file}: --prune-threads {threads} changed the verdict"
+            );
+        }
     }
+}
+
+#[test]
+fn prune_threads_flag_validates() {
+    let out =
+        bin().args(["check", "/nonexistent", "--prune-threads", "zero"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "bad --prune-threads must be usage error");
+    let out = bin().args(["check", "/nonexistent", "--prune-threads", "0"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 /// The serializability mode: SER rejects SI-acceptable write skew and the
@@ -170,7 +196,7 @@ fn fixture_corpus_parses_and_has_stats() {
         assert!(out.status.success(), "{}", path.display());
         assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
     }
-    assert_eq!(count, 9, "fixture corpus changed size without updating the verdict table");
+    assert_eq!(count, 11, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]

@@ -152,8 +152,11 @@ fn all_si_checkers_agree_on_conformance_corpus() {
         oracle_runs * 3 >= total,
         "oracle feasible on only {oracle_runs}/{total} cases — corpus drifted too large"
     );
+    // ≤15% budget exhaustion: the per-prefix memo answers repeat states
+    // before they charge the budget, so the tolerance is tighter than the
+    // original 25%.
     assert!(
-        dbcop_timeouts * 4 <= total,
+        dbcop_timeouts * 20 <= total * 3,
         "dbcop timed out on {dbcop_timeouts}/{total} cases — budget or corpus miscalibrated"
     );
 }

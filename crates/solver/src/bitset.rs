@@ -88,6 +88,25 @@ impl BitMatrix {
         changed
     }
 
+    /// Whether a row shares any set bit with a raw word slice of the same
+    /// width (e.g. a row of another matrix over the same column space).
+    #[inline]
+    pub fn row_intersects(&self, row: usize, other: &[u64]) -> bool {
+        self.row(row).iter().zip(other).any(|(&a, &b)| a & b != 0)
+    }
+
+    /// Set bit `(row, col)`; returns whether it was newly set. The
+    /// incremental closure update uses this to decide whether a row change
+    /// must propagate further.
+    #[inline]
+    pub fn set_fresh(&mut self, row: usize, col: usize) -> bool {
+        let w = &mut self.bits[row * self.words_per_row + col / 64];
+        let mask = 1u64 << (col % 64);
+        let fresh = *w & mask == 0;
+        *w |= mask;
+        fresh
+    }
+
     /// Iterate over the set columns of a row.
     pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
         iter_bits(self.row(row))
@@ -215,6 +234,19 @@ mod tests {
         }
         let cols: Vec<_> = m.iter_row(7).collect();
         assert_eq!(cols, vec![0, 64, 65, 199]);
+    }
+
+    #[test]
+    fn row_intersects_and_set_fresh() {
+        let mut m = BitMatrix::new(130);
+        let mut other = BitMatrix::new(130);
+        m.set(0, 129);
+        other.set(1, 129);
+        assert!(m.row_intersects(0, other.row(1)));
+        assert!(!m.row_intersects(0, other.row(0)));
+        assert!(m.set_fresh(2, 65));
+        assert!(!m.set_fresh(2, 65));
+        assert!(m.get(2, 65));
     }
 
     #[test]
