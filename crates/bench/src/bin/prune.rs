@@ -3,22 +3,45 @@
 //! workloads.
 //!
 //! The rebuild row is the pre-incremental loop (a from-scratch Kahn sort +
-//! closure per pass); `incremental` maintains the oracle across passes via
-//! `KnownGraph::insert_edges` and, at `threads > 1`, fans the per-pass
-//! constraint sweep out over scoped threads. Following the scaling-paradox
-//! lesson of "When More Cores Hurts", every parallel row reports its
-//! speedup against the *sequential incremental* baseline as well as
-//! against the rebuild loop — a parallel configuration that loses to
-//! either is a regression, not a win.
+//! closure per pass); `per-edge` maintains the oracle across passes via
+//! `KnownGraph::insert_edges` with one closure propagation per resolved
+//! edge; `batched` (the engine default) stages each apply phase through
+//! `insert_edges_deferred` and propagates closure rows once per phase
+//! frontier. At `threads > 1` the per-pass constraint sweep additionally
+//! fans out over scoped threads. Following the scaling-paradox lesson of
+//! "When More Cores Hurts", every row reports its speedup against the
+//! *sequential batched* baseline as well as against the rebuild loop — a
+//! configuration that loses to either is a regression, not a win.
 //!
 //! `--quick` shrinks the workload and the thread sweep for CI smoke runs.
 
 use polysi_bench::{csv_append, CountingAllocator};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
-use polysi_history::Facts;
+use polysi_history::{Facts, History, HistoryBuilder, Key, Value};
 use polysi_polygraph::{ConstraintMode, Polygraph, PruneOptions, PruneResult};
 use polysi_workloads::{multi_component, GeneralParams};
 use std::time::Instant;
+
+/// The shape per-phase closure batching exists for: a long serial chain
+/// feeding a hot key that `siblings` stale read-modify-writes then
+/// contend on. The first prune pass forces every (chain-tail, sibling)
+/// constraint at once, and each forced side's edges grow the closure rows
+/// of the *entire* chain — per-edge propagation re-walks the chain per
+/// edge, the batched flush once per batch.
+fn hot_chain(chain: usize, siblings: usize) -> History {
+    let h = Key(1);
+    let mut b = HistoryBuilder::new();
+    b.session();
+    for i in 0..chain {
+        b.begin().write(Key(100 + i as u64), Value(1000 + i as u64)).commit();
+    }
+    b.begin().write(h, Value(1)).commit();
+    for s in 0..siblings {
+        b.session();
+        b.begin().read(h, Value(1)).write(h, Value(10 + s as u64)).commit();
+    }
+    b.build()
+}
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -44,6 +67,7 @@ fn main() {
         "workload", "txns", "cons", "mode", "threads", "secs", "vs-reb", "vs-seq"
     );
     let mut rows = Vec::new();
+    let mut workloads: Vec<(&str, History)> = Vec::new();
     for (name, components) in [("general", 1usize), ("multi_component", 4)] {
         let base = GeneralParams {
             sessions: (total_sessions / components).max(1),
@@ -56,7 +80,13 @@ fn main() {
         };
         let plan = multi_component(&base, components);
         let sim = run(&plan, &SimConfig::new(SimLevel::SnapshotIsolation, seed));
-        let h = sim.history;
+        workloads.push((name, sim.history));
+    }
+    workloads.push((
+        "hot_chain",
+        hot_chain(if quick { 400 } else { 1600 }, if quick { 24 } else { 48 }),
+    ));
+    for (name, h) in workloads {
         let facts = Facts::analyze(&h);
         assert!(facts.axioms_ok(), "{name}: axioms failed");
         let g = Polygraph::from_history(&h, &facts, ConstraintMode::Generalized);
@@ -67,14 +97,19 @@ fn main() {
             1usize,
             timed(&g, &PruneOptions { incremental: false, ..Default::default() }),
         )];
+        measurements.push((
+            "per-edge",
+            1usize,
+            timed(&g, &PruneOptions { batch: false, ..Default::default() }),
+        ));
         for &t in threads {
             let m = timed(&g, &PruneOptions { threads: t, ..Default::default() });
-            measurements.push(("incremental", t, m));
+            measurements.push(("batched", t, m));
         }
         let rebuild_secs = measurements[0].2 .0;
         let seq_secs = measurements
             .iter()
-            .find(|(mode, t, _)| *mode == "incremental" && *t == 1)
+            .find(|(mode, t, _)| *mode == "batched" && *t == 1)
             .map_or(rebuild_secs, |(_, _, m)| m.0);
         let reference = (measurements[0].2 .1, measurements[0].2 .2, measurements[0].2 .3);
         for (mode, nthreads, (secs, ok, survivors, known)) in measurements {

@@ -1,0 +1,165 @@
+//! Solve-stage wall-clock: sequential vs deterministic cube-and-conquer
+//! vs seeded portfolio × worker count, on 3200-txn `general` and
+//! `multi_component` simulator workloads and on the solver-stress corpus
+//! templates (`write_skew_lattice`, `overlapping_clique`) whose
+//! constraints survive pruning by construction.
+//!
+//! Per workload the pipeline up to Encode runs once; each measured row
+//! clones the encoded pre-solve state and times [`run_solve`] alone.
+//! Following the scaling-paradox lesson of "When More Cores Hurts", every
+//! row reports its speedup against the *sequential* solve — a parallel
+//! configuration that loses to it is a regression to record, not to hide.
+//! On a single-core container the honest wins come from the cube split
+//! itself (assumption-level conflicts on the top-ranked selectors), not
+//! from thread scaling; the per-thread rows document exactly that.
+//!
+//! `--quick` shrinks the workloads and the thread sweep for CI smoke runs.
+
+use polysi_bench::{csv_append, CountingAllocator};
+use polysi_checker::solve::{encode_polygraph, run_solve, SolveMode, SolvePlan, SolveStats};
+use polysi_dbsim::corpus::{overlapping_clique, write_skew_lattice};
+use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
+use polysi_history::{Facts, History, TxnId};
+use polysi_polygraph::{ConstraintMode, Polygraph, PruneResult, Semantics};
+use polysi_workloads::{multi_component, GeneralParams};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// One prepared solve instance: everything up to Encode already ran.
+struct Instance {
+    name: &'static str,
+    isolation: &'static str,
+    txns: usize,
+    selectors: usize,
+    graph: Polygraph,
+    degrees: Vec<u32>,
+}
+
+fn prepare(
+    name: &'static str,
+    isolation: &'static str,
+    h: &History,
+    semantics: Semantics,
+) -> Instance {
+    let facts = Facts::analyze(h);
+    assert!(facts.axioms_ok(), "{name}: axioms failed");
+    let mut g = Polygraph::from_history_with(h, &facts, ConstraintMode::Generalized, semantics);
+    match g.prune() {
+        PruneResult::Pruned(_) => {}
+        PruneResult::Violation(c) => panic!("{name}: rejected during pruning: {c:?}"),
+    }
+    let degrees = (0..h.len() as u32).map(|i| facts.txn_degree(TxnId(i)) as u32).collect();
+    Instance { name, isolation, txns: h.len(), selectors: g.constraints.len(), graph: g, degrees }
+}
+
+/// Best-of-`reps` timed solve (1 rep under `--quick`).
+fn timed(inst: &Instance, plan: &SolvePlan, reps: usize) -> (f64, bool, SolveStats) {
+    let base = encode_polygraph(&inst.graph, true);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let solver = base.clone();
+        let t = Instant::now();
+        let (sat, stats) = run_solve(&inst.graph, solver, Some(&inst.degrees), plan);
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some((sat, stats));
+    }
+    let (sat, stats) = out.expect("reps >= 1");
+    (best, sat, stats)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = 0x50_17E5;
+    let reps = if quick { 1 } else { 3 };
+    let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    let sim_txns = if quick { 480 } else { 3200 };
+    let lattice_cells = if quick { 41 } else { 401 };
+    let clique_sats = if quick { 64 } else { 640 };
+
+    // Simulator workloads (as in the prune bench).
+    let total_sessions = 8usize;
+    let sim_history = |components: usize| {
+        let base = GeneralParams {
+            sessions: (total_sessions / components).max(1),
+            txns_per_session: sim_txns / total_sessions,
+            ops_per_txn: 8,
+            keys: 40,
+            read_pct: 50,
+            seed,
+            ..Default::default()
+        };
+        let plan = multi_component(&base, components);
+        run(&plan, &SimConfig::new(SimLevel::SnapshotIsolation, seed)).history
+    };
+
+    let general = sim_history(1);
+    let multi = sim_history(4);
+    let lattice = write_skew_lattice(0, lattice_cells);
+    let clique = overlapping_clique(0, clique_sats);
+
+    let instances = [
+        prepare("general", "si", &general, Semantics::Si),
+        prepare("multi_component", "si", &multi, Semantics::Si),
+        prepare("stress_lattice", "si", &lattice, Semantics::Si),
+        prepare("stress_lattice", "ser", &lattice, Semantics::Ser),
+        prepare("stress_clique", "si", &clique, Semantics::Si),
+        prepare("stress_clique", "ser", &clique, Semantics::Ser),
+    ];
+
+    println!("# Solve stage: sequential vs cube vs portfolio × workers ({sim_txns}-txn sims)");
+    println!(
+        "{:<16} {:>4} {:>6} {:>5} {:<10} {:>7} {:>11} {:>8} {:>8} {:>7}",
+        "workload", "iso", "txns", "sel", "mode", "threads", "secs", "vs-seq", "confl", "verdict"
+    );
+    let mut rows = Vec::new();
+    for inst in &instances {
+        let (seq_secs, seq_sat, seq_stats) =
+            timed(inst, &SolvePlan { mode: SolveMode::Sequential, threads: 1 }, reps);
+        let mut configs: Vec<(SolveMode, usize)> = vec![(SolveMode::Sequential, 1)];
+        for &t in threads {
+            configs.push((SolveMode::Cube, t));
+        }
+        for &t in threads.iter().filter(|&&t| t > 1) {
+            configs.push((SolveMode::Portfolio, t));
+        }
+        for (mode, nthreads) in configs {
+            let (secs, sat, stats) = if mode == SolveMode::Sequential {
+                (seq_secs, seq_sat, seq_stats)
+            } else {
+                timed(inst, &SolvePlan { mode, threads: nthreads }, reps)
+            };
+            assert_eq!(sat, seq_sat, "{}: {mode:?}/{nthreads} changed the verdict", inst.name);
+            let vs_seq = seq_secs / secs;
+            let mode_name = match mode {
+                SolveMode::Sequential => "sequential",
+                SolveMode::Cube => "cube",
+                SolveMode::Portfolio => "portfolio",
+                SolveMode::Auto => unreachable!("bench pins explicit modes"),
+            };
+            let verdict = if sat { "sat" } else { "unsat" };
+            println!(
+                "{:<16} {:>4} {:>6} {:>5} {mode_name:<10} {nthreads:>7} {secs:>11.6} \
+                 {vs_seq:>7.2}x {:>8} {verdict:>7}",
+                inst.name, inst.isolation, inst.txns, inst.selectors, stats.solver.conflicts
+            );
+            rows.push(format!(
+                "{},{},{},{},{mode_name},{nthreads},{secs:.6},{vs_seq:.3},{sat},{},{}",
+                inst.name,
+                inst.isolation,
+                inst.txns,
+                inst.selectors,
+                stats.solver.conflicts,
+                stats.winner.map(|w| w.to_string()).unwrap_or_default(),
+            ));
+        }
+    }
+    csv_append(
+        "solve",
+        "workload,isolation,txns,selectors,mode,threads,seconds,speedup_vs_seq,accepted,conflicts,winner",
+        &rows,
+    );
+    println!("\nCSV appended to bench_results/solve.csv");
+}

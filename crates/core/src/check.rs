@@ -133,8 +133,12 @@ pub struct CheckReport {
     pub prune_stats: Option<PruneStats>,
     /// Encoded instance size.
     pub encode_stats: EncodeStats,
-    /// Solver counters, when the solver ran.
+    /// Solver counters, when the solver ran (summed over cubes/workers on
+    /// parallel solves).
     pub solver_stats: Option<SolverStats>,
+    /// Solve-stage strategy counters (mode, units, winner), when the
+    /// solve stage ran; merged across shards on sharded runs.
+    pub solve_stats: Option<crate::solve::SolveStats>,
     /// Sharding decision, when the engine ran with `Sharding::Auto`.
     pub shard_stats: Option<ShardStats>,
 }

@@ -11,9 +11,9 @@
 //! |---|---|---|
 //! | [`Stage::Axioms`] | Algorithm 1, lines 2–4 (`CheckNonCyclicAxioms`) | `Int`, aborted/intermediate reads, UniqueValue via [`Facts::analyze`]; on failure the graph stages are skipped |
 //! | [`Stage::Construct`] | Algorithm 2 (`CreateKnownGraph` + `GenerateConstraints`) | known `SO ∪ WR` (+ init-read `RW`, + RMW-inferred `WW` under SER) edges and per-key writer-pair constraints |
-//! | [`Stage::Prune`] | Algorithm 1, lines 10–32 (`PruneConstraints`) | worklist-driven fixpoint resolving constraints whose one side closes a known cycle; the reachability oracle updates incrementally across passes and the per-pass sweep can fan out over [`PruneThreads`] scoped threads |
+//! | [`Stage::Prune`] | Algorithm 1, lines 10–32 (`PruneConstraints`) | worklist-driven fixpoint resolving constraints whose one side closes a known cycle; the reachability oracle updates incrementally across passes — closure propagation batched per apply phase — and the per-pass sweep can fan out over [`PruneThreads`] scoped threads |
 //! | [`Stage::Encode`] | Algorithm 1, lines 5–7 (encoding, Section 4.4) | one selector variable per surviving constraint guarding graph edges in the SAT-modulo-acyclicity solver |
-//! | [`Stage::Solve`] | Algorithm 1, lines 8–9 (solving + counterexample) | CDCL search; on UNSAT a violating cycle is extracted, classified, and interpreted |
+//! | [`Stage::Solve`] | Algorithm 1, lines 8–9 (solving + counterexample) | CDCL search, parallelized over [`SolveThreads`] scoped workers: deterministic cube-and-conquer over top-degree selectors when enough constraints survive pruning, a seeded portfolio otherwise ([`crate::solve`]); on UNSAT a violating cycle is extracted from the polygraph, classified, and interpreted — byte-identical for any worker count |
 //!
 //! # Isolation levels
 //!
@@ -40,12 +40,14 @@
 use crate::anomaly::Anomaly;
 use crate::check::{CheckOptions, CheckReport, EncodeStats, Outcome, StageTimings, Violation};
 use crate::interpret::interpret;
-use polysi_history::{Facts, History, ShardComponent, ShardFallback, ShardPlan};
+use crate::solve::{merge_solver_stats, run_solve, SolvePlan, SolveStats};
+pub use crate::solve::{SolveMode, SolveThreads};
+use polysi_history::{Facts, History, ShardComponent, ShardFallback, ShardPlan, TxnId};
 use polysi_polygraph::{
     ConstraintMode, Edge, KnownGraph, KnownGraphResult, Label, Polygraph, PruneOptions,
     PruneResult, PruneStats, Semantics,
 };
-use polysi_solver::{Lit, SolveResult, Solver, SolverStats};
+use polysi_solver::{Lit, Solver, SolverStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -178,6 +180,13 @@ pub struct EngineOptions {
     pub phase_seeding: bool,
     /// Intra-component parallelism of the Prune stage's constraint sweep.
     pub prune_threads: PruneThreads,
+    /// Worker parallelism of the Solve stage (cube-and-conquer or
+    /// portfolio over cloned solver state; verdict-identical for any
+    /// setting).
+    pub solve_threads: SolveThreads,
+    /// Solve strategy; [`SolveMode::Auto`] picks per instance. Exposed
+    /// mainly for the `solve` bench's mode ablation.
+    pub solve_mode: SolveMode,
 }
 
 impl Default for EngineOptions {
@@ -189,6 +198,8 @@ impl Default for EngineOptions {
             interpret: true,
             phase_seeding: true,
             prune_threads: PruneThreads::Auto,
+            solve_threads: SolveThreads::Auto,
+            solve_mode: SolveMode::Auto,
         }
     }
 }
@@ -207,6 +218,8 @@ impl From<&CheckOptions> for EngineOptions {
             interpret: opts.interpret,
             phase_seeding: opts.phase_seeding,
             prune_threads: PruneThreads::Fixed(1),
+            solve_threads: SolveThreads::Fixed(1),
+            solve_mode: SolveMode::Auto,
         }
     }
 }
@@ -248,6 +261,7 @@ struct UnitReport {
     prune_stats: Option<PruneStats>,
     encode_stats: EncodeStats,
     solver_stats: Option<SolverStats>,
+    solve_stats: Option<SolveStats>,
 }
 
 impl CheckEngine {
@@ -280,14 +294,16 @@ impl CheckEngine {
                 prune_stats: None,
                 encode_stats: EncodeStats::default(),
                 solver_stats: None,
+                solve_stats: None,
                 shard_stats: None,
             };
         }
 
         let (mut unit, shard_stats) = match self.opts.sharding {
-            Sharding::Off => {
-                (self.check_unit(h, &facts, None, self.prune_options(&facts, 1)), None)
-            }
+            Sharding::Off => (
+                self.check_unit(h, &facts, None, self.prune_options(&facts, 1), self.solve_plan(1)),
+                None,
+            ),
             Sharding::Auto => {
                 let plan = ShardPlan::analyze(h);
                 let stats = ShardStats {
@@ -299,7 +315,13 @@ impl CheckEngine {
                 let unit = if plan.is_shardable() {
                     self.check_shards(h, &facts, &plan)
                 } else {
-                    self.check_unit(h, &facts, None, self.prune_options(&facts, 1))
+                    self.check_unit(
+                        h,
+                        &facts,
+                        None,
+                        self.prune_options(&facts, 1),
+                        self.solve_plan(1),
+                    )
                 };
                 (unit, Some(stats))
             }
@@ -321,6 +343,7 @@ impl CheckEngine {
             prune_stats: unit.prune_stats,
             encode_stats: unit.encode_stats,
             solver_stats: unit.solver_stats,
+            solve_stats: unit.solve_stats,
             shard_stats,
         }
     }
@@ -334,8 +357,10 @@ impl CheckEngine {
         let workers =
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).clamp(1, ncomp);
         // Shard pipelines run `workers`-wide, so each unit's intra-prune
-        // sweep gets a proportional share of the machine.
+        // sweep and solve-stage worker pool get a proportional share of
+        // the machine.
         let prune_opts = self.prune_options(facts, workers);
+        let solve_plan = self.solve_plan(workers);
         let next = AtomicUsize::new(0);
         let results: Mutex<Vec<(usize, UnitReport)>> = Mutex::new(Vec::with_capacity(ncomp));
         std::thread::scope(|s| {
@@ -345,7 +370,13 @@ impl CheckEngine {
                     if i >= ncomp {
                         break;
                     }
-                    let unit = self.check_unit(h, facts, Some(&plan.components[i]), prune_opts);
+                    let unit = self.check_unit(
+                        h,
+                        facts,
+                        Some(&plan.components[i]),
+                        prune_opts,
+                        solve_plan,
+                    );
                     results.lock().expect("shard worker panicked").push((i, unit));
                 });
             }
@@ -359,6 +390,7 @@ impl CheckEngine {
             prune_stats: None,
             encode_stats: EncodeStats::default(),
             solver_stats: None,
+            solve_stats: None,
         };
         for (_, u) in units {
             if merged.cycle.is_none() {
@@ -380,6 +412,10 @@ impl CheckEngine {
                 (Some(a), Some(b)) => Some(merge_solver_stats(a, b)),
                 (a, b) => a.or(b),
             };
+            merged.solve_stats = match (merged.solve_stats, u.solve_stats) {
+                (Some(a), Some(b)) => Some(a.merge(b)),
+                (a, b) => a.or(b),
+            };
         }
         merged
     }
@@ -395,6 +431,12 @@ impl CheckEngine {
         PruneOptions { threads, chunk_size: chunk_size.clamp(16, 512), ..Default::default() }
     }
 
+    /// Solve plan for one pipeline unit, `units` of which solve
+    /// concurrently.
+    fn solve_plan(&self, units: usize) -> SolvePlan {
+        SolvePlan { mode: self.opts.solve_mode, threads: self.opts.solve_threads.resolve(units) }
+    }
+
     /// Stages Construct → Prune → Encode → Solve for one unit: the whole
     /// history (`comp == None`) or one key-connectivity component.
     fn check_unit(
@@ -403,6 +445,7 @@ impl CheckEngine {
         facts: &Facts,
         comp: Option<&ShardComponent>,
         prune_opts: PruneOptions,
+        solve_plan: SolvePlan,
     ) -> UnitReport {
         let semantics = self.isolation.semantics();
         let mut timings = StageTimings::default();
@@ -443,6 +486,7 @@ impl CheckEngine {
                         prune_stats: None,
                         encode_stats: EncodeStats::default(),
                         solver_stats: None,
+                        solve_stats: None,
                     };
                 }
             }
@@ -452,31 +496,28 @@ impl CheckEngine {
         // maintained (it reflects every resolved edge) instead of paying a
         // second from-scratch closure build.
         let t = Instant::now();
-        let (mut solver, encode_stats) = encode(&g, self.opts.phase_seeding, oracle.as_deref());
+        let (solver, encode_stats) = encode(&g, self.opts.phase_seeding, oracle.as_deref());
         timings.encoding = t.elapsed();
 
-        // Stage::Solve.
+        // Stage::Solve. Cube ranking wants the history's transaction
+        // degrees in this unit's (possibly shard-local) id space.
         let t = Instant::now();
-        let result = solver.solve();
-        let solver_stats = Some(*solver.stats());
-        let cycle = match result {
-            SolveResult::Sat(_) => None,
-            SolveResult::Unsat => Some(translate(extract_cycle(&g))),
-            SolveResult::Unknown => unreachable!("the engine sets no conflict budget"),
+        let degrees: Vec<u32> = match comp {
+            None => (0..h.len() as u32).map(|i| facts.txn_degree(TxnId(i)) as u32).collect(),
+            Some(c) => c.txns.iter().map(|&t| facts.txn_degree(t) as u32).collect(),
         };
+        let (sat, solve_stats) = run_solve(&g, solver, Some(&degrees), &solve_plan);
+        let solver_stats = Some(solve_stats.solver);
+        let cycle = (!sat).then(|| translate(extract_cycle(&g)));
         timings.solving = t.elapsed();
-        UnitReport { cycle, timings, prune_stats, encode_stats, solver_stats }
-    }
-}
-
-fn merge_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
-    SolverStats {
-        decisions: a.decisions + b.decisions,
-        propagations: a.propagations + b.propagations,
-        conflicts: a.conflicts + b.conflicts,
-        theory_conflicts: a.theory_conflicts + b.theory_conflicts,
-        learned_clauses: a.learned_clauses + b.learned_clauses,
-        restarts: a.restarts + b.restarts,
+        UnitReport {
+            cycle,
+            timings,
+            prune_stats,
+            encode_stats,
+            solver_stats,
+            solve_stats: Some(solve_stats),
+        }
     }
 }
 
@@ -487,7 +528,7 @@ fn merge_solver_stats(a: SolverStats, b: SolverStats) -> SolverStats {
 /// of the known graph so the solver's first full assignment is already
 /// near-acyclic; `oracle` (the reachability oracle pruning handed back,
 /// when it ran) supplies that order without a rebuild.
-fn encode(
+pub(crate) fn encode(
     g: &Polygraph,
     phase_seeding: bool,
     oracle: Option<&KnownGraph>,
@@ -537,8 +578,9 @@ fn encode(
 /// On UNSAT, every resolution of the constraints is cyclic (Definition 15),
 /// so resolving everything one way and extracting a cycle yields a genuine
 /// counterexample. We try both uniform resolutions and keep the shorter
-/// cycle.
-fn extract_cycle(g: &Polygraph) -> Vec<Edge> {
+/// cycle. A pure function of the polygraph: the witness is byte-identical
+/// whichever solve mode or worker count proved the UNSAT.
+pub(crate) fn extract_cycle(g: &Polygraph) -> Vec<Edge> {
     let mut best: Option<Vec<Edge>> = None;
     for either in [true, false] {
         let mut edges = g.known.clone();
@@ -748,6 +790,39 @@ mod tests {
                         seq.prune_stats.map(|s| (s.constraints_after, s.unknown_deps_after)),
                         par.prune_stats.map(|s| (s.constraints_after, s.unknown_deps_after)),
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_threads_and_modes_do_not_change_reports() {
+        let histories = [write_skew_chain(), two_components_one_bad()];
+        for h in &histories {
+            for isolation in [IsolationLevel::Si, IsolationLevel::Ser] {
+                let run = |threads: SolveThreads, mode: SolveMode| {
+                    let opts = EngineOptions {
+                        solve_threads: threads,
+                        solve_mode: mode,
+                        ..Default::default()
+                    };
+                    check(h, isolation, &opts)
+                };
+                let seq = run(SolveThreads::Fixed(1), SolveMode::Auto);
+                for threads in [SolveThreads::Fixed(4), SolveThreads::Auto] {
+                    for mode in [SolveMode::Auto, SolveMode::Cube, SolveMode::Portfolio] {
+                        let par = run(threads, mode);
+                        assert_eq!(seq.is_si(), par.is_si(), "{isolation:?} {threads:?} {mode:?}");
+                        let cycles = |r: &crate::check::CheckReport| match &r.outcome {
+                            Outcome::CyclicViolation(v) => format!("{:?}", v.cycle),
+                            _ => String::new(),
+                        };
+                        assert_eq!(
+                            cycles(&seq),
+                            cycles(&par),
+                            "{isolation:?} {threads:?} {mode:?}"
+                        );
+                    }
                 }
             }
         }

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod interpret;
 pub mod list;
 pub mod oracle;
+pub mod solve;
 
 pub use anomaly::Anomaly;
 pub use check::{
@@ -59,3 +60,4 @@ pub use engine::{
 pub use interpret::{Certainty, Scenario};
 pub use list::{check_si_list, ListHistory, ListOp, ListReport, ListTxn, ListViolation};
 pub use polysi_history::ShardFallback;
+pub use solve::{SolveMode, SolveModeUsed, SolveStats, SolveThreads};

@@ -43,6 +43,13 @@ struct TxnInfo {
 
 struct Search {
     sessions: Vec<Vec<TxnInfo>>,
+    /// Content hash of each session's full transaction list: sessions
+    /// with equal hashes are interchangeable, so the memo key sorts
+    /// per-session states by `(content, position, guard)` — a
+    /// session-permutation canonicalization that lets symmetric
+    /// workloads (identical sessions at swapped progress) share one memo
+    /// entry instead of exploring isomorphic subtrees separately.
+    session_ids: Vec<u64>,
     /// Per-session event position: `2*i` = next is begin of txn `i`,
     /// `2*i+1` = txn `i` in flight, next is its commit.
     positions: Vec<usize>,
@@ -57,15 +64,22 @@ struct Search {
 impl Search {
     fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        self.positions.hash(&mut h);
+        // Canonical per-session states: two states that differ only by a
+        // permutation of identical-content sessions hash alike (and truly
+        // are the same search state: the remaining suffixes are equal).
+        let mut per_session: Vec<(u64, usize, u64)> = (0..self.sessions.len())
+            .map(|s| {
+                let mut gh = std::collections::hash_map::DefaultHasher::new();
+                for (k, v) in &self.guards[s] {
+                    (k.0, v.0).hash(&mut gh);
+                }
+                (self.session_ids[s], self.positions[s], gh.finish())
+            })
+            .collect();
+        per_session.sort_unstable();
+        per_session.hash(&mut h);
         for (k, v) in &self.store {
             (k.0, v.0).hash(&mut h);
-        }
-        for g in &self.guards {
-            g.len().hash(&mut h);
-            for (k, v) in g {
-                (k.0, v.0).hash(&mut h);
-            }
         }
         h.finish()
     }
@@ -186,8 +200,25 @@ pub fn replay_check_si(h: &History, budget: usize) -> ReplayResult {
         sessions.push(txns);
     }
     let n = sessions.len();
+    let session_ids = sessions
+        .iter()
+        .map(|txns| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for t in txns {
+                for (k, v) in &t.ext_reads {
+                    (0u8, k.0, v.0).hash(&mut h);
+                }
+                for (k, v) in &t.writes {
+                    (1u8, k.0, v.0).hash(&mut h);
+                }
+                2u8.hash(&mut h);
+            }
+            h.finish()
+        })
+        .collect();
     let mut search = Search {
         sessions,
+        session_ids,
         positions: vec![0; n],
         store: BTreeMap::new(),
         guards: vec![Vec::new(); n],
@@ -275,6 +306,26 @@ mod tests {
             }
         }
         assert_eq!(replay_check_si(&b.build(), 2), ReplayResult::Budget);
+    }
+
+    #[test]
+    fn symmetric_sessions_share_memo_entries() {
+        // One writer session plus eight *identical* observer sessions,
+        // each catching the same impossible snapshot (y visible, x not —
+        // the session wrote x first). Proving NotSi must refute every
+        // interleaving; with the session-permutation canonical memo key,
+        // observer permutations collapse onto one entry each, so the
+        // refutation fits a budget that is tiny relative to the 8!
+        // orderings of the observers.
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.begin().write(k(2), v(2)).commit();
+        for _ in 0..8 {
+            b.session();
+            b.begin().read(k(2), v(2)).read(k(1), Value::INIT).commit();
+        }
+        assert_eq!(replay_check_si(&b.build(), 3_000), ReplayResult::NotSi);
     }
 
     #[test]

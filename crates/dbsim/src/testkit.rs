@@ -228,6 +228,19 @@ pub fn conformance_corpus(
         }
     }
 
+    // Solver-stress: the smallest overlapping-constraint clique — every
+    // constraint survives pruning, so even the conformance sweep's solve
+    // stage does real search. Only the smallest instance goes here: the
+    // larger stress templates' singleton-session structure blows up the
+    // interleaving searches (dbcop, replay), so they are swept by the
+    // facade's `solve_parallel` suite against the Theorem-6 oracle and
+    // the Cobra baselines instead.
+    cases.push(ConformanceCase {
+        name: "stress/overlapping-clique-2".into(),
+        history: crate::corpus::overlapping_clique(900_000, 2),
+        expected: Expectation::Si { serializable: true },
+    });
+
     // Known-anomalous replays: detection must be 100%.
     for entry in generate_corpus(anomalies, seed) {
         let classes = corpus_classes(&entry.source);

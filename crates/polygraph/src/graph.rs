@@ -49,9 +49,17 @@ pub struct KnownGraph {
     closure_updates: usize,
     /// Typed edges accepted by [`KnownGraph::insert_edges`].
     inserted_edges: usize,
+    /// Layered edges already applied to the adjacency, order, and `dep_in`
+    /// but whose closure propagation is deferred to the next
+    /// [`KnownGraph::flush_closure`]. While non-empty, exact reachability
+    /// is recovered by composing at-flush closure segments with these
+    /// explicit edges.
+    pending: Vec<(u32, u32)>,
     // Pearce–Kelly DFS scratch (stamped to avoid clearing).
     stamp: u32,
     visited: Vec<u32>,
+    /// Flush scratch: `grown[v] == stamp` marks rows grown this flush.
+    grown: Vec<u32>,
 }
 
 /// Result of building the known graph.
@@ -67,6 +75,14 @@ pub enum KnownGraphResult {
 fn b(i: u32) -> u32 {
     i
 }
+
+/// Staged (layered) edges per closure propagation: one apply phase's
+/// resolutions propagate in batches of at most this many edges, so a row
+/// the whole batch feeds is recomputed once instead of per edge. Must
+/// stay ≤ 62: the pending-aware exact queries run their BFS over the
+/// staged-edge indices on `u64` masks, and one typed edge stages up to
+/// two layered images before the limit check fires.
+const PENDING_FLUSH_LIMIT: usize = 62;
 
 impl KnownGraph {
     /// Build the layered graph from known typed edges under SI semantics;
@@ -113,8 +129,10 @@ impl KnownGraph {
             ord: vec![0; 2 * n],
             closure_updates: 0,
             inserted_edges: 0,
+            pending: Vec::new(),
             stamp: 0,
             visited: vec![0; 2 * n],
+            grown: vec![0; 2 * n],
         };
         match g.topological_order() {
             Some(order) => {
@@ -210,29 +228,154 @@ impl KnownGraph {
     /// two adjacent `RW` under SI), with every *earlier* edge of the batch
     /// already applied. On `Ok` the oracle is exactly equivalent to a
     /// from-scratch [`KnownGraph::build_with`] over the union of edges.
+    ///
+    /// Equivalent to [`KnownGraph::insert_edges_deferred`] followed by an
+    /// immediate [`KnownGraph::flush_closure`]; callers batching several
+    /// edge sets (e.g. one prune apply phase) should use those directly so
+    /// closure rows propagate once per phase instead of once per call.
     pub fn insert_edges(&mut self, batch: &[Edge]) -> Result<(), Vec<Edge>> {
+        let staged = self.insert_edges_deferred(batch);
+        // Flush even on failure: the accepted prefix is applied, and the
+        // oracle must answer queries about it coherently.
+        self.flush_closure();
+        staged
+    }
+
+    /// [`KnownGraph::insert_edges`] with closure propagation *deferred*:
+    /// the adjacency, reverse adjacency, `dep_in` bits, and the layered
+    /// topological order are updated per edge (so [`Self::topo_positions`]
+    /// and witness path extraction stay exact), but closure rows are left
+    /// at their last-flush state and the staged edges are queued. Cycle
+    /// prechecks — including those of later `insert_edges_deferred` calls
+    /// in the same batch — remain *exact*: queries compose at-flush
+    /// closure segments with the explicit staged edges, so verdicts and
+    /// witness cycles are byte-identical to the eager per-edge path.
+    ///
+    /// Callers must [`KnownGraph::flush_closure`] before using the oracle
+    /// read-only (e.g. handing it to a parallel sweep); on `Err` the
+    /// oracle should be discarded.
+    ///
+    /// The pending set is bounded: once enough staged
+    /// edges accumulate, the batch flushes itself. Exactness never
+    /// depends on flush granularity — the pending-aware queries answer
+    /// identically either way — but the composition fallback costs
+    /// O(|pending|) per query, so an unbounded phase (thousands of
+    /// resolutions on contended workloads) would turn prechecks
+    /// quadratic.
+    pub fn insert_edges_deferred(&mut self, batch: &[Edge]) -> Result<(), Vec<Edge>> {
         for &e in batch {
-            if let Some(cycle) = self.closing_cycle(e) {
+            if !self.try_stage(e) {
+                let cycle = self
+                    .closing_cycle(e)
+                    .expect("Pearce-Kelly found a cycle, so the exact queries must too");
                 return Err(cycle);
             }
-            self.insert_acyclic(e);
+            if self.pending.len() >= PENDING_FLUSH_LIMIT {
+                self.flush_closure();
+            }
         }
         Ok(())
+    }
+
+    /// [`KnownGraph::insert_edges`] with one closure propagation per
+    /// *edge* — the pre-batching behaviour, kept for the `prune` bench's
+    /// batched-vs-per-edge ablation. Results are byte-identical to the
+    /// batched path; only the propagation schedule differs.
+    pub fn insert_edges_per_edge(&mut self, batch: &[Edge]) -> Result<(), Vec<Edge>> {
+        for &e in batch {
+            if !self.try_stage(e) {
+                let cycle = self
+                    .closing_cycle(e)
+                    .expect("Pearce-Kelly found a cycle, so the exact queries must too");
+                return Err(cycle);
+            }
+            self.flush_closure();
+        }
+        Ok(())
+    }
+
+    /// Propagate all staged edges' closure updates in one sweep: mark the
+    /// pending sources and their ancestors over the reverse adjacency (the
+    /// per-phase frontier), then walk the marked nodes once, in reverse
+    /// topological order. A node's row is touched only when it must grow —
+    /// it has a *staged* out-edge (whose target's row it never absorbed)
+    /// or an out-neighbour whose row grew earlier in this flush — so the
+    /// work matches the per-edge propagation's change-driven BFS, but a
+    /// row that k edges of the phase feed is recomputed once instead of up
+    /// to k times. `closure_updates` counts the rows that actually grew.
+    /// No-op when nothing is pending.
+    pub fn flush_closure(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        // Push-based propagation over a max-heap on topological priority:
+        // a node pops only after every grown successor (all higher
+        // priority) has pushed its row in, so each row is finalized —
+        // and its predecessors re-OR'd — at most once per flush, however
+        // many staged edges feed it. Work matches the per-edge BFS's
+        // change-driven propagation (untouched rows cost nothing), minus
+        // the per-edge re-walks this batching exists to amortize.
+        let mut heap: std::collections::BinaryHeap<(u32, u32)> =
+            std::collections::BinaryHeap::new();
+        for &(lu, _) in &self.pending {
+            if self.visited[lu as usize] != stamp {
+                self.visited[lu as usize] = stamp;
+                heap.push((self.ord[lu as usize], lu));
+            }
+        }
+        while let Some((_, u)) = heap.pop() {
+            let u = u as usize;
+            // Absorb this node's staged out-edges; pushes from grown
+            // successors have already landed (they popped earlier).
+            let mut grew = self.grown[u] == stamp;
+            for idx in 0..self.pending.len() {
+                let (lu, lv) = self.pending[idx];
+                if lu as usize != u {
+                    continue;
+                }
+                let v = lv as usize;
+                if v < self.n {
+                    grew |= self.closure.set_fresh(u, v);
+                }
+                grew |= self.closure.or_row_into(v, u);
+            }
+            if !grew {
+                continue;
+            }
+            self.grown[u] = stamp;
+            self.closure_updates += 1;
+            for i in 0..self.radj[u].len() {
+                let w = self.radj[u][i] as usize;
+                if self.closure.or_row_into(u, w) && self.grown[w] != stamp {
+                    self.grown[w] = stamp;
+                    if self.visited[w] != stamp {
+                        self.visited[w] = stamp;
+                        heap.push((self.ord[w], w as u32));
+                    }
+                }
+            }
+        }
+        self.pending.clear();
     }
 
     /// The violating cycle that adding `e` to the known graph would close,
     /// if any — the incremental counterpart of the cyclicity check in
     /// [`KnownGraph::build_with`]. Read-only; usable from parallel sweeps.
+    /// Exact even while a deferred batch is pending (queries go through
+    /// the pending-aware composition), so the witnesses it returns are
+    /// byte-identical between the eager and the batched insertion paths.
     pub fn closing_cycle(&self, e: Edge) -> Option<Vec<Edge>> {
         let (f, t) = (e.from, e.to);
         debug_assert_ne!(f, t, "self edges are malformed: {e:?}");
         if self.semantics == Semantics::Si && !e.label.is_dep() {
             // RW f→t closes a cycle iff some Dep predecessor of `f` is
             // reached from (or equals) `t` (Figure 4b).
-            if !self.rw_closes_cycle(f, t) {
+            if !self.rw_closes_cycle_exact(f, t) {
                 return None;
             }
-            let prec = self.witness_pred(f, t);
+            let prec = self.witness_pred_exact(f, t);
             let mut cycle = vec![self.dep_edge_between(prec, f), e];
             if t != prec {
                 cycle.extend(self.find_path(t, prec).expect("witness_pred reachability"));
@@ -240,7 +383,7 @@ impl KnownGraph {
             return Some(cycle);
         }
         // Plain edge (SER) or Dep boundary image (SI): t ⇝ f.
-        if self.reaches(t, f) {
+        if self.reach_exact(t.idx(), f.idx()) {
             let mut cycle = vec![e];
             cycle.extend(self.find_path(t, f).expect("reaches held"));
             return Some(cycle);
@@ -248,13 +391,13 @@ impl KnownGraph {
         // Dep i→k under SI also adds B(i)→M(k); a path M(k) ⇝ B(i) — an
         // `RW` out of `k` composing back — closes a cycle the boundary
         // image misses.
-        if self.semantics == Semantics::Si && self.closure.get(self.n + t.idx(), f.idx()) {
+        if self.semantics == Semantics::Si && self.reach_exact(self.n + t.idx(), f.idx()) {
             for &(j, rw) in &self.adj[self.n + t.idx()] {
                 let j = TxnId(j);
                 if j == f {
                     return Some(vec![e, rw]);
                 }
-                if self.reaches(j, f) {
+                if self.reach_exact(j.idx(), f.idx()) {
                     let mut cycle = vec![e, rw];
                     cycle.extend(self.find_path(j, f).expect("closure row held"));
                     return Some(cycle);
@@ -265,75 +408,204 @@ impl KnownGraph {
         None
     }
 
-    /// Insert one typed edge known not to close a cycle: push the layered
-    /// images, restore the topological order (Pearce–Kelly affected-region
-    /// reordering), and propagate closure rows into the ancestors.
-    fn insert_acyclic(&mut self, e: Edge) {
+    /// Try to stage one typed edge: push the layered images, restore the
+    /// topological order (Pearce–Kelly affected-region reordering), and
+    /// queue the closure propagation for the next flush. Returns `false`
+    /// — with the partially staged images undone — when the edge would
+    /// close a violating cycle: the PK forward search discovers exactly
+    /// the layered cycles, so the hot path needs no separate reachability
+    /// precheck; callers build the canonical witness afterwards through
+    /// the (exact, pending-aware) [`Self::closing_cycle`].
+    fn try_stage(&mut self, e: Edge) -> bool {
         let (f, t) = (e.from.0 as usize, e.to.0 as usize);
         let layered: [(usize, usize); 2] = match (self.semantics, e.label.is_dep()) {
             (Semantics::Ser, _) => [(f, t), (usize::MAX, 0)],
             (Semantics::Si, true) => [(f, t), (f, self.n + t)],
             (Semantics::Si, false) => [(self.n + f, t), (usize::MAX, 0)],
         };
+        let staged_from = self.pending.len();
         for &(lu, lv) in layered.iter().filter(|&&(lu, _)| lu != usize::MAX) {
-            self.pk_reorder(lu as u32, lv as u32);
+            if !self.pk_insert(lu as u32, lv as u32) {
+                // Unwind the already-applied image (the entries are the
+                // trailing ones); its order perturbation is a valid
+                // topological order either way, and violation paths
+                // discard the oracle.
+                while self.pending.len() > staged_from {
+                    let (plu, plv) = self.pending.pop().expect("applied images are pending");
+                    self.adj[plu as usize].pop();
+                    self.radj[plv as usize].pop();
+                }
+                return false;
+            }
             self.adj[lu].push((lv as u32, e));
             self.radj[lv].push(lu as u32);
-            self.propagate_closure(lu, lv);
+            self.pending.push((lu as u32, lv as u32));
         }
         if self.semantics == Semantics::Si && e.label.is_dep() {
             self.dep_in.set(t, f);
         }
         self.inserted_edges += 1;
+        true
     }
 
-    /// Merge `closure[lv] ∪ {lv}` into `closure[lu]`, then BFS the reverse
-    /// adjacency, re-propagating every row that actually grew. Rows gain at
-    /// most `n` bits ever, so total incremental work is bounded by the
-    /// closure size, not the pass count.
-    fn propagate_closure(&mut self, lu: usize, lv: usize) {
-        let mut changed = self.closure.or_row_into(lv, lu);
-        if lv < self.n {
-            changed |= self.closure.set_fresh(lu, lv);
+    /// Exact reachability from layered node `src` to boundary transaction
+    /// `dst`, pending edges included. Any true path decomposes into
+    /// maximal at-flush segments separated by pending edges, so at-flush
+    /// closure lookups plus a BFS over the (small, per-phase) pending-edge
+    /// list are complete; with nothing pending this is one bit test.
+    fn reach_exact(&self, src: usize, dst: usize) -> bool {
+        if self.closure.get(src, dst) {
+            return true;
         }
-        if !changed {
-            return;
+        if self.pending.is_empty() {
+            return false;
         }
-        self.closure_updates += 1;
-        let mut queue: Vec<u32> = vec![lu as u32];
-        let mut head = 0;
-        while head < queue.len() {
-            let x = queue[head] as usize;
-            head += 1;
-            for i in 0..self.radj[x].len() {
-                let w = self.radj[x][i] as usize;
-                if w != x && self.closure.or_row_into(x, w) {
-                    self.closure_updates += 1;
-                    queue.push(w as u32);
-                }
+        let mut frontier = self.pending_reached_from(src);
+        let mut rest = frontier;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let v = self.pending[i].1 as usize;
+            if v == dst || self.closure.get(v, dst) {
+                return true;
+            }
+            let new = self.pending_reached_from(v) & !frontier;
+            frontier |= new;
+            rest |= new;
+        }
+        false
+    }
+
+    /// Bitmask over pending-edge indices whose *source* is flush-reachable
+    /// from layered node `x`. The pending set is bounded well below 64
+    /// (the flush limit), so the whole pending BFS runs on
+    /// `u64` masks with no allocation.
+    #[inline]
+    fn pending_reached_from(&self, x: usize) -> u64 {
+        debug_assert!(self.pending.len() <= 64);
+        let mut mask = 0u64;
+        for (i, &(u, _)) in self.pending.iter().enumerate() {
+            if self.flush_reach(x, u as usize) {
+                mask |= 1 << i;
             }
         }
+        mask
     }
 
-    /// Pearce–Kelly: make `ord` a valid topological order again after the
-    /// (acyclicity-prechecked) insertion of layered edge `u → v`. In-order
-    /// insertions are O(1); otherwise the affected region — forward from
-    /// `v` below `ord[u]`, backward from `u` above `ord[v]` — is discovered
-    /// by a double DFS and its priorities are pooled and redistributed,
-    /// exactly as in `polysi_solver::theory::AcyclicityTheory::insert`.
-    fn pk_reorder(&mut self, u: u32, v: u32) {
+    /// The closed set of pending-edge indices reachable from layered
+    /// `src` (transitively, through at-flush segments).
+    fn pending_closure_from(&self, src: usize) -> u64 {
+        let mut seen = self.pending_reached_from(src);
+        let mut rest = seen;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let new = self.pending_reached_from(self.pending[i].1 as usize) & !seen;
+            seen |= new;
+            rest |= new;
+        }
+        seen
+    }
+
+    /// Whether layered node `x` reaches layered node `y` using only
+    /// at-flush edges (empty paths allowed — this connects consecutive
+    /// pending edges). A mid node is entered only through an at-flush
+    /// `Dep` image `B(p) → M(m)`; staged in-edges are the trailing
+    /// `pending_in[y]` entries of the reverse adjacency and are excluded.
+    fn flush_reach(&self, x: usize, y: usize) -> bool {
+        if x == y {
+            return true;
+        }
+        if y < self.n {
+            return self.closure.get(x, y);
+        }
+        let pend = self.pending.iter().filter(|&&(_, v)| v as usize == y).count();
+        let ins = &self.radj[y];
+        ins[..ins.len() - pend].iter().any(|&p| x == p as usize || self.closure.get(x, p as usize))
+    }
+
+    /// Pending-aware [`Self::rw_closes_cycle`]: after the stale row
+    /// intersection, test paths through the (≤ 64) staged edges — the
+    /// pending BFS from `to` runs once, and each reached staged target's
+    /// closure row is intersected against the `dep_in` row.
+    fn rw_closes_cycle_exact(&self, from: TxnId, to: TxnId) -> bool {
+        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+            return true;
+        }
+        let dep_row = self.dep_in.row(from.0 as usize);
+        if self.closure.row_intersects(b(to.0) as usize, dep_row) {
+            return true;
+        }
+        if self.pending.is_empty() {
+            return false;
+        }
+        let mut reached = self.pending_closure_from(to.idx());
+        while reached != 0 {
+            let i = reached.trailing_zeros() as usize;
+            reached &= reached - 1;
+            let v = self.pending[i].1 as usize;
+            if v < self.n && (dep_row[v / 64] >> (v % 64) & 1 == 1) {
+                return true;
+            }
+            if self.closure.row_intersects(v, dep_row) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pending-aware [`Self::witness_pred`].
+    fn witness_pred_exact(&self, from: TxnId, to: TxnId) -> TxnId {
+        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+            return to;
+        }
+        let reached = self.pending_closure_from(to.idx());
+        let exact_reach = |p: usize| {
+            if self.closure.get(to.idx(), p) {
+                return true;
+            }
+            let mut rest = reached;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let v = self.pending[i].1 as usize;
+                if v == p || self.closure.get(v, p) {
+                    return true;
+                }
+            }
+            false
+        };
+        self.dep_in
+            .iter_row(from.0 as usize)
+            .map(|p| TxnId(p as u32))
+            .find(|&p| exact_reach(p.idx()))
+            .expect("rw_closes_cycle held")
+    }
+
+    /// Pearce–Kelly: accommodate the layered edge `u → v` in `ord`, or
+    /// report a cycle (`false`, nothing mutated). In-order insertions are
+    /// O(1); otherwise the affected region — forward from `v` below
+    /// `ord[u]`, backward from `u` above `ord[v]` — is discovered by a
+    /// double DFS and its priorities are pooled and redistributed,
+    /// exactly as in `polysi_solver::theory::AcyclicityTheory::insert`;
+    /// the forward search doubles as the insertion's cycle check.
+    fn pk_insert(&mut self, u: u32, v: u32) -> bool {
         let (lb, ub) = (self.ord[v as usize], self.ord[u as usize]);
         if ub < lb {
-            return;
+            return true;
         }
-        // Forward DFS from v over nodes with ord <= ub.
+        // Forward DFS from v over nodes with ord <= ub; finding `u` means
+        // the new edge closes a cycle (this doubles as the insertion's
+        // cycle check — `ord` is untouched until the search completes).
         self.stamp += 1;
         let stamp = self.stamp;
         let mut delta_f: Vec<u32> = Vec::new();
         let mut stack = vec![v];
         self.visited[v as usize] = stamp;
         while let Some(x) = stack.pop() {
-            debug_assert_ne!(x, u, "pk_reorder called with a cycle-closing edge");
+            if x == u {
+                return false;
+            }
             delta_f.push(x);
             for &(y, _) in &self.adj[x as usize] {
                 if self.ord[y as usize] <= ub && self.visited[y as usize] != stamp {
@@ -367,13 +639,18 @@ impl KnownGraph {
         for (node, slot) in delta_b.iter().chain(delta_f.iter()).zip(slots) {
             self.ord[*node as usize] = slot;
         }
+        true
     }
 
     /// Whether `a` reaches `b` in the known induced SI graph (non-reflexive:
     /// `reaches(a, a)` is true only on a real cycle, which cannot happen for
     /// an acyclic graph).
+    /// Reads the closure directly and therefore requires a flushed oracle
+    /// (no deferred batch pending); [`Self::closing_cycle`] stays exact
+    /// mid-batch through the pending-aware internal queries.
     #[inline]
     pub fn reaches(&self, a: TxnId, w: TxnId) -> bool {
+        debug_assert!(self.pending.is_empty(), "query on an unflushed oracle");
         self.closure.get(b(a.0) as usize, w.0 as usize)
     }
 
@@ -381,6 +658,7 @@ impl KnownGraph {
     /// `∃ prec` with a known `Dep` edge `prec → from` such that
     /// `to == prec` or `to ⇝ prec` (Figure 4b of the paper).
     pub fn rw_closes_cycle(&self, from: TxnId, to: TxnId) -> bool {
+        debug_assert!(self.pending.is_empty(), "query on an unflushed oracle");
         if self.dep_in.get(from.0 as usize, to.0 as usize) {
             return true;
         }
@@ -692,6 +970,49 @@ mod tests {
         assert_eq!(err[0], ww(2, 0));
         // The first batch edge landed before the violation.
         assert!(g.reaches(TxnId(0), TxnId(2)));
+    }
+
+    #[test]
+    fn deferred_cycle_checks_are_exact_mid_batch() {
+        // Stage a chain without flushing; a closing edge staged in the
+        // same logical phase must be rejected through the pending-aware
+        // composition (the closure still reflects only `so(0, 1)`).
+        let mut g = acyclic(4, &[so(0, 1)]);
+        g.insert_edges_deferred(&[ww(1, 2), ww(2, 3)]).expect("chain is acyclic");
+        let err = g.insert_edges_deferred(&[ww(3, 0)]).unwrap_err();
+        assert_eq!(err[0], ww(3, 0));
+    }
+
+    #[test]
+    fn deferred_rw_composition_detected_before_flush() {
+        // The mid-node Dep;RW composition must fire against *staged* RW
+        // edges too: RW 1→0 staged, then Dep 0→1 staged in the same batch.
+        let mut g = acyclic(2, &[]);
+        g.insert_edges_deferred(&[rw(1, 0)]).expect("lone RW composes with nothing");
+        let err = g.insert_edges_deferred(&[wr(0, 1)]).unwrap_err();
+        assert_eq!(err, vec![wr(0, 1), rw(1, 0)]);
+    }
+
+    #[test]
+    fn deferred_flush_equals_eager_insertion() {
+        let initial = [so(0, 1), wr(1, 2)];
+        let batches: [&[Edge]; 3] = [&[ww(2, 3)], &[rw(3, 4), wr(0, 4)], &[ww(1, 3)]];
+        let mut eager = acyclic(5, &initial);
+        let mut deferred = acyclic(5, &initial);
+        for batch in batches {
+            eager.insert_edges(batch).expect("acyclic");
+            deferred.insert_edges_deferred(batch).expect("acyclic");
+        }
+        deferred.flush_closure();
+        assert_eq!(eager.closure().count_ones(), deferred.closure().count_ones());
+        for row in 0..10 {
+            assert_eq!(eager.closure().row(row), deferred.closure().row(row), "row {row}");
+        }
+        // One flush for three staged batches: closure rows were each
+        // touched at most once, so the update counter stays below the
+        // per-call propagation's.
+        assert!(deferred.closure_updates() <= eager.closure_updates());
+        assert!(deferred.closure_updates() > 0);
     }
 
     #[test]

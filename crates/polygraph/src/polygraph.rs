@@ -130,6 +130,14 @@ pub struct PruneOptions {
     /// usually tiny. Tests lower it to force the threaded path on small
     /// inputs.
     pub parallel_min: usize,
+    /// Batch closure propagation across each apply phase: resolutions are
+    /// staged through [`KnownGraph::insert_edges_deferred`] (exact
+    /// pending-aware cycle checks) and the closure rows propagate once per
+    /// phase from the phase frontier, instead of once per resolved edge.
+    /// Verdicts, witnesses, and resolved-edge sets are byte-identical
+    /// either way; `false` keeps the per-edge propagation for the `prune`
+    /// bench's ablation rows.
+    pub batch: bool,
 }
 
 impl Default for PruneOptions {
@@ -139,6 +147,7 @@ impl Default for PruneOptions {
             incremental: true,
             chunk_size: 0,
             parallel_min: PARALLEL_SWEEP_MIN,
+            batch: true,
         }
     }
 }
@@ -293,8 +302,14 @@ impl Polygraph {
                         if opts.incremental {
                             // An earlier resolution of this apply phase may
                             // have made this side impossible too: the
-                            // insertion then surfaces the violating cycle.
-                            if let Err(cycle) = kg.insert_edges(side) {
+                            // (staged) insertion then surfaces the
+                            // violating cycle.
+                            let inserted = if opts.batch {
+                                kg.insert_edges_deferred(side)
+                            } else {
+                                kg.insert_edges_per_edge(side)
+                            };
+                            if let Err(cycle) = inserted {
                                 return (PruneResult::Violation(cycle), None);
                             }
                         }
@@ -304,6 +319,9 @@ impl Polygraph {
                     }
                 }
             }
+            // Batched mode: one closure propagation for the whole apply
+            // phase, from the frontier of everything just staged.
+            kg.flush_closure();
             if changed {
                 let mut i = 0;
                 self.constraints.retain(|_| {
@@ -799,6 +817,11 @@ mod tests {
                 });
                 assert_eq!(seq, par, "threads={threads} chunk=1 diverged");
             }
+            // Per-edge closure propagation (batch off) must be
+            // byte-identical to the per-phase batched default — verdicts,
+            // witnesses, resolved sets.
+            let per_edge = run(PruneOptions { batch: false, ..Default::default() });
+            assert_eq!(seq, per_edge, "batched and per-edge propagation diverged");
             let rebuild = run(PruneOptions { incremental: false, ..Default::default() });
             assert_eq!(seq.0.is_none(), rebuild.0.is_none(), "verdict diverged across modes");
             if seq.0.is_none() {

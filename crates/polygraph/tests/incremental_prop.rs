@@ -65,15 +65,19 @@ fn assert_valid_cycle(cycle: &[Edge], allowed: &[Edge], semantics: Semantics) {
     }
 }
 
-/// Drive the incremental path over the plan. Returns the final oracle on
-/// acceptance, or the (validated) witness position on violation.
-fn run_incremental(plan: &Plan) -> Result<Box<KnownGraph>, usize> {
+/// Drive the incremental path over the plan — eagerly (closure flushed by
+/// every `insert_edges` call) or deferred (every batch staged through
+/// `insert_edges_deferred`, one `flush_closure` at the very end, so all
+/// mid-run cycle checks exercise the pending-aware queries). Returns the
+/// final (flushed) oracle on acceptance, or the batch end position plus
+/// the raw witness on violation.
+fn drive(plan: &Plan, deferred: bool) -> Result<Box<KnownGraph>, (usize, Vec<Edge>)> {
     let initial = &plan.edges[..plan.initial];
     let mut g = match KnownGraph::build_with(plan.n, initial, plan.semantics) {
         KnownGraphResult::Acyclic(g) => g,
         KnownGraphResult::Cyclic(cycle) => {
             assert_valid_cycle(&cycle, initial, plan.semantics);
-            return Err(plan.initial);
+            return Err((plan.initial, cycle));
         }
     };
     let mut next = plan.initial;
@@ -82,25 +86,42 @@ fn run_incremental(plan: &Plan) -> Result<Box<KnownGraph>, usize> {
         let size = plan.batch_sizes[batch % plan.batch_sizes.len()];
         batch += 1;
         let end = (next + size).min(plan.edges.len());
-        match g.insert_edges(&plan.edges[next..end]) {
+        let staged = if deferred {
+            g.insert_edges_deferred(&plan.edges[next..end])
+        } else {
+            g.insert_edges(&plan.edges[next..end])
+        };
+        match staged {
             Ok(()) => next = end,
             Err(cycle) => {
                 assert_valid_cycle(&cycle, &plan.edges[..end], plan.semantics);
-                // The batch prefix before the violating edge was applied;
-                // pin down the offending edge for the verdict comparison.
-                let bad = (next..end)
-                    .find(|&i| {
-                        matches!(
-                            KnownGraph::build_with(plan.n, &plan.edges[..=i], plan.semantics),
-                            KnownGraphResult::Cyclic(_)
-                        )
-                    })
-                    .expect("insert_edges reported a cycle no prefix rebuild sees");
-                return Err(bad + 1);
+                return Err((end, cycle));
             }
         }
     }
+    g.flush_closure();
     Ok(g)
+}
+
+/// Drive the eager path and translate a violation into the first cyclic
+/// prefix length, for the from-scratch verdict comparison.
+fn run_incremental(plan: &Plan) -> Result<Box<KnownGraph>, usize> {
+    match drive(plan, false) {
+        Ok(g) => Ok(g),
+        Err((end, _)) => {
+            // Everything accepted so far rebuilds acyclic, so the first
+            // cyclic prefix pins down the offending edge.
+            let bad = (0..end)
+                .find(|&i| {
+                    matches!(
+                        KnownGraph::build_with(plan.n, &plan.edges[..=i], plan.semantics),
+                        KnownGraphResult::Cyclic(_)
+                    )
+                })
+                .expect("insert_edges reported a cycle no prefix rebuild sees");
+            Err(bad + 1)
+        }
+    }
 }
 
 proptest! {
@@ -161,6 +182,39 @@ proptest! {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// The deferred-batch path (stage every batch, flush once at the end)
+    /// is indistinguishable from the eager per-call path: same verdict at
+    /// the same batch, byte-identical witness cycles, and — on acceptance
+    /// — bit-identical closures. This is what lets pruning batch closure
+    /// propagation across a whole apply phase without changing results.
+    #[test]
+    fn deferred_batching_equals_eager(plan in plan_strategy()) {
+        match (drive(&plan, false), drive(&plan, true)) {
+            (Ok(eager), Ok(deferred)) => {
+                prop_assert_eq!(eager.closure().count_ones(), deferred.closure().count_ones());
+                for row in 0..2 * plan.n {
+                    prop_assert_eq!(
+                        eager.closure().row(row),
+                        deferred.closure().row(row),
+                        "closure row {} diverged between eager and deferred",
+                        row
+                    );
+                }
+                prop_assert_eq!(eager.inserted_edges(), deferred.inserted_edges());
+            }
+            (Err((e_end, e_cycle)), Err((d_end, d_cycle))) => {
+                prop_assert_eq!(e_end, d_end, "violation surfaced at a different batch");
+                prop_assert_eq!(e_cycle, d_cycle, "witness cycles diverged");
+            }
+            (eager, deferred) => {
+                return Err(TestCaseError::fail(format!(
+                    "verdicts diverged: eager={:?} deferred={:?}",
+                    eager.is_ok(), deferred.is_ok()
+                )));
             }
         }
     }

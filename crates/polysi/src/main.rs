@@ -8,20 +8,23 @@
 //! polysi check history.txt --isolation ser  # serializability instead of SI
 //! polysi check history.txt --shards auto    # shard by key connectivity
 //! polysi check history.txt --prune-threads 4  # parallel constraint sweep
+//! polysi check history.txt --solve-threads 4  # parallel solve stage
 //! polysi check history.txt --dot out.dot
 //! polysi check history.txt --no-pruning
 //! polysi stats history.txt                  # workload statistics only
 //! polysi demo                               # run the built-in long-fork demo
 //! ```
 
-use polysi::checker::engine::{CheckEngine, EngineOptions, IsolationLevel, PruneThreads, Sharding};
+use polysi::checker::engine::{
+    CheckEngine, EngineOptions, IsolationLevel, PruneThreads, Sharding, SolveThreads,
+};
 use polysi::checker::{check_si, dot, CheckOptions, Outcome};
 use polysi::history::{codec, stats::HistoryStats, History};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--dot <out.dot>] [--no-pruning]\n               [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
     );
     ExitCode::from(2)
 }
@@ -81,6 +84,23 @@ fn main() -> ExitCode {
                             },
                             None => {
                                 eprintln!("--prune-threads takes N|auto");
+                                return usage();
+                            }
+                        };
+                    }
+                    "--solve-threads" => {
+                        i += 1;
+                        opts.solve_threads = match args.get(i).map(String::as_str) {
+                            Some("auto") => SolveThreads::Auto,
+                            Some(n) => match n.parse::<usize>() {
+                                Ok(n) if n >= 1 => SolveThreads::Fixed(n),
+                                _ => {
+                                    eprintln!("--solve-threads takes N|auto, got {n:?}");
+                                    return usage();
+                                }
+                            },
+                            None => {
+                                eprintln!("--solve-threads takes N|auto");
                                 return usage();
                             }
                         };

@@ -65,7 +65,7 @@ fn stats_prints_counts() {
 /// Each entry is (file, expected exit code, required stdout substring).
 #[test]
 fn fixture_corpus_has_stable_verdicts() {
-    let fixtures: [(&str, i32, &str); 11] = [
+    let fixtures: [(&str, i32, &str); 13] = [
         ("long_fork.txt", 1, "long fork"),
         ("lost_update.txt", 1, "lost update"),
         ("write_skew.txt", 0, "OK"),
@@ -77,6 +77,8 @@ fn fixture_corpus_has_stable_verdicts() {
         ("ser_write_skew_chain.txt", 0, "OK"),
         ("prune_so_chain_lost_update.txt", 1, "lost update"),
         ("prune_so_chain_clean.txt", 0, "OK"),
+        ("solver_stress_lattice.txt", 0, "OK"),
+        ("solver_stress_clique.txt", 0, "OK"),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for (file, expected_code, needle) in fixtures {
@@ -125,6 +127,41 @@ fn prune_threads_flag_validates() {
     assert_eq!(out.status.code(), Some(2), "bad --prune-threads must be usage error");
     let out = bin().args(["check", "/nonexistent", "--prune-threads", "0"]).output().expect("run");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn solve_threads_flag_validates() {
+    let out =
+        bin().args(["check", "/nonexistent", "--solve-threads", "many"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "bad --solve-threads must be usage error");
+    let out = bin().args(["check", "/nonexistent", "--solve-threads", "0"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The solver-stress fixtures reach the solve stage with surviving
+/// constraints: the lattice is the SI-accepted / SER-rejected pair, and
+/// `--solve-threads` never changes either verdict.
+#[test]
+fn solver_stress_fixtures_decide_at_the_solve_stage() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for threads in ["1", "4", "auto"] {
+        let out = bin()
+            .arg("check")
+            .arg(dir.join("solver_stress_lattice.txt"))
+            .args(["--isolation", "ser", "--solve-threads", threads])
+            .output()
+            .expect("run ser check");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(out.status.code(), Some(1), "lattice/{threads}: {stdout}");
+        assert!(stdout.contains("write skew"), "lattice/{threads}: {stdout}");
+        let out = bin()
+            .arg("check")
+            .arg(dir.join("solver_stress_clique.txt"))
+            .args(["--isolation", "ser", "--solve-threads", threads])
+            .output()
+            .expect("run ser check");
+        assert_eq!(out.status.code(), Some(0), "clique/{threads} must stay serializable");
+    }
 }
 
 /// The serializability mode: SER rejects SI-acceptable write skew and the
@@ -196,7 +233,7 @@ fn fixture_corpus_parses_and_has_stats() {
         assert!(out.status.success(), "{}", path.display());
         assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
     }
-    assert_eq!(count, 11, "fixture corpus changed size without updating the verdict table");
+    assert_eq!(count, 13, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]

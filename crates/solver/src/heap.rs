@@ -4,7 +4,7 @@ use crate::types::Var;
 
 /// Binary max-heap keyed by an external activity array, with an index map
 /// for `decrease/increase`-key and membership tests (MiniSat's `VarOrder`).
-#[derive(Default)]
+#[derive(Default, Clone)]
 pub struct ActivityHeap {
     heap: Vec<Var>,
     /// Position of each var in `heap`, or `usize::MAX` if absent.
@@ -58,6 +58,15 @@ impl ActivityHeap {
             self.sift_down(0, activity);
         }
         Some(top)
+    }
+
+    /// Re-establish the heap invariant after arbitrary activity edits
+    /// (e.g. a portfolio worker's deterministic reseed). Membership is
+    /// preserved; only the order is rebuilt.
+    pub fn rebuild(&mut self, activity: &[f64]) {
+        for pos in (0..self.heap.len()).rev() {
+            self.sift_down(pos, activity);
+        }
     }
 
     /// Restore heap order after `v`'s activity increased.
