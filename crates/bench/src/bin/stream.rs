@@ -1,0 +1,168 @@
+//! Streaming vs batch re-check: amortized cost of online verdicts.
+//!
+//! Replays 3200-txn `general` and `multi_component` workloads as
+//! round-robin session streams at 4 and 8 checkpoint cadences. The
+//! streaming row pays ingestion plus per-checkpoint dirty-component
+//! re-checks (delta polygraph construction, `KnownGraph::insert_edges`
+//! into the warm oracle, resumed pruning, re-encode + re-solve); the
+//! batch row re-runs the full `CheckEngine` from scratch on the same
+//! prefixes — what "checkpointed verdicts" cost without the streaming
+//! subsystem. Prefix materialization is excluded from the batch timer
+//! (a real batch deployment would have the history accumulated anyway),
+//! so the comparison is pipeline work only.
+//!
+//! `--quick` shrinks the workload for CI smoke runs.
+
+use polysi_bench::csv_append;
+use polysi_checker::engine::{check, EngineOptions, IsolationLevel};
+use polysi_checker::{StreamVerdict, StreamingChecker};
+use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
+use polysi_history::{History, HistoryStream};
+use polysi_workloads::{multi_component, GeneralParams};
+use std::time::Instant;
+
+/// A commit-order-like replay: Kahn's algorithm over `SO ∪ WR` with a
+/// lowest-id tie-break. Writers precede their readers and sessions stay
+/// ordered, so every prefix passes the non-cyclic axioms and each
+/// checkpoint measures real graph work on both sides (a raw round-robin
+/// would hand both checkers cheap axiom-broken prefixes instead).
+fn replay_order(h: &History) -> Vec<polysi_history::TxnId> {
+    use polysi_history::Facts;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let facts = Facts::analyze(h);
+    let n = h.len();
+    let mut indeg = vec![0usize; n];
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (a, b) in h.so_edges() {
+        adj[a.idx()].push(b.0);
+        indeg[b.idx()] += 1;
+    }
+    for (w, r, _) in facts.wr_edges() {
+        adj[w.idx()].push(r.0);
+        indeg[r.idx()] += 1;
+    }
+    let mut heap: BinaryHeap<Reverse<u32>> =
+        (0..n as u32).filter(|&i| indeg[i as usize] == 0).map(Reverse).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(u)) = heap.pop() {
+        order.push(polysi_history::TxnId(u));
+        for &v in &adj[u as usize] {
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                heap.push(Reverse(v));
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "SO ∪ WR of a clean history is acyclic");
+    order
+}
+
+/// Checkpoint boundaries (txn counts) for a cadence.
+fn boundaries(total: usize, checkpoints: usize) -> Vec<usize> {
+    let interval = total.div_ceil(checkpoints).max(1);
+    let mut b: Vec<usize> = (1..=checkpoints).map(|i| (i * interval).min(total)).collect();
+    b.dedup();
+    b
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = 0x57_12EA_u64;
+    let total_sessions = 8usize;
+    let txns = if quick { 480 } else { 3200 };
+    let cadences: &[usize] = if quick { &[4] } else { &[4, 8] };
+    let opts = EngineOptions::default();
+    println!("# Streaming vs batch re-check ({txns} txns)");
+    println!(
+        "{:<16} {:>7} {:>12} {:>12} {:>12} {:>9}",
+        "workload", "cpts", "stream-secs", "batch-secs", "amortized", "verdicts"
+    );
+    let mut rows = Vec::new();
+    for (name, components) in [("general", 1usize), ("multi_component", 4)] {
+        let base = GeneralParams {
+            sessions: (total_sessions / components).max(1),
+            txns_per_session: txns / total_sessions,
+            ops_per_txn: 8,
+            keys: 40,
+            read_pct: 50,
+            seed,
+            ..Default::default()
+        };
+        let plan = multi_component(&base, components);
+        let sim = run(&plan, &SimConfig::new(SimLevel::SnapshotIsolation, seed));
+        let h = sim.history;
+        let order = replay_order(&h);
+
+        for &cadence in cadences {
+            let stops = boundaries(h.len(), cadence);
+
+            // Streaming: ingest + checkpoint at each boundary.
+            let t = Instant::now();
+            let mut checker = StreamingChecker::new(IsolationLevel::Si, opts);
+            let sessions: Vec<_> = (0..h.num_sessions()).map(|_| checker.session()).collect();
+            let mut next_stop = 0usize;
+            let mut stream_accepts = 0usize;
+            for (i, &id) in order.iter().enumerate() {
+                let txn = h.txn(id);
+                checker.push_transaction(
+                    sessions[txn.session.0 as usize],
+                    txn.ops.clone(),
+                    txn.status,
+                );
+                if next_stop < stops.len() && i + 1 == stops[next_stop] {
+                    next_stop += 1;
+                    let cp = checker.checkpoint();
+                    assert!(
+                        matches!(cp.verdict, StreamVerdict::Accepted),
+                        "{name}: streaming rejected a clean prefix at checkpoint {}",
+                        cp.seq
+                    );
+                    stream_accepts += 1;
+                }
+            }
+            let stream_secs = t.elapsed().as_secs_f64();
+
+            // Batch-from-scratch on the same prefixes (prefix snapshots
+            // materialized outside the timer).
+            let mut prefixes = Vec::with_capacity(stops.len());
+            {
+                let mut s = HistoryStream::new();
+                let sess: Vec<_> = (0..h.num_sessions()).map(|_| s.session()).collect();
+                let mut next_stop = 0usize;
+                for (i, &id) in order.iter().enumerate() {
+                    let txn = h.txn(id);
+                    s.push_transaction(sess[txn.session.0 as usize], txn.ops.clone(), txn.status);
+                    if next_stop < stops.len() && i + 1 == stops[next_stop] {
+                        next_stop += 1;
+                        prefixes.push(s.snapshot().0);
+                    }
+                }
+            }
+            let t = Instant::now();
+            let mut batch_accepts = 0usize;
+            for p in &prefixes {
+                let report = check(p, IsolationLevel::Si, &opts);
+                assert!(report.accepted(), "{name}: batch rejected a clean prefix");
+                batch_accepts += 1;
+            }
+            let batch_secs = t.elapsed().as_secs_f64();
+            assert_eq!(stream_accepts, batch_accepts);
+
+            let amortized = batch_secs / stream_secs;
+            println!(
+                "{name:<16} {cadence:>7} {stream_secs:>12.3} {batch_secs:>12.3} {amortized:>11.2}x {stream_accepts:>9}"
+            );
+            rows.push(format!(
+                "{name},{},{cadence},{stream_secs:.6},{batch_secs:.6},{amortized:.3}",
+                h.len()
+            ));
+        }
+    }
+    csv_append(
+        "stream",
+        "workload,txns,checkpoints,stream_seconds,batch_seconds,amortized_speedup",
+        &rows,
+    );
+    println!("\nCSV appended to bench_results/stream.csv");
+}

@@ -121,7 +121,7 @@ impl PruneThreads {
     /// pruning pipeline units. `Fixed` is capped at a small multiple of
     /// the machine's parallelism — an absurd `--prune-threads` value must
     /// degrade to oversubscription, not exhaust the process thread limit.
-    fn resolve(self, units: usize) -> usize {
+    pub(crate) fn resolve(self, units: usize) -> usize {
         let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         match self {
             PruneThreads::Fixed(n) => n.clamp(1, cores.saturating_mul(4).max(64)),
@@ -421,20 +421,15 @@ impl CheckEngine {
     }
 
     /// Prune options for one pipeline unit, `units` of which prune
-    /// concurrently: the thread knob resolves against the machine, and the
-    /// sweep chunk size derives from the history's txn-degree hints —
-    /// high-degree workloads carry more edges per constraint, so chunks
-    /// shrink to keep parallel sweep stragglers short.
+    /// concurrently.
     fn prune_options(&self, facts: &Facts, units: usize) -> PruneOptions {
-        let threads = self.opts.prune_threads.resolve(units);
-        let chunk_size = (512.0 / (1.0 + facts.mean_txn_degree())).round() as usize;
-        PruneOptions { threads, chunk_size: chunk_size.clamp(16, 512), ..Default::default() }
+        prune_options_for(&self.opts, facts, units)
     }
 
     /// Solve plan for one pipeline unit, `units` of which solve
     /// concurrently.
     fn solve_plan(&self, units: usize) -> SolvePlan {
-        SolvePlan { mode: self.opts.solve_mode, threads: self.opts.solve_threads.resolve(units) }
+        solve_plan_for(&self.opts, units)
     }
 
     /// Stages Construct → Prune → Encode → Solve for one unit: the whole
@@ -519,6 +514,25 @@ impl CheckEngine {
             solve_stats: Some(solve_stats),
         }
     }
+}
+
+/// Prune options for one pipeline unit, `units` of which prune
+/// concurrently: the thread knob resolves against the machine, and the
+/// sweep chunk size derives from the history's txn-degree hints —
+/// high-degree workloads carry more edges per constraint, so chunks
+/// shrink to keep parallel sweep stragglers short. Shared between the
+/// batch engine and the streaming checker so the two pipelines always
+/// run the same configuration.
+pub(crate) fn prune_options_for(opts: &EngineOptions, facts: &Facts, units: usize) -> PruneOptions {
+    let threads = opts.prune_threads.resolve(units);
+    let chunk_size = (512.0 / (1.0 + facts.mean_txn_degree())).round() as usize;
+    PruneOptions { threads, chunk_size: chunk_size.clamp(16, 512), ..Default::default() }
+}
+
+/// Solve plan for one pipeline unit, `units` of which solve concurrently
+/// (shared with the streaming checker, like [`prune_options_for`]).
+pub(crate) fn solve_plan_for(opts: &EngineOptions, units: usize) -> SolvePlan {
+    SolvePlan { mode: opts.solve_mode, threads: opts.solve_threads.resolve(units) }
 }
 
 /// Encode a polygraph into the SAT-modulo-acyclicity solver. Under SI the

@@ -49,6 +49,7 @@ pub mod interpret;
 pub mod list;
 pub mod oracle;
 pub mod solve;
+pub mod stream;
 
 pub use anomaly::Anomaly;
 pub use check::{
@@ -61,3 +62,4 @@ pub use interpret::{Certainty, Scenario};
 pub use list::{check_si_list, ListHistory, ListOp, ListReport, ListTxn, ListViolation};
 pub use polysi_history::ShardFallback;
 pub use solve::{SolveMode, SolveModeUsed, SolveStats, SolveThreads};
+pub use stream::{CheckpointReport, StreamRejection, StreamVerdict, StreamingChecker};

@@ -197,10 +197,35 @@ impl Default for SolvePlan {
 /// meaningful partition and `Auto` races a portfolio instead.
 const CUBE_MIN_SELECTORS: usize = 8;
 
-/// Selectors fixed per cube: `2^k` cubes. Independent of the thread count
-/// so the cube *set* — and with it every per-cube result — is the same
-/// for any `--solve-threads`.
-const CUBE_SPLIT: usize = 3;
+/// Bounds of the adaptive cube depth: at least `2^3` cubes (the former
+/// fixed split) and at most `2^6` — beyond that the per-cube clone cost
+/// dominates anything assumption-level pruning can recover.
+const CUBE_SPLIT_MIN: usize = 3;
+const CUBE_SPLIT_MAX: usize = 6;
+
+/// Selectors fixed per cube (`2^k` cubes), adapted to the instance: the
+/// depth grows logarithmically with the surviving selector count (big
+/// instances can amortize more cubes), plus one when the ranking scores
+/// are sharply skewed (a dominant selector means the top few decisions
+/// really decompose the search — the overlapping-clique shape) — and
+/// shrinks by one when the spread is flat (equal scores make extra splits
+/// near-redundant subspaces). A pure function of the polygraph and the
+/// degree hints, never of the thread count, so the cube set — and with it
+/// every per-cube result — is the same for any `--solve-threads`.
+fn cube_depth(selectors: usize, ranked: &[usize], score: impl Fn(usize) -> u64) -> usize {
+    debug_assert!(selectors >= 1 && ranked.len() == selectors);
+    // floor(log2(selectors)) - 2: 8..15 → 1, …, 1024.. → 8, then clamped.
+    let log2 = usize::BITS as usize - 1 - selectors.leading_zeros() as usize;
+    let mut k = log2.saturating_sub(2);
+    let top = score(ranked[0]).max(1);
+    let mid = score(ranked[selectors / 2]).max(1);
+    if top >= 4 * mid {
+        k += 1;
+    } else if top <= 2 * mid {
+        k = k.saturating_sub(1);
+    }
+    k.clamp(CUBE_SPLIT_MIN, CUBE_SPLIT_MAX).min(selectors)
+}
 
 /// Solve the encoded instance of `g`. `solver` must be the freshly
 /// encoded pre-solve state (one selector variable per surviving
@@ -282,33 +307,34 @@ pub fn encode_polygraph(g: &Polygraph, phase_seeding: bool) -> Solver {
 /// first decomposes the search best. Ties break toward the lower
 /// constraint index; the ranking is a pure function of the polygraph (and
 /// the optional degree hints), never of thread count or timing.
-fn rank_selectors(g: &Polygraph, degrees: Option<&[u32]>) -> Vec<usize> {
-    let derived: Vec<u32>;
-    let deg: &[u32] = match degrees {
-        Some(d) => d,
-        None => {
-            let mut d = vec![0u32; g.n];
-            for cons in &g.constraints {
-                for e in cons.either.iter().chain(&cons.or) {
-                    d[e.from.idx()] += 1;
-                    d[e.to.idx()] += 1;
-                }
-            }
-            derived = d;
-            &derived
-        }
-    };
-    let score = |ci: usize| -> u64 {
-        let cons = &g.constraints[ci];
-        cons.either
-            .iter()
-            .chain(&cons.or)
-            .map(|e| deg[e.from.idx()] as u64 + deg[e.to.idx()] as u64)
-            .sum()
-    };
+fn rank_selectors(g: &Polygraph, deg: &[u32]) -> Vec<usize> {
     let mut ranked: Vec<usize> = (0..g.constraints.len()).collect();
-    ranked.sort_by_key(|&ci| (std::cmp::Reverse(score(ci)), ci));
+    ranked.sort_by_key(|&ci| (std::cmp::Reverse(selector_score(g, deg, ci)), ci));
     ranked
+}
+
+/// Fallback transaction degrees when the caller supplies no hints:
+/// endpoint counts over the constraint edges alone.
+fn derive_degrees(g: &Polygraph) -> Vec<u32> {
+    let mut d = vec![0u32; g.n];
+    for cons in &g.constraints {
+        for e in cons.either.iter().chain(&cons.or) {
+            d[e.from.idx()] += 1;
+            d[e.to.idx()] += 1;
+        }
+    }
+    d
+}
+
+/// One selector's ranking score: summed transaction degree over its
+/// constraint's edge endpoints.
+fn selector_score(g: &Polygraph, deg: &[u32], ci: usize) -> u64 {
+    let cons = &g.constraints[ci];
+    cons.either
+        .iter()
+        .chain(&cons.or)
+        .map(|e| deg[e.from.idx()] as u64 + deg[e.to.idx()] as u64)
+        .sum()
 }
 
 /// What one cube/portfolio unit reported.
@@ -331,8 +357,16 @@ fn cube_solve(
         selectors,
         "encode allocates exactly one selector var per constraint"
     );
-    let k = CUBE_SPLIT.min(selectors);
-    let ranked = rank_selectors(g, degrees);
+    let derived: Vec<u32>;
+    let deg: &[u32] = match degrees {
+        Some(d) => d,
+        None => {
+            derived = derive_degrees(g);
+            &derived
+        }
+    };
+    let ranked = rank_selectors(g, deg);
+    let k = cube_depth(selectors, &ranked, |ci| selector_score(g, deg, ci));
     let split: Vec<Var> = ranked[..k].iter().map(|&ci| Var(ci as u32)).collect();
     let cubes = 1usize << k;
     // Cube i: selector bit b keeps its seeded phase iff bit b of i is 0.
@@ -568,16 +602,60 @@ mod tests {
             let (sat, stats) =
                 run_solve(&g, encode(&g), None, &SolvePlan { mode: SolveMode::Cube, threads });
             assert!(sat);
-            assert_eq!(stats.split_selectors, CUBE_SPLIT);
-            assert_eq!(stats.units, 1 << CUBE_SPLIT);
+            // ring(16): equal scores (flat spread) → the minimum depth.
+            assert_eq!(stats.split_selectors, CUBE_SPLIT_MIN);
+            assert_eq!(stats.units, 1 << CUBE_SPLIT_MIN);
+        }
+    }
+
+    #[test]
+    fn cube_depth_adapts_to_size_and_spread() {
+        let flat = |_: usize| 10u64;
+        let ranked: Vec<usize> = (0..8).collect();
+        assert_eq!(cube_depth(8, &ranked, flat), CUBE_SPLIT_MIN);
+        let ranked: Vec<usize> = (0..64).collect();
+        // log2(64)-2 = 4, flat spread → 3.
+        assert_eq!(cube_depth(64, &ranked, flat), 3);
+        // A dominant top selector deepens the split by one.
+        let skew = |ci: usize| if ci == 0 { 100u64 } else { 10 };
+        assert_eq!(cube_depth(64, &ranked, skew), 5);
+        // Large instances saturate at the cap.
+        let ranked: Vec<usize> = (0..4096).collect();
+        assert_eq!(cube_depth(4096, &ranked, flat), CUBE_SPLIT_MAX);
+        assert_eq!(cube_depth(4096, &ranked, skew), CUBE_SPLIT_MAX);
+        // Never more splits than selectors (explicit Cube mode on tiny
+        // instances).
+        let ranked: Vec<usize> = (0..2).collect();
+        assert_eq!(cube_depth(2, &ranked, flat), 2);
+    }
+
+    /// Adaptive depth keeps the determinism contract: identical verdicts
+    /// for every thread count at every instance size the depth rule can
+    /// pick differently.
+    #[test]
+    fn cube_depths_agree_with_sequential_across_sizes() {
+        for n in [8u32, 20, 40, 70] {
+            let g = ring(n);
+            let (seq, _) = run_solve(
+                &g,
+                encode(&g),
+                None,
+                &SolvePlan { mode: SolveMode::Sequential, threads: 1 },
+            );
+            for threads in [1usize, 4] {
+                let (sat, stats) =
+                    run_solve(&g, encode(&g), None, &SolvePlan { mode: SolveMode::Cube, threads });
+                assert_eq!(sat, seq, "ring({n}) cube/{threads} diverged");
+                assert_eq!(stats.units, 1 << stats.split_selectors);
+            }
         }
     }
 
     #[test]
     fn ranking_is_deterministic_and_degree_driven() {
         let mut g = ring(8);
-        // Tie-break: equal scores rank by index.
-        assert_eq!(rank_selectors(&g, None)[0], 0);
+        // Tie-break: equal scores rank by index (derived degrees).
+        assert_eq!(rank_selectors(&g, &derive_degrees(&g))[0], 0);
         // A hub transaction boosts every constraint touching it.
         g.constraints.push(Constraint {
             key: polysi_history::Key(1),
@@ -585,7 +663,7 @@ mod tests {
             or: vec![ww(4, 0)],
         });
         let degrees: Vec<u32> = (0..8).map(|i| if i == 4 { 100 } else { 1 }).collect();
-        let ranked = rank_selectors(&g, Some(&degrees));
+        let ranked = rank_selectors(&g, &degrees);
         let top = ranked[0];
         let touches_hub = |ci: usize| {
             let c = &g.constraints[ci];

@@ -228,6 +228,51 @@ fn so_chain_long_fork(base: u64) -> History {
     b.build()
 }
 
+/// Template: a **late-arriving** long fork, the streaming checker's flip
+/// shape — the history is SI-clean until the *final session's tail
+/// transaction* closes the paper's Figure 3 fork. Every proper prefix of
+/// a session-ordered replay accepts; the last transaction rejects, so a
+/// streaming checkpoint placed anywhere before the tail must accept and
+/// the final one must reject.
+pub fn late_arriving_anomaly(base: u64) -> History {
+    let (x, y) = (Key(base), Key(base + 1));
+    let mut b = HistoryBuilder::new();
+    b.session(); // anchor: old versions of both keys
+    b.begin().write(x, Value(base + 10)).write(y, Value(base + 20)).commit();
+    b.session();
+    b.begin().write(x, Value(base + 11)).commit(); // concurrent new x
+    b.session();
+    b.begin().write(y, Value(base + 21)).commit(); // concurrent new y
+    b.session();
+    // First observer: new x, old y — fine on its own.
+    b.begin().read(x, Value(base + 11)).read(y, Value(base + 20)).commit();
+    b.session();
+    // Final session: a clean read first, then the tail observation (old
+    // x, new y) that completes the long fork.
+    b.begin().read(x, Value(base + 10)).commit();
+    b.begin().read(x, Value(base + 10)).read(y, Value(base + 21)).commit();
+    b.build()
+}
+
+/// Template: **checkpoint flip** — a lost update whose stale second
+/// read-modify-write is the last transaction of the last session: a
+/// streaming run accepts at every checkpoint before the tail and rejects
+/// at the one after it (used as a known-verdict fixture by the `--stream`
+/// CLI checks).
+pub fn checkpoint_flip(base: u64) -> History {
+    let (x, y) = (Key(base), Key(base + 1));
+    let mut b = HistoryBuilder::new();
+    b.session();
+    b.begin().write(x, Value(base + 1)).commit();
+    b.begin().write(y, Value(base + 5)).commit();
+    b.session();
+    b.begin().read(x, Value(base + 1)).write(x, Value(base + 2)).commit();
+    b.session();
+    b.begin().read(y, Value(base + 5)).commit(); // clean until here
+    b.begin().read(x, Value(base + 1)).write(x, Value(base + 3)).commit(); // stale RMW
+    b.build()
+}
+
 /// Template: causality violation across a long session-order write chain —
 /// a second session observes the chain's last write, then (later in its
 /// own session) reads the chain's first key as unwritten. The violating
@@ -389,7 +434,7 @@ type Template = fn(u64) -> History;
 /// The paper replays 2477 known anomalies; `generate_corpus(2477, seed)`
 /// produces the same volume here.
 pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
-    let templates: [(&str, Template); 12] = [
+    let templates: [(&str, Template); 14] = [
         ("template:lost-update", lost_update),
         ("template:long-fork", long_fork),
         ("template:causality-violation", causality_violation),
@@ -402,6 +447,8 @@ pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
         ("template:cascade-lost-update", cascade_lost_update),
         ("template:so-chain-long-fork", so_chain_long_fork),
         ("template:so-cascade-causality", so_cascade_causality),
+        ("template:late-arriving-anomaly", late_arriving_anomaly),
+        ("template:checkpoint-flip", checkpoint_flip),
     ];
     let faults = [
         IsolationLevel::NoWriteConflictDetection,
@@ -491,13 +538,42 @@ mod tests {
     }
 
     #[test]
-    fn templates_cover_twelve_anomaly_families() {
-        let corpus = generate_corpus(24, 1);
+    fn templates_cover_fourteen_anomaly_families() {
+        let corpus = generate_corpus(28, 1);
         let names: std::collections::HashSet<_> = corpus
             .iter()
             .filter(|e| e.source.starts_with("template:"))
             .map(|e| e.source.clone())
             .collect();
-        assert_eq!(names.len(), 12);
+        assert_eq!(names.len(), 14);
+    }
+
+    /// The streaming templates' defining property: SI-clean without the
+    /// final session's tail transaction, anomalous with it.
+    #[test]
+    fn streaming_templates_flip_on_the_tail() {
+        for h in [late_arriving_anomaly(0), checkpoint_flip(50)] {
+            assert!(!is_operationally_si(&h), "the full history must be anomalous");
+            // Rebuild without the last transaction of the last session.
+            let mut b = HistoryBuilder::new();
+            let sessions: Vec<_> = h.sessions().map(|s| s.txns.to_vec()).collect();
+            let last = sessions.len() - 1;
+            for (i, txns) in sessions.iter().enumerate() {
+                b.session();
+                let cut = if i == last { txns.len() - 1 } else { txns.len() };
+                for t in &txns[..cut] {
+                    b.begin();
+                    for op in &t.ops {
+                        b.op(*op);
+                    }
+                    if t.committed() {
+                        b.commit();
+                    } else {
+                        b.abort();
+                    }
+                }
+            }
+            assert!(is_operationally_si(&b.build()), "the tail-less prefix must be SI");
+        }
     }
 }

@@ -14,7 +14,11 @@
 //! The search is a memoized DFS over `(session positions, committed store,
 //! in-flight guards)` states: per-prefix failure verdicts are cached and
 //! answered before the state budget is charged, so only genuinely novel
-//! states consume budget. This is the same style of state-space search
+//! states consume budget. The memo key is canonical under two symmetries:
+//! permutations of equal-shape sessions, and consistent renamings of
+//! *private* keys (touched by one session only) together with the values
+//! written to them — so value-isomorphic sessions (same structure,
+//! different key/value numbers) collapse onto shared entries. This is the same style of state-space search
 //! as the dbcop baseline \[Biswas & Enea, OOPSLA'19\] — polynomial for a
 //! fixed session count in the best case but exponential under high
 //! concurrency, which is exactly the degradation Figure 6 of the paper
@@ -22,7 +26,7 @@
 //! [`ReplayResult::Budget`].
 
 use polysi_history::{Facts, History, Key, Value};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// Outcome of the operational search.
@@ -41,15 +45,51 @@ struct TxnInfo {
     writes: Vec<(Key, Value)>,
 }
 
+/// Per-session canonicalization of *private* keys — keys touched by
+/// exactly one session. Such keys (and the values written to them, which
+/// UniqueValue + the aborted/intermediate axioms confine to the same
+/// session) are renamed to first-occurrence ordinals before hashing, so
+/// sessions that are identical *up to a renaming of their private
+/// keys/values* share one shape — and states that differ only by a
+/// permutation of such value-isomorphic sessions share one memo entry.
+/// Shared keys and their values stay raw: any cross-session reference
+/// makes renaming unsound (a third party may compare concrete values).
+#[derive(Default)]
+struct SessCanon {
+    /// Shape hash of the session's full transaction list under the
+    /// canonical renaming.
+    shape: u64,
+    /// Private keys → first-occurrence ordinal.
+    key_ord: HashMap<Key, u32>,
+    /// Values on private keys → first-occurrence ordinal.
+    val_ord: HashMap<Value, u32>,
+}
+
+impl SessCanon {
+    /// Canonical image of a value on one of this session's private keys
+    /// (`u64::MAX` marks the initial value, which is never renamed).
+    fn val(&self, v: Value) -> u64 {
+        if v.is_init() {
+            u64::MAX
+        } else {
+            // Store and guard values on a private key are always the
+            // session's own committed writes, all of which got ordinals.
+            self.val_ord.get(&v).map_or(v.0 ^ (1 << 63), |&o| o as u64)
+        }
+    }
+}
+
 struct Search {
     sessions: Vec<Vec<TxnInfo>>,
-    /// Content hash of each session's full transaction list: sessions
-    /// with equal hashes are interchangeable, so the memo key sorts
-    /// per-session states by `(content, position, guard)` — a
-    /// session-permutation canonicalization that lets symmetric
-    /// workloads (identical sessions at swapped progress) share one memo
-    /// entry instead of exploring isomorphic subtrees separately.
-    session_ids: Vec<u64>,
+    /// Canonical shape + private-key renaming per session (see
+    /// [`SessCanon`]): the memo key sorts per-session states by
+    /// `(shape, position, guards, own private store)` — a
+    /// session-permutation canonicalization that lets both identical and
+    /// value-isomorphic workloads share memo entries instead of exploring
+    /// isomorphic subtrees separately.
+    canon: Vec<SessCanon>,
+    /// Private keys → owning session (absent = shared, hashed raw).
+    key_owner: HashMap<Key, u32>,
     /// Per-session event position: `2*i` = next is begin of txn `i`,
     /// `2*i+1` = txn `i` in flight, next is its commit.
     positions: Vec<usize>,
@@ -64,23 +104,47 @@ struct Search {
 impl Search {
     fn fingerprint(&self) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Split the store: entries on a session's private keys hash into
+        // that session's tuple (canonically renamed — they are part of
+        // the session's own state and nothing else can observe them);
+        // shared-key entries hash globally, raw.
+        let n = self.sessions.len();
+        let mut own_store: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        let mut residual: Vec<(u64, u64)> = Vec::new();
+        for (&k, &v) in &self.store {
+            match self.key_owner.get(&k) {
+                Some(&s) => {
+                    let s = s as usize;
+                    let o = self.canon[s].key_ord[&k];
+                    own_store[s].push((o, self.canon[s].val(v)));
+                }
+                None => residual.push((k.0, v.0)),
+            }
+        }
         // Canonical per-session states: two states that differ only by a
-        // permutation of identical-content sessions hash alike (and truly
-        // are the same search state: the remaining suffixes are equal).
-        let mut per_session: Vec<(u64, usize, u64)> = (0..self.sessions.len())
+        // permutation of equal-shape sessions — identical content, or
+        // identical up to private key/value renaming — hash alike (and
+        // truly are the same search state: the remaining suffixes map
+        // onto each other under the same renaming).
+        let mut per_session: Vec<(u64, usize, u64, u64)> = (0..n)
             .map(|s| {
+                let canon = &self.canon[s];
                 let mut gh = std::collections::hash_map::DefaultHasher::new();
                 for (k, v) in &self.guards[s] {
-                    (k.0, v.0).hash(&mut gh);
+                    match canon.key_ord.get(k) {
+                        Some(&o) => (0u8, o as u64, canon.val(*v)).hash(&mut gh),
+                        None => (1u8, k.0, v.0).hash(&mut gh),
+                    }
                 }
-                (self.session_ids[s], self.positions[s], gh.finish())
+                let mut oh = std::collections::hash_map::DefaultHasher::new();
+                own_store[s].sort_unstable();
+                own_store[s].hash(&mut oh);
+                (canon.shape, self.positions[s], gh.finish(), oh.finish())
             })
             .collect();
         per_session.sort_unstable();
         per_session.hash(&mut h);
-        for (k, v) in &self.store {
-            (k.0, v.0).hash(&mut h);
-        }
+        residual.hash(&mut h);
         h.finish()
     }
 
@@ -200,25 +264,67 @@ pub fn replay_check_si(h: &History, budget: usize) -> ReplayResult {
         sessions.push(txns);
     }
     let n = sessions.len();
-    let session_ids = sessions
-        .iter()
-        .map(|txns| {
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            for t in txns {
-                for (k, v) in &t.ext_reads {
-                    (0u8, k.0, v.0).hash(&mut h);
+    // Key ownership: a key touched (read or written) by exactly one
+    // session is *private* to it and eligible for canonical renaming.
+    let mut key_owner: HashMap<Key, u32> = HashMap::new();
+    let mut shared: HashSet<Key> = HashSet::new();
+    for (s, txns) in sessions.iter().enumerate() {
+        for t in txns {
+            for &(k, _) in t.ext_reads.iter().chain(&t.writes) {
+                if shared.contains(&k) {
+                    continue;
                 }
-                for (k, v) in &t.writes {
-                    (1u8, k.0, v.0).hash(&mut h);
+                match key_owner.get(&k) {
+                    Some(&owner) if owner != s as u32 => {
+                        key_owner.remove(&k);
+                        shared.insert(k);
+                    }
+                    Some(_) => {}
+                    None => {
+                        key_owner.insert(k, s as u32);
+                    }
+                }
+            }
+        }
+    }
+    let canon = sessions
+        .iter()
+        .enumerate()
+        .map(|(s, txns)| {
+            let mut c = SessCanon::default();
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            let img = |c: &mut SessCanon, k: Key, v: Value| -> (u8, u64, u64) {
+                if key_owner.get(&k) == Some(&(s as u32)) {
+                    let next = c.key_ord.len() as u32;
+                    let ko = *c.key_ord.entry(k).or_insert(next);
+                    let vo = if v.is_init() {
+                        u64::MAX
+                    } else {
+                        let next = c.val_ord.len() as u32;
+                        *c.val_ord.entry(v).or_insert(next) as u64
+                    };
+                    (0u8, ko as u64, vo)
+                } else {
+                    (1u8, k.0, v.0)
+                }
+            };
+            for t in txns {
+                for &(k, v) in &t.ext_reads {
+                    (0u8, img(&mut c, k, v)).hash(&mut h);
+                }
+                for &(k, v) in &t.writes {
+                    (1u8, img(&mut c, k, v)).hash(&mut h);
                 }
                 2u8.hash(&mut h);
             }
-            h.finish()
+            c.shape = h.finish();
+            c
         })
         .collect();
     let mut search = Search {
         sessions,
-        session_ids,
+        canon,
+        key_owner,
         positions: vec![0; n],
         store: BTreeMap::new(),
         guards: vec![Vec::new(); n],
@@ -326,6 +432,31 @@ mod tests {
             b.begin().read(k(2), v(2)).read(k(1), Value::INIT).commit();
         }
         assert_eq!(replay_check_si(&b.build(), 3_000), ReplayResult::NotSi);
+    }
+
+    /// Value-isomorphic sessions on *private* keys collapse onto shared
+    /// memo entries: the padding sessions differ in every key and value
+    /// number but share one canonical shape, so proving NotSi (an
+    /// exhaustive refutation) fits a budget that is tiny relative to the
+    /// interleavings of eight distinguishable sessions.
+    #[test]
+    fn value_isomorphic_private_sessions_share_memo_entries() {
+        let mut b = HistoryBuilder::new();
+        // The impossible observation (shared keys 1, 2).
+        b.session();
+        b.begin().write(k(1), v(1)).commit();
+        b.begin().write(k(2), v(2)).commit();
+        b.session();
+        b.begin().read(k(2), v(2)).read(k(1), Value::INIT).commit();
+        // Padding: isomorphic RMW chains, each on its own key with its
+        // own value numbering.
+        for s in 0..8u64 {
+            b.session();
+            let key = k(100 + s);
+            b.begin().write(key, v(1000 * (s + 1) + 1)).commit();
+            b.begin().read(key, v(1000 * (s + 1) + 1)).write(key, v(1000 * (s + 1) + 2)).commit();
+        }
+        assert_eq!(replay_check_si(&b.build(), 30_000), ReplayResult::NotSi);
     }
 
     #[test]

@@ -117,10 +117,12 @@ pub fn corpus_classes(source: &str) -> &'static [&'static str] {
         "template:lost-update"
         | "template:sharded-lost-update"
         | "template:so-chain-lost-update"
-        | "template:cascade-lost-update" => &["lost update"],
-        "template:long-fork" | "template:sharded-long-fork" | "template:so-chain-long-fork" => {
-            &["long fork"]
-        }
+        | "template:cascade-lost-update"
+        | "template:checkpoint-flip" => &["lost update"],
+        "template:long-fork"
+        | "template:sharded-long-fork"
+        | "template:so-chain-long-fork"
+        | "template:late-arriving-anomaly" => &["long fork"],
         "template:causality-violation" | "template:so-cascade-causality" => {
             &["causality violation"]
         }

@@ -27,12 +27,14 @@ mod ids;
 mod op;
 pub mod shard;
 pub mod stats;
+pub mod stream;
 
 pub use facts::{AxiomViolation, Facts, WrSource};
 pub use history::{History, HistoryBuilder, SessionView};
 pub use ids::{Key, SessionId, TxnId, Value};
 pub use op::{Op, TxnStatus};
 pub use shard::{ShardComponent, ShardFallback, ShardPlan};
+pub use stream::{FactEvent, HistoryStream, RootInfo, StreamFacts, StreamShards};
 
 /// A convenient alias for the outcome of history well-formedness analysis.
 pub type AxiomResult = Result<(), AxiomViolation>;

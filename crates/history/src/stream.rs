@@ -1,0 +1,735 @@
+//! Streaming history ingestion: an incrementally maintained mirror of
+//! [`Facts`] and of the key-connectivity [`crate::ShardPlan`] over a
+//! session-ordered transaction stream.
+//!
+//! A [`HistoryStream`] accepts transactions one at a time
+//! ([`HistoryStream::push_transaction`]), in session order *within* each
+//! session but interleaved arbitrarily *across* sessions — the shape a
+//! live workload produces. Internally transactions are identified by
+//! **arrival order** (`TxnId(0)` is the first transaction pushed): unlike
+//! the session-major ids of a batch [`History`], arrival ids are stable as
+//! the stream grows, which is what lets per-component polygraphs and
+//! reachability oracles extend in place. [`HistoryStream::snapshot`]
+//! materializes the current prefix as an ordinary session-major
+//! [`History`] (with the arrival→session-major id mapping), so any batch
+//! machinery can be run on the same prefix.
+//!
+//! Three incremental structures are maintained per push:
+//!
+//! * [`StreamFacts`] — the graph-relevant fields of [`Facts`] (external
+//!   reads with resolved `WR` sources, final writes, writers/readers per
+//!   key, init readers), kept equivalent to `Facts::analyze` on the
+//!   current prefix. Reads of values whose writer has not arrived yet are
+//!   *unresolved*; while any exist (or any monotone axiom violation was
+//!   seen) the prefix fails the non-cyclic axioms exactly as the batch
+//!   analysis would, and graph work is skipped. A later write resolves
+//!   them in place.
+//! * [`StreamShards`] — the sessions∪keys union–find of
+//!   [`crate::ShardPlan`], grown online. Components carry a stable
+//!   [`RootInfo::tag`] that changes only when two transaction-bearing
+//!   components merge — the signal that a checker's cached per-component
+//!   state must be rebuilt rather than extended.
+//! * an append-only [`FactEvent`] log — the delta feed a streaming
+//!   checker consumes to extend per-component polygraphs without
+//!   re-deriving anything from scratch.
+
+use crate::facts::{Facts, ReadFact, WrSource};
+use crate::history::{History, Transaction};
+use crate::ids::{Key, SessionId, TxnId, Value};
+use crate::op::{Op, TxnStatus};
+use std::collections::{BTreeMap, HashMap};
+
+/// One entry of the incremental graph-delta log: everything a checker
+/// needs to extend component polygraphs between two checkpoints. Events
+/// are appended in a canonical order per push — the transaction itself,
+/// then its final writes, then read resolutions (its own and any older
+/// unresolved reads its writes satisfied), then init reads — so replaying
+/// the log is deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FactEvent {
+    /// A transaction arrived (any status; aborted transactions occupy a
+    /// vertex but contribute no edges).
+    Txn {
+        /// Arrival id.
+        id: TxnId,
+    },
+    /// A committed transaction's final write on `key` became visible:
+    /// `writer` joined `WriteTx_key`, making one new constraint per
+    /// already-known writer of the key.
+    FinalWrite {
+        /// The written key.
+        key: Key,
+        /// The writing transaction.
+        writer: TxnId,
+    },
+    /// An external read resolved to its source: the `WR(key)` edge
+    /// `writer → reader` is now known (`writer ≠ reader`). Emitted at the
+    /// reader's push when the writer was already present, or at the
+    /// writer's push when the read had been waiting.
+    Wr {
+        /// The read key.
+        key: Key,
+        /// The source transaction.
+        writer: TxnId,
+        /// The reading transaction.
+        reader: TxnId,
+    },
+    /// An external read observed the initial value: `reader` gains a
+    /// known anti-dependency to every writer of `key`, present and
+    /// future.
+    InitRead {
+        /// The read key.
+        key: Key,
+        /// The reading transaction.
+        reader: TxnId,
+    },
+}
+
+/// The incrementally maintained analogue of [`Facts`] (see the module
+/// docs). The embedded [`Facts`] value always reflects the *resolved*
+/// state of the current prefix; its `violations` list stays empty — axiom
+/// reporting on a broken prefix goes through a batch `Facts::analyze` on
+/// the snapshot, which yields the canonical (batch-identical) list.
+pub struct StreamFacts {
+    facts: Facts,
+    /// `(key, value) → writer` for committed final writes (first wins, as
+    /// in the batch analysis). Aborted and intermediate writes are not
+    /// indexed: a read is either resolved against a committed final write
+    /// or *unresolved*, and the batch-exact classification of unresolved
+    /// reads (aborted/intermediate/unknown) is produced by a snapshot
+    /// `Facts::analyze` when a broken prefix must be reported.
+    final_writer: HashMap<(Key, Value), TxnId>,
+    /// Per-transaction external reads in program order, with their
+    /// resolution state (`None` = no committed final writer yet).
+    ext: Vec<Vec<(Key, Value, Option<WrSource>)>>,
+    /// Readers waiting on a committed final write of `(key, value)`.
+    unresolved: HashMap<(Key, Value), Vec<TxnId>>,
+    unresolved_count: usize,
+    /// Monotone axiom violations seen so far (Int, duplicate committed
+    /// writes, writes of the reserved initial value). These never heal,
+    /// unlike unresolved reads.
+    monotone_violations: usize,
+    events: Vec<FactEvent>,
+}
+
+impl StreamFacts {
+    fn new() -> Self {
+        StreamFacts {
+            facts: Facts {
+                reads: Vec::new(),
+                writes: Vec::new(),
+                writers: BTreeMap::new(),
+                readers: HashMap::new(),
+                init_readers: BTreeMap::new(),
+                violations: Vec::new(),
+            },
+            final_writer: HashMap::new(),
+            ext: Vec::new(),
+            unresolved: HashMap::new(),
+            unresolved_count: 0,
+            monotone_violations: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The resolved facts of the current prefix. Field contents match
+    /// `Facts::analyze` on the snapshot whenever [`StreamFacts::axioms_ok`]
+    /// holds (list *orders* inside `writers`/`readers`/`init_readers`
+    /// follow arrival rather than session-major id order — verdict-neutral
+    /// for graph construction).
+    pub fn facts(&self) -> &Facts {
+        &self.facts
+    }
+
+    /// Whether the current prefix passes the non-cyclic axioms — i.e.
+    /// batch `Facts::analyze` on the snapshot would find no violation.
+    /// Unresolved reads count as broken (the batch analysis classifies
+    /// them as aborted/intermediate/unknown-value reads); they may heal
+    /// when the writer arrives, monotone violations never do.
+    pub fn axioms_ok(&self) -> bool {
+        self.monotone_violations == 0 && self.unresolved_count == 0
+    }
+
+    /// Whether the axioms can still heal: no *monotone* violation has
+    /// occurred (any breakage is unresolved reads only).
+    pub fn axioms_can_heal(&self) -> bool {
+        self.monotone_violations == 0
+    }
+
+    /// The append-only graph-delta log (see [`FactEvent`]).
+    pub fn events(&self) -> &[FactEvent] {
+        &self.events
+    }
+
+    fn rebuild_reads(&mut self, r: TxnId) {
+        self.facts.reads[r.idx()] = self.ext[r.idx()]
+            .iter()
+            .filter_map(|&(k, v, src)| src.map(|s| (k, v, s) as ReadFact))
+            .collect();
+    }
+
+    /// Ingest one complete transaction (mirrors both passes of
+    /// `Facts::analyze` for the new suffix).
+    fn push(&mut self, id: TxnId, txn: &Transaction) {
+        self.facts.reads.push(Vec::new());
+        self.facts.writes.push(Vec::new());
+        self.ext.push(Vec::new());
+        self.events.push(FactEvent::Txn { id });
+        let committed = txn.committed();
+
+        // Pass-1 mirror: program-order walk for Int, external reads, and
+        // final writes.
+        let mut last_seen: HashMap<Key, Value> = HashMap::new();
+        let mut written: BTreeMap<Key, Value> = BTreeMap::new();
+        let mut ext_reads: Vec<(Key, Value)> = Vec::new();
+        for op in &txn.ops {
+            match *op {
+                Op::Read { key, value } => {
+                    if let Some(&prev) = last_seen.get(&key) {
+                        if prev != value && committed {
+                            self.monotone_violations += 1;
+                        }
+                    } else {
+                        ext_reads.push((key, value));
+                    }
+                    last_seen.insert(key, value);
+                }
+                Op::Write { key, value } => {
+                    if value.is_init() && committed {
+                        self.monotone_violations += 1;
+                    }
+                    written.insert(key, value);
+                    last_seen.insert(key, value);
+                }
+            }
+        }
+
+        // Final writes: register before resolving any read, so reads of a
+        // transaction's own final writes resolve exactly as in the batch
+        // analysis (which completes pass 1 before resolving).
+        if committed {
+            for (&key, &value) in &written {
+                match self.final_writer.entry((key, value)) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        self.monotone_violations += 1; // DuplicateWrite
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(id);
+                        self.facts.writes[id.idx()].push((key, value));
+                        self.facts.writers.entry(key).or_default().push(id);
+                        self.events.push(FactEvent::FinalWrite { key, writer: id });
+                    }
+                }
+            }
+        }
+
+        // Heal older reads that were waiting on these writes.
+        if committed {
+            for (&key, &value) in &written {
+                let Some(waiting) = self.unresolved.remove(&(key, value)) else { continue };
+                // A duplicate committed write never reaches here (its
+                // final_writer entry predates it, so the first writer
+                // already resolved the waiters).
+                if self.final_writer.get(&(key, value)) != Some(&id) {
+                    continue;
+                }
+                self.unresolved_count -= waiting.len();
+                for r in waiting {
+                    for slot in self.ext[r.idx()].iter_mut() {
+                        if slot.0 == key && slot.1 == value && slot.2.is_none() {
+                            slot.2 = Some(WrSource::Txn(id));
+                        }
+                    }
+                    self.rebuild_reads(r);
+                    self.facts.readers.entry((key, id)).or_default().push(r);
+                    self.events.push(FactEvent::Wr { key, writer: id, reader: r });
+                }
+            }
+        }
+
+        // Resolve this transaction's own external reads (committed only,
+        // as in the batch pass 2).
+        if committed {
+            for (key, value) in ext_reads {
+                let source = if value.is_init() {
+                    self.facts.init_readers.entry(key).or_default().push(id);
+                    self.events.push(FactEvent::InitRead { key, reader: id });
+                    Some(WrSource::Init)
+                } else if let Some(&w) = self.final_writer.get(&(key, value)) {
+                    if w != id {
+                        self.facts.readers.entry((key, w)).or_default().push(id);
+                        self.events.push(FactEvent::Wr { key, writer: w, reader: id });
+                    }
+                    Some(WrSource::Txn(w))
+                } else {
+                    // No committed final writer yet: the batch analysis
+                    // flags this prefix (aborted / intermediate /
+                    // unknown-value read); a future write may heal it.
+                    self.unresolved.entry((key, value)).or_default().push(id);
+                    self.unresolved_count += 1;
+                    None
+                };
+                self.ext[id.idx()].push((key, value, source));
+            }
+            self.rebuild_reads(id);
+        }
+    }
+}
+
+/// Per-component payload of [`StreamShards`]. Lists grow by appending;
+/// `txns` is kept ascending (merges sort once), so a checker extending a
+/// component polygraph can keep dense local ids stable.
+#[derive(Clone, Debug)]
+pub struct RootInfo {
+    /// Stable component identity: unchanged while the component only
+    /// *grows*, refreshed whenever two transaction-bearing components
+    /// merge (cached per-component state must then be rebuilt).
+    pub tag: u64,
+    /// Member transactions (arrival ids), ascending.
+    pub txns: Vec<TxnId>,
+    /// Member sessions, in discovery order.
+    pub sessions: Vec<SessionId>,
+    /// Keys touched by the component, in discovery order.
+    pub keys: Vec<Key>,
+}
+
+/// The sessions∪keys union–find of [`crate::ShardPlan`], maintained
+/// online. Nodes are created on first contact (a new session, a new key);
+/// every pushed transaction unions its session with each key it touches —
+/// aborted transactions included, exactly as in the batch analysis.
+pub struct StreamShards {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    session_node: Vec<u32>,
+    key_node: HashMap<Key, u32>,
+    info: HashMap<u32, RootInfo>,
+    next_tag: u64,
+}
+
+impl StreamShards {
+    fn new() -> Self {
+        StreamShards {
+            parent: Vec::new(),
+            size: Vec::new(),
+            session_node: Vec::new(),
+            key_node: HashMap::new(),
+            info: HashMap::new(),
+            next_tag: 1,
+        }
+    }
+
+    fn new_node(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        id
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn find_compress(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Union two roots, merging their payloads. A merge of two
+    /// transaction-bearing components refreshes the tag and re-sorts the
+    /// member list; unions that only attach an empty node (a fresh key, an
+    /// empty session) keep the surviving component's identity.
+    fn union(&mut self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find_compress(a), self.find_compress(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        let loser = self.info.remove(&rb);
+        let winner = self.info.remove(&ra);
+        let merged = match (winner, loser) {
+            (None, None) => return,
+            (Some(i), None) | (None, Some(i)) => i,
+            (Some(mut w), Some(l)) => {
+                let real_merge = !w.txns.is_empty() && !l.txns.is_empty();
+                w.txns.extend(l.txns);
+                w.sessions.extend(l.sessions);
+                w.keys.extend(l.keys);
+                if real_merge {
+                    w.txns.sort_unstable();
+                    w.tag = self.next_tag;
+                    self.next_tag += 1;
+                }
+                w
+            }
+        };
+        self.info.insert(ra, merged);
+    }
+
+    fn ensure_session(&mut self, s: SessionId) -> u32 {
+        debug_assert_eq!(s.0 as usize, self.session_node.len());
+        let node = self.new_node();
+        self.session_node.push(node);
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.info
+            .insert(node, RootInfo { tag, txns: Vec::new(), sessions: vec![s], keys: Vec::new() });
+        node
+    }
+
+    fn ensure_key(&mut self, k: Key) -> u32 {
+        if let Some(&node) = self.key_node.get(&k) {
+            return node;
+        }
+        let node = self.new_node();
+        self.key_node.insert(k, node);
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.info
+            .insert(node, RootInfo { tag, txns: Vec::new(), sessions: Vec::new(), keys: vec![k] });
+        node
+    }
+
+    /// The component a session currently belongs to.
+    pub fn component_of_session(&self, s: SessionId) -> &RootInfo {
+        &self.info[&self.find(self.session_node[s.0 as usize])]
+    }
+
+    /// The component a key currently belongs to, if the key has been seen.
+    pub fn component_of_key(&self, k: Key) -> Option<&RootInfo> {
+        self.key_node.get(&k).map(|&n| &self.info[&self.find(n)])
+    }
+
+    /// Iterate over the current components (arbitrary order; identify and
+    /// sort by [`RootInfo::tag`] for determinism).
+    pub fn components(&self) -> impl Iterator<Item = &RootInfo> {
+        self.info.values()
+    }
+
+    /// Number of current components (including transaction-less ones:
+    /// opened-but-empty sessions, exactly as in the batch plan).
+    pub fn len(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Whether no component exists yet.
+    pub fn is_empty(&self) -> bool {
+        self.info.is_empty()
+    }
+}
+
+/// A session-ordered transaction stream with incrementally maintained
+/// facts and shard structure (see the module docs).
+pub struct HistoryStream {
+    txns: Vec<Transaction>,
+    /// Per-session arrival ids, in session order.
+    session_txns: Vec<Vec<TxnId>>,
+    sealed: Vec<bool>,
+    ops: usize,
+    facts: StreamFacts,
+    shards: StreamShards,
+}
+
+impl Default for HistoryStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistoryStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        HistoryStream {
+            txns: Vec::new(),
+            session_txns: Vec::new(),
+            sealed: Vec::new(),
+            ops: 0,
+            facts: StreamFacts::new(),
+            shards: StreamShards::new(),
+        }
+    }
+
+    /// Open a new session; returns its id. Sessions must be opened before
+    /// transactions are pushed to them.
+    pub fn session(&mut self) -> SessionId {
+        let id = SessionId(self.session_txns.len() as u32);
+        self.session_txns.push(Vec::new());
+        self.sealed.push(false);
+        self.shards.ensure_session(id);
+        id
+    }
+
+    /// Append one complete transaction to `session`. Transactions arrive
+    /// in session order within each session; arrival order across sessions
+    /// is free. Returns the transaction's stable **arrival id**.
+    pub fn push_transaction(
+        &mut self,
+        session: SessionId,
+        ops: Vec<Op>,
+        status: TxnStatus,
+    ) -> TxnId {
+        assert!((session.0 as usize) < self.session_txns.len(), "unknown session {session:?}");
+        assert!(!self.sealed[session.0 as usize], "push to a sealed session {session:?}");
+        assert!(!ops.is_empty(), "transactions must be non-empty (Definition 3)");
+        let id = TxnId(self.txns.len() as u32);
+        self.ops += ops.len();
+        let index_in_session = self.session_txns[session.0 as usize].len() as u32;
+        self.session_txns[session.0 as usize].push(id);
+        let txn = Transaction { session, index_in_session, ops, status };
+        // Shards: union the session with every touched key.
+        let snode = self.shards.session_node[session.0 as usize];
+        for op in &txn.ops {
+            let knode = self.shards.ensure_key(op.key());
+            self.shards.union(snode, knode);
+        }
+        let root = self.shards.find_compress(snode);
+        self.shards.info.get_mut(&root).expect("session root has info").txns.push(id);
+        self.facts.push(id, &txn);
+        self.txns.push(txn);
+        id
+    }
+
+    /// Seal a session: no further transactions will arrive on it. (The
+    /// hook for watermark-based GC of settled components; currently it
+    /// only enforces the contract.)
+    pub fn seal_session(&mut self, session: SessionId) {
+        self.sealed[session.0 as usize] = true;
+    }
+
+    /// Number of transactions pushed.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Number of opened sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.session_txns.len()
+    }
+
+    /// Total operations pushed.
+    pub fn num_ops(&self) -> usize {
+        self.ops
+    }
+
+    /// The transaction with the given arrival id.
+    pub fn txn(&self, id: TxnId) -> &Transaction {
+        &self.txns[id.idx()]
+    }
+
+    /// The arrival id of `id`'s immediate session-order predecessor.
+    pub fn session_predecessor(&self, id: TxnId) -> Option<TxnId> {
+        let t = &self.txns[id.idx()];
+        let idx = t.index_in_session as usize;
+        (idx > 0).then(|| self.session_txns[t.session.0 as usize][idx - 1])
+    }
+
+    /// The incremental facts.
+    pub fn facts(&self) -> &StreamFacts {
+        &self.facts
+    }
+
+    /// The incremental shard structure.
+    pub fn shards(&self) -> &StreamShards {
+        &self.shards
+    }
+
+    /// Materialize the current prefix as a session-major [`History`], plus
+    /// the arrival-id → session-major-id mapping. `Facts::analyze` /
+    /// `ShardPlan::analyze` / the batch engine on the result see exactly
+    /// this prefix.
+    pub fn snapshot(&self) -> (History, Vec<TxnId>) {
+        let mut h = History::new();
+        let mut start = vec![0u32; self.session_txns.len()];
+        let mut acc = 0u32;
+        for (s, txns) in self.session_txns.iter().enumerate() {
+            start[s] = acc;
+            acc += txns.len() as u32;
+            h.push_session(
+                txns.iter()
+                    .map(|&id| {
+                        let t = &self.txns[id.idx()];
+                        (t.ops.clone(), t.status)
+                    })
+                    .collect(),
+            );
+        }
+        let map = self
+            .txns
+            .iter()
+            .map(|t| TxnId(start[t.session.0 as usize] + t.index_in_session))
+            .collect();
+        (h, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::shard::ShardPlan;
+
+    fn k(n: u64) -> Key {
+        Key(n)
+    }
+    fn v(n: u64) -> Value {
+        Value(n)
+    }
+    fn w(key: Key, value: Value) -> Op {
+        Op::Write { key, value }
+    }
+    fn r(key: Key, value: Value) -> Op {
+        Op::Read { key, value }
+    }
+
+    /// Interleaved pushes; facts match the batch analysis on the snapshot.
+    #[test]
+    fn incremental_facts_match_batch_on_snapshot() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(10))], TxnStatus::Committed);
+        s.push_transaction(s1, vec![r(k(1), v(10)), w(k(1), v(11))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![r(k(1), v(11))], TxnStatus::Committed);
+        assert!(s.facts().axioms_ok());
+        let (h, map) = s.snapshot();
+        let batch = Facts::analyze(&h);
+        assert!(batch.axioms_ok());
+        // Same WR relation modulo the id mapping.
+        let mut stream_wr: Vec<_> = s
+            .facts()
+            .facts()
+            .wr_edges()
+            .map(|(a, b, key)| (map[a.idx()], map[b.idx()], key))
+            .collect();
+        let mut batch_wr: Vec<_> = batch.wr_edges().collect();
+        stream_wr.sort_unstable_by_key(|&(a, b, key)| (a.0, b.0, key.0));
+        batch_wr.sort_unstable_by_key(|&(a, b, key)| (a.0, b.0, key.0));
+        assert_eq!(stream_wr, batch_wr);
+        // Degrees agree through the mapping.
+        for id in 0..s.len() {
+            let a = TxnId(id as u32);
+            assert_eq!(s.facts().facts().txn_degree(a), batch.txn_degree(map[a.idx()]));
+        }
+    }
+
+    /// A read arriving before its writer breaks the axioms exactly while
+    /// the batch analysis would, and heals when the writer lands.
+    #[test]
+    fn pending_reads_heal_when_writer_arrives() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s0, vec![r(k(1), v(5))], TxnStatus::Committed);
+        assert!(!s.facts().axioms_ok());
+        assert!(s.facts().axioms_can_heal());
+        let (h, _) = s.snapshot();
+        assert!(!Facts::analyze(&h).axioms_ok(), "batch agrees the prefix is broken");
+        s.push_transaction(s1, vec![w(k(1), v(5))], TxnStatus::Committed);
+        assert!(s.facts().axioms_ok());
+        let (h, _) = s.snapshot();
+        assert!(Facts::analyze(&h).axioms_ok(), "batch agrees the prefix healed");
+        // The late resolution emitted the WR edge.
+        assert!(s
+            .facts()
+            .events()
+            .iter()
+            .any(|e| matches!(e, FactEvent::Wr { writer: TxnId(1), reader: TxnId(0), .. })));
+    }
+
+    /// Monotone violations (here: a duplicate committed write) never heal.
+    #[test]
+    fn monotone_violations_are_sticky() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(5))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![w(k(1), v(5))], TxnStatus::Committed);
+        assert!(!s.facts().axioms_ok());
+        assert!(!s.facts().axioms_can_heal());
+    }
+
+    /// Components merge when a transaction bridges two key groups; the
+    /// tag changes exactly then.
+    #[test]
+    fn shard_tags_survive_growth_and_refresh_on_merge() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed);
+        s.push_transaction(s1, vec![w(k(10), v(2))], TxnStatus::Committed);
+        let tag0 = s.shards().component_of_session(s0).tag;
+        let tag1 = s.shards().component_of_session(s1).tag;
+        assert_ne!(tag0, tag1);
+        // Growth inside a component keeps the tag.
+        s.push_transaction(s0, vec![w(k(1), v(3))], TxnStatus::Committed);
+        assert_eq!(s.shards().component_of_session(s0).tag, tag0);
+        // A bridging transaction merges the components under a fresh tag.
+        s.push_transaction(s0, vec![r(k(1), v(3)), r(k(10), v(2))], TxnStatus::Committed);
+        let merged = s.shards().component_of_session(s0);
+        assert_ne!(merged.tag, tag0);
+        assert_ne!(merged.tag, tag1);
+        assert_eq!(merged.txns, vec![TxnId(0), TxnId(1), TxnId(2), TxnId(3)]);
+        assert_eq!(s.shards().component_of_session(s1).tag, merged.tag);
+        // Membership agrees with the batch plan on the snapshot.
+        let (h, map) = s.snapshot();
+        let plan = ShardPlan::analyze(&h);
+        for t in 0..s.len() {
+            for u in 0..s.len() {
+                let same_stream =
+                    s.shards().component_of_session(s.txn(TxnId(t as u32)).session).tag
+                        == s.shards().component_of_session(s.txn(TxnId(u as u32)).session).tag;
+                let same_batch = plan.component_of[map[t].idx()] == plan.component_of[map[u].idx()];
+                assert_eq!(same_stream, same_batch, "membership diverged for {t},{u}");
+            }
+        }
+    }
+
+    /// Snapshot round-trips to the equivalent builder-made history.
+    #[test]
+    fn snapshot_is_session_major() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s1, vec![w(k(2), v(1))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Aborted);
+        s.push_transaction(s0, vec![w(k(1), v(3))], TxnStatus::Committed);
+        let (h, map) = s.snapshot();
+
+        let mut b = HistoryBuilder::new();
+        b.session();
+        b.begin().write(k(1), v(2)).abort();
+        b.begin().write(k(1), v(3)).commit();
+        b.session();
+        b.begin().write(k(2), v(1)).commit();
+        assert_eq!(h, b.build());
+        // Arrival 0 (session 1's first txn) maps to session-major id 2.
+        assert_eq!(map, vec![TxnId(2), TxnId(0), TxnId(1)]);
+        assert_eq!(s.session_predecessor(TxnId(2)), Some(TxnId(1)));
+        assert_eq!(s.session_predecessor(TxnId(1)), None);
+        assert_eq!(s.num_ops(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn sealed_sessions_reject_pushes() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed);
+        s.seal_session(s0);
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Committed);
+    }
+}

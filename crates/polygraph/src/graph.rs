@@ -220,6 +220,55 @@ impl KnownGraph {
         &self.closure
     }
 
+    /// Extend the vertex space to `n2` transactions (`n2 ≥ n`), adding
+    /// isolated vertices — the streaming checker grows a component's
+    /// oracle this way when new transactions arrive, then feeds their
+    /// edges through [`KnownGraph::insert_edges`]. Equivalent to a
+    /// from-scratch build over `n2` vertices with the same edges: the
+    /// layered layout keeps boundary nodes at `0..n2` and mid nodes at
+    /// `n2..2·n2`, so existing mid indices shift and every index-carrying
+    /// structure is remapped; existing topological priorities are kept and
+    /// the new (isolated) vertices take the fresh tail slots in index
+    /// order. Requires a flushed oracle.
+    pub fn grow(&mut self, n2: usize) {
+        assert!(self.pending.is_empty(), "grow on an unflushed oracle");
+        let n = self.n;
+        assert!(n2 >= n, "the vertex space never shrinks");
+        if n2 == n {
+            return;
+        }
+        let node = |old: usize| if old < n { old } else { old - n + n2 };
+        let mut adj: Vec<Vec<(u32, Edge)>> = vec![Vec::new(); 2 * n2];
+        for (i, list) in std::mem::take(&mut self.adj).into_iter().enumerate() {
+            adj[node(i)] = list.into_iter().map(|(v, e)| (node(v as usize) as u32, e)).collect();
+        }
+        self.adj = adj;
+        let mut radj: Vec<Vec<u32>> = vec![Vec::new(); 2 * n2];
+        for (i, list) in std::mem::take(&mut self.radj).into_iter().enumerate() {
+            radj[node(i)] = list.into_iter().map(|v| node(v as usize) as u32).collect();
+        }
+        self.radj = radj;
+        let mut ord = vec![0u32; 2 * n2];
+        for (i, &p) in self.ord.iter().enumerate() {
+            ord[node(i)] = p;
+        }
+        for (next, i) in (2 * n as u32..).zip((n..n2).chain(n2 + n..2 * n2)) {
+            ord[i] = next;
+        }
+        self.ord = ord;
+        self.dep_in = self.dep_in.remapped(n2, n2, |r| (r < n).then_some(r));
+        self.closure = self.closure.remapped(2 * n2, n2, |r| {
+            if r < n2 {
+                (r < n).then_some(r)
+            } else {
+                (r - n2 < n).then_some(r - n2 + n)
+            }
+        });
+        self.visited = vec![0; 2 * n2];
+        self.grown = vec![0; 2 * n2];
+        self.n = n2;
+    }
+
     /// Extend the oracle with newly known typed edges, maintaining the
     /// topological order and the closure incrementally.
     ///
@@ -294,6 +343,34 @@ impl KnownGraph {
         Ok(())
     }
 
+    /// [`KnownGraph::insert_edges`] for *large* batches: every edge is
+    /// staged first — the pending set may exceed the per-phase flush
+    /// limit — and the closure propagates in a single flush at the end,
+    /// so each affected row is recomputed once per call instead of once
+    /// per 62 staged edges. The streaming checker lands whole checkpoint
+    /// deltas this way.
+    ///
+    /// Trade-off vs. [`KnownGraph::insert_edges`]: cycle detection stays
+    /// exact (Pearce–Kelly's forward search runs over the staged
+    /// adjacency), but the redundancy skip consults only the at-flush
+    /// closure, so edges made redundant *within* the batch are staged
+    /// anyway — harmless, they propagate nothing. On a cycle the accepted
+    /// prefix is flushed before the witness is built, and the oracle
+    /// should be discarded as usual.
+    pub fn insert_edges_bulk(&mut self, batch: &[Edge]) -> Result<(), Vec<Edge>> {
+        for &e in batch {
+            if !self.stage(e, true) {
+                self.flush_closure();
+                let cycle = self
+                    .closing_cycle(e)
+                    .expect("Pearce-Kelly found a cycle, so the exact queries must too");
+                return Err(cycle);
+            }
+        }
+        self.flush_closure();
+        Ok(())
+    }
+
     /// Propagate all staged edges' closure updates in one sweep: mark the
     /// pending sources and their ancestors over the reverse adjacency (the
     /// per-phase frontier), then walk the marked nodes once, in reverse
@@ -319,6 +396,11 @@ impl KnownGraph {
         // the per-edge re-walks this batching exists to amortize.
         let mut heap: std::collections::BinaryHeap<(u32, u32)> =
             std::collections::BinaryHeap::new();
+        // Staged edges grouped by source (sorting the pending list is
+        // safe: it is cleared when the flush completes), so each popped
+        // node scans its own range instead of the whole phase — bulk
+        // insertions stage thousands of edges per flush.
+        self.pending.sort_unstable_by_key(|&(lu, _)| lu);
         for &(lu, _) in &self.pending {
             if self.visited[lu as usize] != stamp {
                 self.visited[lu as usize] = stamp;
@@ -330,10 +412,11 @@ impl KnownGraph {
             // Absorb this node's staged out-edges; pushes from grown
             // successors have already landed (they popped earlier).
             let mut grew = self.grown[u] == stamp;
-            for idx in 0..self.pending.len() {
+            let start = self.pending.partition_point(|&(lu, _)| (lu as usize) < u);
+            for idx in start..self.pending.len() {
                 let (lu, lv) = self.pending[idx];
                 if lu as usize != u {
-                    continue;
+                    break;
                 }
                 let v = lv as usize;
                 if v < self.n {
@@ -417,12 +500,39 @@ impl KnownGraph {
     /// precheck; callers build the canonical witness afterwards through
     /// the (exact, pending-aware) [`Self::closing_cycle`].
     fn try_stage(&mut self, e: Edge) -> bool {
+        self.stage(e, false)
+    }
+
+    /// [`Self::try_stage`], with `bulk` selecting the redundancy check:
+    /// exact pending-aware composition on the bounded-pending path,
+    /// at-flush closure only when the pending set may exceed the query
+    /// machinery's 64-edge masks.
+    fn stage(&mut self, e: Edge, bulk: bool) -> bool {
         let (f, t) = (e.from.0 as usize, e.to.0 as usize);
         let layered: [(usize, usize); 2] = match (self.semantics, e.label.is_dep()) {
             (Semantics::Ser, _) => [(f, t), (usize::MAX, 0)],
             (Semantics::Si, true) => [(f, t), (f, self.n + t)],
             (Semantics::Si, false) => [(self.n + f, t), (usize::MAX, 0)],
         };
+        // Reachability-redundant non-`Dep` edges are absorbed without
+        // staging: if the layered source already reaches the target, no
+        // closure row can change (reachability is monotone, so the edge
+        // stays redundant forever), no cycle can close (the graph is
+        // acyclic and the reverse path cannot also exist), and — unlike
+        // `Dep` edges — nothing looks the edge up in the adjacency
+        // (`dep_in`-driven witness construction needs `Dep` images
+        // present; plain paths route around an omitted redundant edge).
+        // This keeps streaming deltas cheap: dense components take most
+        // of their new anti-dependencies through here, skipping the
+        // Pearce–Kelly reorder a backward-priority insertion would pay.
+        if !e.label.is_dep() {
+            let (lu, lv) = layered[0];
+            let redundant = if bulk { self.closure.get(lu, lv) } else { self.reach_exact(lu, lv) };
+            if redundant {
+                self.inserted_edges += 1;
+                return true;
+            }
+        }
         let staged_from = self.pending.len();
         for &(lu, lv) in layered.iter().filter(|&&(lu, _)| lu != usize::MAX) {
             if !self.pk_insert(lu as u32, lv as u32) {
@@ -1013,6 +1123,42 @@ mod tests {
         // per-call propagation's.
         assert!(deferred.closure_updates() <= eager.closure_updates());
         assert!(deferred.closure_updates() > 0);
+    }
+
+    #[test]
+    fn grow_matches_fresh_build() {
+        let initial = [so(0, 1), wr(1, 2), rw(2, 3)];
+        let mut g = acyclic(4, &initial);
+        g.grow(4); // no-op
+        g.grow(7);
+        let extra = [ww(3, 5), wr(5, 6), rw(6, 4)];
+        g.insert_edges(&extra).expect("acyclic after growth");
+        let all: Vec<Edge> = initial.iter().chain(&extra).copied().collect();
+        let full = acyclic(7, &all);
+        for a in 0..7u32 {
+            for w in 0..7u32 {
+                assert_eq!(
+                    g.reaches(TxnId(a), TxnId(w)),
+                    full.reaches(TxnId(a), TxnId(w)),
+                    "reaches({a}, {w}) after grow"
+                );
+            }
+        }
+        assert_eq!(g.closure().count_ones(), full.closure().count_ones());
+        // The maintained order stays topological across the remap.
+        let pos = g.topo_positions();
+        for a in 0..7usize {
+            for w in 0..7usize {
+                if g.reaches(TxnId(a as u32), TxnId(w as u32)) {
+                    assert!(pos[a] < pos[w], "order violates reachability {a} -> {w}");
+                }
+            }
+        }
+        // SI-specific queries keep working on remapped mid nodes.
+        assert_eq!(g.rw_closes_cycle(TxnId(2), TxnId(1)), full.rw_closes_cycle(TxnId(2), TxnId(1)));
+        // A cycle through old and new vertices is still caught.
+        let err = g.insert_edges(&[ww(6, 1)]).unwrap_err();
+        assert!(!err.is_empty());
     }
 
     #[test]

@@ -198,6 +198,24 @@ impl Polygraph {
         build_polygraph(h, facts, mode, semantics, Some(comp))
     }
 
+    /// [`Polygraph::from_component`] for callers that have no [`History`]
+    /// value — the streaming checker rebuilds a merged component this way,
+    /// from its incrementally maintained facts. `so_edges` must be the
+    /// session-order successor pairs *restricted to the component* (every
+    /// endpoint inside `comp`), in any deterministic order; `facts` is the
+    /// global (stream-wide) facts value, exactly as with
+    /// [`Polygraph::from_component`].
+    pub fn from_component_parts(
+        so_edges: &[(TxnId, TxnId)],
+        facts: &Facts,
+        mode: ConstraintMode,
+        semantics: Semantics,
+        comp: &ShardComponent,
+    ) -> Self {
+        let so = so_edges.iter().map(|&(a, b)| Edge::new(a, b, Label::So)).collect();
+        build_polygraph_from(so, facts, mode, semantics, Some(comp), comp.len())
+    }
+
     /// Total uncertain dependency edges across unresolved constraints.
     pub fn unknown_deps(&self) -> usize {
         self.constraints.iter().map(Constraint::num_edges).sum()
@@ -253,29 +271,71 @@ impl Polygraph {
         &mut self,
         opts: &PruneOptions,
     ) -> (PruneResult, Option<Box<KnownGraph>>) {
-        let mut stats = PruneStats {
+        let stats = PruneStats {
+            constraints_before: self.constraints.len(),
+            unknown_deps_before: self.unknown_deps(),
+            graph_builds: 1,
+            ..Default::default()
+        };
+        let t_first = Instant::now();
+        let kg = match self.known_graph() {
+            KnownGraphResult::Acyclic(g) => g,
+            KnownGraphResult::Cyclic(cycle) => return (PruneResult::Violation(cycle), None),
+        };
+        self.prune_loop(kg, opts, stats, t_first, None)
+    }
+
+    /// Resume pruning with a *warm* oracle — the streaming checker's delta
+    /// path. `kg` must already reflect every edge of `self.known` (the
+    /// caller fed the delta through [`KnownGraph::insert_edges`]); `seed`
+    /// marks the transactions touched by that delta, and only constraints
+    /// incident to them are swept in the first pass (the same sound
+    /// under-approximation as the later worklist passes — anything
+    /// untested simply survives to the solver). From there the worklist
+    /// fixpoint proceeds exactly as in [`Polygraph::prune_with_oracle`].
+    pub fn prune_resume(
+        &mut self,
+        kg: Box<KnownGraph>,
+        seed: &[bool],
+        opts: &PruneOptions,
+    ) -> (PruneResult, Option<Box<KnownGraph>>) {
+        debug_assert_eq!(seed.len(), self.n, "seed must cover the vertex space");
+        let stats = PruneStats {
             constraints_before: self.constraints.len(),
             unknown_deps_before: self.unknown_deps(),
             ..Default::default()
         };
+        self.prune_loop(kg, opts, stats, Instant::now(), Some(seed))
+    }
+
+    /// The shared pass loop behind [`Polygraph::prune_with_oracle`]
+    /// (`seed == None`: full first sweep) and [`Polygraph::prune_resume`]
+    /// (`seed == Some`: first sweep restricted to the seeded worklist).
+    fn prune_loop(
+        &mut self,
+        mut kg: Box<KnownGraph>,
+        opts: &PruneOptions,
+        mut stats: PruneStats,
+        t_first: Instant,
+        seed: Option<&[bool]>,
+    ) -> (PruneResult, Option<Box<KnownGraph>>) {
         let semantics = self.semantics;
-        let t_first = Instant::now();
-        let mut kg = match self.known_graph() {
-            KnownGraphResult::Acyclic(g) => g,
-            KnownGraphResult::Cyclic(cycle) => return (PruneResult::Violation(cycle), None),
-        };
-        stats.graph_builds = 1;
         // Transactions incident to edges resolved in the previous pass;
-        // `first` forces a full sweep before the worklist narrows.
+        // `first` forces a full sweep before the worklist narrows (unless
+        // a resume seed already narrows it).
         let mut first = true;
-        let mut touched = vec![false; self.n];
+        let mut touched = match seed {
+            Some(s) => s.to_vec(),
+            None => vec![false; self.n],
+        };
+        let full_first = seed.is_none();
         let mut touched_now = vec![false; self.n];
         let mut work: Vec<u32> = Vec::with_capacity(self.constraints.len());
         loop {
             let t_pass = Instant::now();
             stats.iterations += 1;
             work.clear();
-            if first {
+            if first && full_first {
                 work.extend(0..self.constraints.len() as u32);
             } else {
                 work.extend(
@@ -463,32 +523,41 @@ fn build_polygraph(
     semantics: Semantics,
     comp: Option<&ShardComponent>,
 ) -> Polygraph {
-    let n = comp.map_or(h.len(), ShardComponent::len);
-    let mut known: Vec<Edge> = Vec::new();
     // Session order: consecutive edges generate the same reachability as
     // the full transitive SO relation. Sessions never span components, so
     // every successor stays inside `comp`.
-    match comp {
-        None => {
-            for (a, b) in h.so_edges() {
-                known.push(Edge::new(a, b, Label::So));
-            }
-        }
-        Some(c) => {
-            for &t in &c.txns {
-                if let Some(s) = h.so_successor(t) {
-                    known.push(Edge::new(t, s, Label::So));
-                }
-            }
-        }
-    }
+    let so: Vec<Edge> = match comp {
+        None => h.so_edges().map(|(a, b)| Edge::new(a, b, Label::So)).collect(),
+        Some(c) => c
+            .txns
+            .iter()
+            .filter_map(|&t| h.so_successor(t).map(|s| Edge::new(t, s, Label::So)))
+            .collect(),
+    };
+    build_polygraph_from(so, facts, mode, semantics, comp, h.len())
+}
+
+/// The history-free core of [`build_polygraph`]: everything but the
+/// session-order edges derives from `facts` alone, which lets the
+/// streaming checker construct component polygraphs from incrementally
+/// maintained facts without materializing a [`History`].
+fn build_polygraph_from(
+    so: Vec<Edge>,
+    facts: &Facts,
+    mode: ConstraintMode,
+    semantics: Semantics,
+    comp: Option<&ShardComponent>,
+    n_whole: usize,
+) -> Polygraph {
+    let n = comp.map_or(n_whole, ShardComponent::len);
+    let mut known: Vec<Edge> = so;
     // Write-read edges; under SER also the read-modify-write inference:
     // a reader of `x` that writes `x` immediately follows its source in
     // `x`'s version order (any interposed writer would have been read
     // instead), so the `WW` edge is known. Keys never span components, so
     // every source stays inside `comp`.
     let readers: Box<dyn Iterator<Item = TxnId> + '_> = match comp {
-        None => Box::new((0..h.len() as u32).map(TxnId)),
+        None => Box::new((0..n_whole as u32).map(TxnId)),
         Some(c) => Box::new(c.txns.iter().copied()),
     };
     for r in readers {

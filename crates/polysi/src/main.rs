@@ -18,15 +18,133 @@
 use polysi::checker::engine::{
     CheckEngine, EngineOptions, IsolationLevel, PruneThreads, Sharding, SolveThreads,
 };
-use polysi::checker::{check_si, dot, CheckOptions, Outcome};
+use polysi::checker::{check_si, dot, CheckOptions, Outcome, StreamVerdict, StreamingChecker};
 use polysi::history::{codec, stats::HistoryStats, History};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--stream] [--checkpoints N]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
     );
     ExitCode::from(2)
+}
+
+/// `polysi check --stream`: replay the history as a session-ordered
+/// stream (round-robin across sessions), checkpointing `checkpoints`
+/// times; report per-checkpoint verdicts and timings, and on violation
+/// the first-violation op index plus the canonical witness.
+fn stream_check(
+    history: &History,
+    isolation: IsolationLevel,
+    opts: EngineOptions,
+    checkpoints: usize,
+    quiet: bool,
+) -> ExitCode {
+    let mut checker = StreamingChecker::new(isolation, opts);
+    let sessions: Vec<_> = (0..history.num_sessions()).map(|_| checker.session()).collect();
+    // Per-session (first txn id, length): the replay indexes the history
+    // directly and clones each transaction's ops once, at push time.
+    let ranges: Vec<(u32, usize)> = history.sessions().map(|s| (s.first.0, s.txns.len())).collect();
+    let total = history.len();
+    let interval = total.div_ceil(checkpoints.max(1)).max(1);
+    let mut cursors = vec![0usize; ranges.len()];
+    let mut pushed = 0usize;
+    let mut since_checkpoint = 0usize;
+    let report = |cp: &polysi::checker::CheckpointReport, quiet: bool| {
+        if !quiet {
+            let verdict = match &cp.verdict {
+                StreamVerdict::Accepted => "ok".to_string(),
+                StreamVerdict::AxiomViolations { healable, .. } => {
+                    format!("axioms broken ({})", if *healable { "healable" } else { "terminal" })
+                }
+                StreamVerdict::Rejected { .. } => "VIOLATION".to_string(),
+            };
+            println!(
+                "  checkpoint {}: {}/{} txns, {} components ({} dirty, {} rebuilt), {}, {:?}",
+                cp.seq, cp.txns, total, cp.components, cp.dirty, cp.rebuilt, verdict, cp.elapsed
+            );
+        }
+    };
+    let mut last_verdict = StreamVerdict::Accepted;
+    'replay: loop {
+        let mut progressed = false;
+        for (s, &(first, len)) in ranges.iter().enumerate() {
+            if cursors[s] >= len {
+                continue;
+            }
+            let txn = history.txn(polysi::history::TxnId(first + cursors[s] as u32));
+            checker.push_transaction(sessions[s], txn.ops.clone(), txn.status);
+            cursors[s] += 1;
+            pushed += 1;
+            since_checkpoint += 1;
+            progressed = true;
+            if since_checkpoint >= interval && pushed < total {
+                since_checkpoint = 0;
+                let cp = checker.checkpoint();
+                report(&cp, quiet);
+                last_verdict = cp.verdict.clone();
+                if matches!(last_verdict, StreamVerdict::Rejected { .. }) {
+                    break 'replay;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    if !matches!(last_verdict, StreamVerdict::Rejected { .. }) {
+        let cp = checker.checkpoint();
+        report(&cp, quiet);
+        last_verdict = cp.verdict;
+    }
+    match last_verdict {
+        StreamVerdict::Accepted => {
+            println!("OK: history satisfies {} (streaming)", isolation.long_name());
+            if !quiet {
+                println!("  {}", HistoryStats::of(history));
+            }
+            ExitCode::SUCCESS
+        }
+        StreamVerdict::AxiomViolations { violations, .. } => {
+            println!("VIOLATION: non-cyclic axioms failed");
+            for v in violations.iter().take(if quiet { 1 } else { usize::MAX }) {
+                println!("  - {v}");
+            }
+            ExitCode::FAILURE
+        }
+        StreamVerdict::Rejected { anomaly, first_violation_op } => {
+            let rej = checker.rejection().expect("rejected streams record the canonical report");
+            match anomaly {
+                Some(a) => println!("VIOLATION: {a}"),
+                None => println!("VIOLATION: non-cyclic axioms failed"),
+            }
+            println!(
+                "  detected by op {first_violation_op} (checkpoint {}, {} txns ingested)",
+                rej.checkpoint, rej.txn_count
+            );
+            if !quiet {
+                match &rej.report.outcome {
+                    Outcome::CyclicViolation(v) => {
+                        for e in &v.cycle {
+                            println!(
+                                "  {} {} -> {}",
+                                e.label,
+                                rej.prefix.txn(e.from).label(),
+                                rej.prefix.txn(e.to).label()
+                            );
+                        }
+                    }
+                    Outcome::AxiomViolations(vs) => {
+                        for v in vs {
+                            println!("  - {v}");
+                        }
+                    }
+                    Outcome::Si => unreachable!("canonical report of a rejection"),
+                }
+            }
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn load(path: &str) -> Result<History, String> {
@@ -43,12 +161,25 @@ fn main() -> ExitCode {
             let mut isolation = IsolationLevel::Si;
             let mut dot_path: Option<String> = None;
             let mut quiet = false;
+            let mut stream = false;
+            let mut checkpoints = 8usize;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--no-pruning" => opts.pruning = false,
                     "--plain" => opts.mode = polysi::polygraph::ConstraintMode::Plain,
                     "--quiet" => quiet = true,
+                    "--stream" => stream = true,
+                    "--checkpoints" => {
+                        i += 1;
+                        checkpoints = match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
+                            Some(n) if n >= 1 => n,
+                            _ => {
+                                eprintln!("--checkpoints takes a positive count");
+                                return usage();
+                            }
+                        };
+                    }
                     "--isolation" => {
                         i += 1;
                         isolation = match args.get(i).map(String::as_str) {
@@ -126,6 +257,21 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            if stream {
+                if !opts.pruning || opts.mode != polysi::polygraph::ConstraintMode::Generalized {
+                    eprintln!("--stream requires pruning and generalized constraints");
+                    return usage();
+                }
+                if !quiet {
+                    println!(
+                        "streaming check: {} txns, {} sessions, {} checkpoints",
+                        history.len(),
+                        history.num_sessions(),
+                        checkpoints
+                    );
+                }
+                return stream_check(&history, isolation, opts, checkpoints, quiet);
+            }
             // Wall-clock as observed here: `report.timings` sums per-shard
             // CPU time on sharded runs, which overstates elapsed time.
             let t0 = std::time::Instant::now();

@@ -8,8 +8,8 @@ use polysi::dbsim::corpus::generate_corpus;
 #[test]
 fn corpus_templates_classified_as_named() {
     // Enough entries to include at least one instance of each of the
-    // twelve templates (they alternate with fault-injected draws).
-    let corpus = generate_corpus(30, 5);
+    // fourteen templates (they alternate with fault-injected draws).
+    let corpus = generate_corpus(34, 5);
     let mut seen = std::collections::HashSet::new();
     for entry in corpus {
         let Some(template) = entry.source.strip_prefix("template:") else {
@@ -22,13 +22,14 @@ fn corpus_templates_classified_as_named() {
                 "lost-update"
                 | "sharded-lost-update"
                 | "so-chain-lost-update"
-                | "cascade-lost-update",
+                | "cascade-lost-update"
+                | "checkpoint-flip",
                 Outcome::CyclicViolation(v),
             ) => {
                 assert_eq!(v.anomaly, Anomaly::LostUpdate)
             }
             (
-                "long-fork" | "sharded-long-fork" | "so-chain-long-fork",
+                "long-fork" | "sharded-long-fork" | "so-chain-long-fork" | "late-arriving-anomaly",
                 Outcome::CyclicViolation(v),
             ) => {
                 assert_eq!(v.anomaly, Anomaly::LongFork)
@@ -51,7 +52,7 @@ fn corpus_templates_classified_as_named() {
             (t, _) => panic!("template {t} produced the wrong outcome kind"),
         }
     }
-    assert_eq!(seen.len(), 12, "all twelve templates exercised: {seen:?}");
+    assert_eq!(seen.len(), 14, "all fourteen templates exercised: {seen:?}");
 }
 
 #[test]

@@ -65,7 +65,7 @@ fn stats_prints_counts() {
 /// Each entry is (file, expected exit code, required stdout substring).
 #[test]
 fn fixture_corpus_has_stable_verdicts() {
-    let fixtures: [(&str, i32, &str); 13] = [
+    let fixtures: [(&str, i32, &str); 15] = [
         ("long_fork.txt", 1, "long fork"),
         ("lost_update.txt", 1, "lost update"),
         ("write_skew.txt", 0, "OK"),
@@ -79,6 +79,8 @@ fn fixture_corpus_has_stable_verdicts() {
         ("prune_so_chain_clean.txt", 0, "OK"),
         ("solver_stress_lattice.txt", 0, "OK"),
         ("solver_stress_clique.txt", 0, "OK"),
+        ("late_arriving_anomaly.txt", 1, "long fork"),
+        ("checkpoint_flip.txt", 1, "lost update"),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for (file, expected_code, needle) in fixtures {
@@ -118,6 +120,73 @@ fn fixture_corpus_has_stable_verdicts() {
             );
         }
     }
+}
+
+/// `--stream` replays a history as a session-ordered stream with
+/// periodic checkpoints: verdicts and exit codes match the batch run, the
+/// streaming fixtures flip from accept to reject at the tail, and the
+/// rejection reports the first-violation op index.
+#[test]
+fn stream_flag_replays_with_checkpoints() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    // The checkpoint-flip fixture: every checkpoint before the tail
+    // accepts; the final one rejects with the lost update.
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("checkpoint_flip.txt"))
+        .args(["--stream", "--checkpoints", "5"])
+        .output()
+        .expect("run stream check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("VIOLATION: lost update"), "{stdout}");
+    assert!(stdout.contains("detected by op"), "{stdout}");
+    assert!(stdout.contains("checkpoint 1:") && stdout.contains(", ok,"), "{stdout}");
+    // Same for the late-arriving long fork.
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("late_arriving_anomaly.txt"))
+        .args(["--stream"])
+        .output()
+        .expect("run stream check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("VIOLATION: long fork"), "{stdout}");
+    // A clean multi-component fixture streams to an accept, dirty
+    // components only.
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("shard_disjoint_components.txt"))
+        .args(["--stream", "--checkpoints", "3"])
+        .output()
+        .expect("run stream check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("OK") && stdout.contains("streaming"), "{stdout}");
+    // SER streaming rejects the lattice exactly like the batch run.
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("solver_stress_lattice.txt"))
+        .args(["--stream", "--isolation", "ser"])
+        .output()
+        .expect("run stream ser check");
+    assert_eq!(out.status.code(), Some(1), "SER lattice must reject under --stream");
+    // --stream composes with neither --no-pruning nor --plain.
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("serializable.txt"))
+        .args(["--stream", "--no-pruning"])
+        .output()
+        .expect("run stream check");
+    assert_eq!(out.status.code(), Some(2), "--stream --no-pruning must be a usage error");
+}
+
+#[test]
+fn checkpoints_flag_validates() {
+    let out = bin().args(["check", "/nonexistent", "--checkpoints", "0"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2), "--checkpoints 0 must be a usage error");
+    let out = bin().args(["check", "/nonexistent", "--checkpoints", "soon"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 #[test]
@@ -233,7 +302,7 @@ fn fixture_corpus_parses_and_has_stats() {
         assert!(out.status.success(), "{}", path.display());
         assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
     }
-    assert_eq!(count, 13, "fixture corpus changed size without updating the verdict table");
+    assert_eq!(count, 15, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]

@@ -112,6 +112,30 @@ impl BitMatrix {
         iter_bits(self.row(row))
     }
 
+    /// A copy of the matrix with new (non-smaller) dimensions and remapped
+    /// rows: row `r` of the result is row `src_row(r)` of `self` (all
+    /// zeros when `None`); column bits keep their index. Incremental
+    /// structures whose node space grows — e.g. a reachability oracle
+    /// accepting streamed transactions — use this to extend closure
+    /// matrices without recomputing them.
+    pub fn remapped(
+        &self,
+        rows: usize,
+        cols: usize,
+        src_row: impl Fn(usize) -> Option<usize>,
+    ) -> BitMatrix {
+        debug_assert!(cols >= self.cols, "columns must not shrink");
+        let mut out = BitMatrix::rect(rows, cols);
+        let w = out.words_per_row;
+        for r in 0..rows {
+            if let Some(src) = src_row(r) {
+                let row = self.row(src);
+                out.bits[r * w..r * w + row.len()].copy_from_slice(row);
+            }
+        }
+        out
+    }
+
     /// Count of set bits in the whole matrix.
     pub fn count_ones(&self) -> usize {
         self.bits.iter().map(|w| w.count_ones() as usize).sum()
