@@ -18,7 +18,7 @@
 use polysi_bench::{csv_append, CountingAllocator};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
 use polysi_history::{Facts, History, HistoryBuilder, Key, Value};
-use polysi_polygraph::{ConstraintMode, Polygraph, PruneOptions, PruneResult};
+use polysi_polygraph::{ConstraintMode, OracleKind, Polygraph, PruneOptions, PruneResult};
 use polysi_workloads::{multi_component, GeneralParams};
 use std::time::Instant;
 
@@ -61,10 +61,10 @@ fn main() {
     let total_sessions = 8usize;
     let txns = if quick { 480 } else { 3200 };
     let threads: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
-    println!("# Prune stage: rebuild vs incremental × threads ({txns} txns)");
+    println!("# Prune stage: rebuild vs incremental × threads × oracle ({txns} txns)");
     println!(
-        "{:<16} {:>7} {:>9} {:<12} {:>7} {:>10} {:>9} {:>9}",
-        "workload", "txns", "cons", "mode", "threads", "secs", "vs-reb", "vs-seq"
+        "{:<16} {:>7} {:>9} {:<12} {:<7} {:>7} {:>10} {:>9} {:>9}",
+        "workload", "txns", "cons", "mode", "oracle", "threads", "secs", "vs-reb", "vs-seq"
     );
     let mut rows = Vec::new();
     let mut workloads: Vec<(&str, History)> = Vec::new();
@@ -92,47 +92,121 @@ fn main() {
         let g = Polygraph::from_history(&h, &facts, ConstraintMode::Generalized);
         let cons = g.constraints.len();
 
+        // The historical ablation rows pin the dense oracle so they stay
+        // comparable across runs; the chains row isolates the oracle swap
+        // at the engine-default (batched, sequential) configuration.
+        let dense = PruneOptions { oracle: OracleKind::Dense, ..Default::default() };
         let mut measurements = vec![(
             "rebuild",
+            "dense",
             1usize,
-            timed(&g, &PruneOptions { incremental: false, ..Default::default() }),
+            timed(&g, &PruneOptions { incremental: false, ..dense }),
         )];
         measurements.push((
             "per-edge",
+            "dense",
             1usize,
-            timed(&g, &PruneOptions { batch: false, ..Default::default() }),
+            timed(&g, &PruneOptions { batch: false, ..dense }),
         ));
         for &t in threads {
-            let m = timed(&g, &PruneOptions { threads: t, ..Default::default() });
-            measurements.push(("batched", t, m));
+            let m = timed(&g, &PruneOptions { threads: t, ..dense });
+            measurements.push(("batched", "dense", t, m));
         }
-        let rebuild_secs = measurements[0].2 .0;
+        measurements.push((
+            "batched",
+            "chains",
+            1usize,
+            timed(&g, &PruneOptions { oracle: OracleKind::Chains, ..Default::default() }),
+        ));
+        let rebuild_secs = measurements[0].3 .0;
         let seq_secs = measurements
             .iter()
-            .find(|(mode, t, _)| *mode == "batched" && *t == 1)
-            .map_or(rebuild_secs, |(_, _, m)| m.0);
-        let reference = (measurements[0].2 .1, measurements[0].2 .2, measurements[0].2 .3);
-        for (mode, nthreads, (secs, ok, survivors, known)) in measurements {
+            .find(|(mode, oracle, t, _)| *mode == "batched" && *oracle == "dense" && *t == 1)
+            .map_or(rebuild_secs, |(_, _, _, m)| m.0);
+        let reference = (measurements[0].3 .1, measurements[0].3 .2, measurements[0].3 .3);
+        for (mode, oracle, nthreads, (secs, ok, survivors, known)) in measurements {
             assert_eq!(
                 reference,
                 (ok, survivors, known),
-                "{name}/{mode}/{nthreads} diverged from the rebuild loop"
+                "{name}/{mode}/{oracle}/{nthreads} diverged from the rebuild loop"
             );
             let vs_rebuild = rebuild_secs / secs;
             let vs_seq = seq_secs / secs;
             println!(
-                "{name:<16} {:>7} {cons:>9} {mode:<12} {nthreads:>7} {secs:>10.3} {vs_rebuild:>8.2}x {vs_seq:>8.2}x",
+                "{name:<16} {:>7} {cons:>9} {mode:<12} {oracle:<7} {nthreads:>7} {secs:>10.3} {vs_rebuild:>8.2}x {vs_seq:>8.2}x",
                 h.len()
             );
             rows.push(format!(
-                "{name},{},{cons},{mode},{nthreads},{secs:.6},{vs_rebuild:.3},{vs_seq:.3},{ok}",
+                "{name},{},{cons},{mode},{oracle},{nthreads},{secs:.6},{vs_rebuild:.3},{vs_seq:.3},{ok}",
                 h.len()
             ));
         }
     }
+
+    // The quadratic wall (ROADMAP): one giant single-component history.
+    // The dense oracle's closure matrix alone is (2n)²/8 bytes — 1.25 GiB
+    // at 50k txns — while the chain oracle stays at 2n × chains × 4.
+    // Dense runs only when its predicted matrix fits inside 10× the
+    // chains run's measured peak; otherwise the row is skipped with the
+    // arithmetic printed.
+    {
+        let mono_txns = if quick { 1_024usize } else { 50_000 };
+        let h = hot_chain(mono_txns - 49, 48);
+        assert_eq!(h.len(), mono_txns);
+        let facts = Facts::analyze(&h);
+        assert!(facts.axioms_ok(), "mono_chain: axioms failed");
+        let g = Polygraph::from_history(&h, &facts, ConstraintMode::Generalized);
+        let cons = g.constraints.len();
+        let name = "mono_chain";
+
+        CountingAllocator::reset_peak();
+        let chains_opts = PruneOptions { oracle: OracleKind::Chains, ..Default::default() };
+        let (chains_secs, ok, survivors, known) = timed(&g, &chains_opts);
+        let chains_peak = CountingAllocator::peak();
+        println!(
+            "{name:<16} {mono_txns:>7} {cons:>9} {:<12} {:<7} {:>7} {chains_secs:>10.3} {:>8.2}x {:>8.2}x",
+            "batched", "chains", 1, 1.0, 1.0
+        );
+        rows.push(format!(
+            "{name},{mono_txns},{cons},batched,chains,1,{chains_secs:.6},1.000,1.000,{ok}"
+        ));
+
+        let dense_predicted = (2 * mono_txns) * (2 * mono_txns) / 8;
+        let budget = 10 * chains_peak;
+        if dense_predicted <= budget {
+            let dense_opts = PruneOptions { oracle: OracleKind::Dense, ..Default::default() };
+            let (dense_secs, d_ok, d_survivors, d_known) = timed(&g, &dense_opts);
+            assert_eq!(
+                (ok, survivors, known),
+                (d_ok, d_survivors, d_known),
+                "{name}: dense diverged from chains"
+            );
+            let vs = dense_secs / chains_secs;
+            println!(
+                "{name:<16} {mono_txns:>7} {cons:>9} {:<12} {:<7} {:>7} {dense_secs:>10.3} {:>8.2}x {:>8.2}x",
+                "batched", "dense", 1, 1.0 / vs, 1.0 / vs
+            );
+            rows.push(format!(
+                "{name},{mono_txns},{cons},batched,dense,1,{dense_secs:.6},{:.3},{:.3},{d_ok}",
+                1.0 / vs,
+                1.0 / vs
+            ));
+        } else {
+            println!(
+                "{name:<16} {mono_txns:>7} {cons:>9} {:<12} {:<7} {:>7} {:>10}",
+                "batched", "dense", 1, "skipped"
+            );
+            println!(
+                "# {name}: dense skipped — closure matrix alone needs {} MiB, over 10× the \
+                 chains run's {} MiB peak",
+                dense_predicted >> 20,
+                chains_peak >> 20
+            );
+        }
+    }
     csv_append(
         "prune",
-        "workload,txns,constraints,mode,threads,seconds,speedup_vs_rebuild,speedup_vs_seq,accepted",
+        "workload,txns,constraints,mode,oracle,threads,seconds,speedup_vs_rebuild,speedup_vs_seq,accepted",
         &rows,
     );
     println!("\nCSV appended to bench_results/prune.csv");

@@ -15,7 +15,7 @@
 
 use polysi_bench::csv_append;
 use polysi_checker::engine::{check, EngineOptions, IsolationLevel};
-use polysi_checker::{StreamVerdict, StreamingChecker};
+use polysi_checker::{OracleKind, StreamVerdict, StreamingChecker};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
 use polysi_history::{History, HistoryStream};
 use polysi_workloads::{multi_component, GeneralParams};
@@ -72,11 +72,12 @@ fn main() {
     let total_sessions = 8usize;
     let txns = if quick { 480 } else { 3200 };
     let cadences: &[usize] = if quick { &[4] } else { &[4, 8] };
-    let opts = EngineOptions::default();
+    let oracles: &[OracleKind] =
+        if quick { &[OracleKind::Chains] } else { &[OracleKind::Dense, OracleKind::Chains] };
     println!("# Streaming vs batch re-check ({txns} txns)");
     println!(
-        "{:<16} {:>7} {:>12} {:>12} {:>12} {:>9}",
-        "workload", "cpts", "stream-secs", "batch-secs", "amortized", "verdicts"
+        "{:<16} {:>7} {:<7} {:>12} {:>12} {:>12} {:>9}",
+        "workload", "cpts", "oracle", "stream-secs", "batch-secs", "amortized", "verdicts"
     );
     let mut rows = Vec::new();
     for (name, components) in [("general", 1usize), ("multi_component", 4)] {
@@ -95,73 +96,82 @@ fn main() {
         let order = replay_order(&h);
 
         for &cadence in cadences {
-            let stops = boundaries(h.len(), cadence);
+            for &oracle in oracles {
+                let opts = EngineOptions { reach_oracle: oracle, ..Default::default() };
+                let stops = boundaries(h.len(), cadence);
 
-            // Streaming: ingest + checkpoint at each boundary.
-            let t = Instant::now();
-            let mut checker = StreamingChecker::new(IsolationLevel::Si, opts);
-            let sessions: Vec<_> = (0..h.num_sessions()).map(|_| checker.session()).collect();
-            let mut next_stop = 0usize;
-            let mut stream_accepts = 0usize;
-            for (i, &id) in order.iter().enumerate() {
-                let txn = h.txn(id);
-                checker.push_transaction(
-                    sessions[txn.session.0 as usize],
-                    txn.ops.clone(),
-                    txn.status,
-                );
-                if next_stop < stops.len() && i + 1 == stops[next_stop] {
-                    next_stop += 1;
-                    let cp = checker.checkpoint();
-                    assert!(
-                        matches!(cp.verdict, StreamVerdict::Accepted),
-                        "{name}: streaming rejected a clean prefix at checkpoint {}",
-                        cp.seq
-                    );
-                    stream_accepts += 1;
-                }
-            }
-            let stream_secs = t.elapsed().as_secs_f64();
-
-            // Batch-from-scratch on the same prefixes (prefix snapshots
-            // materialized outside the timer).
-            let mut prefixes = Vec::with_capacity(stops.len());
-            {
-                let mut s = HistoryStream::new();
-                let sess: Vec<_> = (0..h.num_sessions()).map(|_| s.session()).collect();
+                // Streaming: ingest + checkpoint at each boundary.
+                let t = Instant::now();
+                let mut checker = StreamingChecker::new(IsolationLevel::Si, opts);
+                let sessions: Vec<_> = (0..h.num_sessions()).map(|_| checker.session()).collect();
                 let mut next_stop = 0usize;
+                let mut stream_accepts = 0usize;
                 for (i, &id) in order.iter().enumerate() {
                     let txn = h.txn(id);
-                    s.push_transaction(sess[txn.session.0 as usize], txn.ops.clone(), txn.status);
+                    checker.push_transaction(
+                        sessions[txn.session.0 as usize],
+                        txn.ops.clone(),
+                        txn.status,
+                    );
                     if next_stop < stops.len() && i + 1 == stops[next_stop] {
                         next_stop += 1;
-                        prefixes.push(s.snapshot().0);
+                        let cp = checker.checkpoint();
+                        assert!(
+                            matches!(cp.verdict, StreamVerdict::Accepted),
+                            "{name}: streaming rejected a clean prefix at checkpoint {}",
+                            cp.seq
+                        );
+                        stream_accepts += 1;
                     }
                 }
-            }
-            let t = Instant::now();
-            let mut batch_accepts = 0usize;
-            for p in &prefixes {
-                let report = check(p, IsolationLevel::Si, &opts);
-                assert!(report.accepted(), "{name}: batch rejected a clean prefix");
-                batch_accepts += 1;
-            }
-            let batch_secs = t.elapsed().as_secs_f64();
-            assert_eq!(stream_accepts, batch_accepts);
+                let stream_secs = t.elapsed().as_secs_f64();
 
-            let amortized = batch_secs / stream_secs;
-            println!(
-                "{name:<16} {cadence:>7} {stream_secs:>12.3} {batch_secs:>12.3} {amortized:>11.2}x {stream_accepts:>9}"
+                // Batch-from-scratch on the same prefixes (prefix snapshots
+                // materialized outside the timer).
+                let mut prefixes = Vec::with_capacity(stops.len());
+                {
+                    let mut s = HistoryStream::new();
+                    let sess: Vec<_> = (0..h.num_sessions()).map(|_| s.session()).collect();
+                    let mut next_stop = 0usize;
+                    for (i, &id) in order.iter().enumerate() {
+                        let txn = h.txn(id);
+                        s.push_transaction(
+                            sess[txn.session.0 as usize],
+                            txn.ops.clone(),
+                            txn.status,
+                        );
+                        if next_stop < stops.len() && i + 1 == stops[next_stop] {
+                            next_stop += 1;
+                            prefixes.push(s.snapshot().0);
+                        }
+                    }
+                }
+                let t = Instant::now();
+                let mut batch_accepts = 0usize;
+                for p in &prefixes {
+                    let report = check(p, IsolationLevel::Si, &opts);
+                    assert!(report.accepted(), "{name}: batch rejected a clean prefix");
+                    batch_accepts += 1;
+                }
+                let batch_secs = t.elapsed().as_secs_f64();
+                assert_eq!(stream_accepts, batch_accepts);
+
+                let amortized = batch_secs / stream_secs;
+                println!(
+                "{name:<16} {cadence:>7} {:<7} {stream_secs:>12.3} {batch_secs:>12.3} {amortized:>11.2}x {stream_accepts:>9}",
+                oracle.name()
             );
-            rows.push(format!(
-                "{name},{},{cadence},{stream_secs:.6},{batch_secs:.6},{amortized:.3}",
-                h.len()
-            ));
+                rows.push(format!(
+                    "{name},{},{cadence},{},{stream_secs:.6},{batch_secs:.6},{amortized:.3}",
+                    h.len(),
+                    oracle.name()
+                ));
+            }
         }
     }
     csv_append(
         "stream",
-        "workload,txns,checkpoints,stream_seconds,batch_seconds,amortized_speedup",
+        "workload,txns,checkpoints,oracle,stream_seconds,batch_seconds,amortized_speedup",
         &rows,
     );
     println!("\nCSV appended to bench_results/stream.csv");

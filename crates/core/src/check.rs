@@ -15,7 +15,7 @@ use crate::anomaly::Anomaly;
 use crate::engine::{CheckEngine, EngineOptions, IsolationLevel, ShardStats};
 use crate::interpret::Scenario;
 use polysi_history::{AxiomViolation, History};
-use polysi_polygraph::{ConstraintMode, Edge, PruneStats};
+use polysi_polygraph::{ConstraintMode, Edge, OracleKind, PruneStats};
 use polysi_solver::SolverStats;
 use std::time::Duration;
 
@@ -35,6 +35,9 @@ pub struct CheckOptions {
     /// graph (this implementation's ablatable optimization — see the
     /// `ablation` bench binary).
     pub phase_seeding: bool,
+    /// Reachability-oracle representation ([`OracleKind`]); verdicts and
+    /// witnesses are identical for any setting, `Auto` picks per run.
+    pub reach_oracle: OracleKind,
 }
 
 impl Default for CheckOptions {
@@ -44,6 +47,7 @@ impl Default for CheckOptions {
             pruning: true,
             interpret: true,
             phase_seeding: true,
+            reach_oracle: OracleKind::Auto,
         }
     }
 }
@@ -141,6 +145,9 @@ pub struct CheckReport {
     pub solve_stats: Option<crate::solve::SolveStats>,
     /// Sharding decision, when the engine ran with `Sharding::Auto`.
     pub shard_stats: Option<ShardStats>,
+    /// Reachability-oracle representation the run was configured with
+    /// (`Auto` resolves per component at build time).
+    pub reach_oracle: OracleKind,
 }
 
 impl CheckReport {

@@ -44,7 +44,7 @@ use crate::solve::{merge_solver_stats, run_solve, SolvePlan, SolveStats};
 pub use crate::solve::{SolveMode, SolveThreads};
 use polysi_history::{Facts, History, ShardComponent, ShardFallback, ShardPlan, TxnId};
 use polysi_polygraph::{
-    ConstraintMode, Edge, KnownGraph, KnownGraphResult, Label, Polygraph, PruneOptions,
+    ConstraintMode, Edge, KnownGraph, KnownGraphResult, Label, OracleKind, Polygraph, PruneOptions,
     PruneResult, PruneStats, Semantics,
 };
 use polysi_solver::{Lit, Solver, SolverStats};
@@ -187,6 +187,12 @@ pub struct EngineOptions {
     /// Solve strategy; [`SolveMode::Auto`] picks per instance. Exposed
     /// mainly for the `solve` bench's mode ablation.
     pub solve_mode: SolveMode,
+    /// Reachability-oracle representation for the known graph
+    /// ([`OracleKind`]): dense closure rows, per-session chain rows, or
+    /// `Auto` (per component, chains when the session count beats the
+    /// dense bit-row budget). Verdict- and witness-identical for any
+    /// setting.
+    pub reach_oracle: OracleKind,
 }
 
 impl Default for EngineOptions {
@@ -200,6 +206,7 @@ impl Default for EngineOptions {
             prune_threads: PruneThreads::Auto,
             solve_threads: SolveThreads::Auto,
             solve_mode: SolveMode::Auto,
+            reach_oracle: OracleKind::Auto,
         }
     }
 }
@@ -220,6 +227,7 @@ impl From<&CheckOptions> for EngineOptions {
             prune_threads: PruneThreads::Fixed(1),
             solve_threads: SolveThreads::Fixed(1),
             solve_mode: SolveMode::Auto,
+            reach_oracle: opts.reach_oracle,
         }
     }
 }
@@ -296,6 +304,7 @@ impl CheckEngine {
                 solver_stats: None,
                 solve_stats: None,
                 shard_stats: None,
+                reach_oracle: self.opts.reach_oracle,
             };
         }
 
@@ -345,6 +354,7 @@ impl CheckEngine {
             solver_stats: unit.solver_stats,
             solve_stats: unit.solve_stats,
             shard_stats,
+            reach_oracle: self.opts.reach_oracle,
         }
     }
 
@@ -491,7 +501,8 @@ impl CheckEngine {
         // maintained (it reflects every resolved edge) instead of paying a
         // second from-scratch closure build.
         let t = Instant::now();
-        let (solver, encode_stats) = encode(&g, self.opts.phase_seeding, oracle.as_deref());
+        let (solver, encode_stats) =
+            encode(&g, self.opts.phase_seeding, oracle.as_deref(), self.opts.reach_oracle);
         timings.encoding = t.elapsed();
 
         // Stage::Solve. Cube ranking wants the history's transaction
@@ -526,7 +537,12 @@ impl CheckEngine {
 pub(crate) fn prune_options_for(opts: &EngineOptions, facts: &Facts, units: usize) -> PruneOptions {
     let threads = opts.prune_threads.resolve(units);
     let chunk_size = (512.0 / (1.0 + facts.mean_txn_degree())).round() as usize;
-    PruneOptions { threads, chunk_size: chunk_size.clamp(16, 512), ..Default::default() }
+    PruneOptions {
+        threads,
+        chunk_size: chunk_size.clamp(16, 512),
+        oracle: opts.reach_oracle,
+        ..Default::default()
+    }
 }
 
 /// Solve plan for one pipeline unit, `units` of which solve concurrently
@@ -541,18 +557,20 @@ pub(crate) fn solve_plan_for(opts: &EngineOptions, units: usize) -> SolvePlan {
 /// every edge direct. Selector phases are seeded from a topological order
 /// of the known graph so the solver's first full assignment is already
 /// near-acyclic; `oracle` (the reachability oracle pruning handed back,
-/// when it ran) supplies that order without a rebuild.
+/// when it ran) supplies that order without a rebuild, and `kind` picks
+/// the representation of the fallback build when pruning did not run.
 pub(crate) fn encode(
     g: &Polygraph,
     phase_seeding: bool,
     oracle: Option<&KnownGraph>,
+    kind: OracleKind,
 ) -> (Solver, EncodeStats) {
     let n = g.n;
     let semantics = g.semantics;
     let topo: Option<Vec<u32>> = if phase_seeding {
         match oracle {
             Some(kg) => Some(kg.topo_positions()),
-            None => match g.known_graph() {
+            None => match g.known_graph_with(kind) {
                 KnownGraphResult::Acyclic(kg) => Some(kg.topo_positions()),
                 KnownGraphResult::Cyclic(_) => None, // solver will report Unsat
             },

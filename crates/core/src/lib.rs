@@ -61,5 +61,6 @@ pub use engine::{
 pub use interpret::{Certainty, Scenario};
 pub use list::{check_si_list, ListHistory, ListOp, ListReport, ListTxn, ListViolation};
 pub use polysi_history::ShardFallback;
+pub use polysi_polygraph::OracleKind;
 pub use solve::{SolveMode, SolveModeUsed, SolveStats, SolveThreads};
 pub use stream::{CheckpointReport, StreamRejection, StreamVerdict, StreamingChecker};

@@ -288,7 +288,8 @@ pub fn solve_polygraph_with(
     degrees: Option<&[u32]>,
     plan: &SolvePlan,
 ) -> (bool, SolveStats) {
-    let (solver, _) = crate::engine::encode(g, phase_seeding, None);
+    let (solver, _) =
+        crate::engine::encode(g, phase_seeding, None, polysi_polygraph::OracleKind::Auto);
     run_solve(g, solver, degrees, plan)
 }
 
@@ -298,7 +299,7 @@ pub fn solve_polygraph_with(
 /// the `solve` bench, which encodes once and clones per measured
 /// configuration so the timed interval is the solve stage alone.
 pub fn encode_polygraph(g: &Polygraph, phase_seeding: bool) -> Solver {
-    crate::engine::encode(g, phase_seeding, None).0
+    crate::engine::encode(g, phase_seeding, None, polysi_polygraph::OracleKind::Auto).0
 }
 
 /// Rank selectors for cube splitting: a selector scores the summed
@@ -551,7 +552,7 @@ mod tests {
     }
 
     fn encode(g: &Polygraph) -> Solver {
-        crate::engine::encode(g, true, None).0
+        crate::engine::encode(g, true, None, polysi_polygraph::OracleKind::Auto).0
     }
 
     #[test]

@@ -616,7 +616,8 @@ impl StreamingChecker {
         solve_plan: &SolvePlan,
     ) -> bool {
         let facts = self.stream.facts().facts();
-        let (solver, _) = encode(&state.poly, self.opts.phase_seeding, oracle.as_deref());
+        let (solver, _) =
+            encode(&state.poly, self.opts.phase_seeding, oracle.as_deref(), self.opts.reach_oracle);
         let degrees: Vec<u32> = state.txns.iter().map(|&t| facts.txn_degree(t) as u32).collect();
         let (sat, _) = crate::solve::run_solve(&state.poly, solver, Some(&degrees), solve_plan);
         state.oracle = oracle;

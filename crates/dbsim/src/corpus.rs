@@ -273,6 +273,60 @@ pub fn checkpoint_flip(base: u64) -> History {
     b.build()
 }
 
+/// Template: **session braid** — many short sessions whose transactions
+/// read every earlier strand's current write (a dense cross-session `WR`
+/// mesh), capped by a stale RMW pair on the first strand's key. The
+/// chain-decomposition reachability oracle's worst case: one chain per
+/// short session, with most reachability crossing chains.
+pub fn session_braid(base: u64) -> History {
+    let strands = 6u64;
+    let k = |i: u64| Key(base + i);
+    let mut b = HistoryBuilder::new();
+    // Seeder session: one transaction writes every strand key.
+    b.session();
+    {
+        let mut t = b.begin();
+        for i in 0..strands {
+            t = t.write(k(i), Value(base + 100 + i));
+        }
+        t.commit();
+    }
+    // Strand `i`: a two-transaction session that RMWs its own key, then
+    // reads every earlier strand's current version.
+    for i in 0..strands {
+        b.session();
+        b.begin().read(k(i), Value(base + 100 + i)).write(k(i), Value(base + 200 + i)).commit();
+        let mut t = b.begin();
+        for j in 0..=i {
+            t = t.read(k(j), Value(base + 200 + j));
+        }
+        t.commit();
+    }
+    // Stale RMW pair on strand 0's key: the braid's lost update.
+    b.session();
+    b.begin().read(k(0), Value(base + 200)).write(k(0), Value(base + 300)).commit();
+    b.session();
+    b.begin().read(k(0), Value(base + 200)).write(k(0), Value(base + 301)).commit();
+    b.build()
+}
+
+/// Template: **monolithic session** — one huge session (the chain
+/// oracle's best case: a single chain covers the whole history) whose
+/// tail transaction forgets the session's own first write. The violating
+/// cycle threads the session-order chain back to that first write on a
+/// single key, so the classifier reports it as a lost update.
+pub fn monolithic_session(base: u64) -> History {
+    let chain = 10u64;
+    let mut b = HistoryBuilder::new();
+    b.session();
+    for i in 0..chain {
+        b.begin().write(Key(base + i), Value(base + i + 1)).commit();
+    }
+    b.begin().read(Key(base + chain - 1), Value(base + chain)).commit();
+    b.begin().read(Key(base), Value::INIT).commit();
+    b.build()
+}
+
 /// Template: causality violation across a long session-order write chain —
 /// a second session observes the chain's last write, then (later in its
 /// own session) reads the chain's first key as unwritten. The violating
@@ -434,7 +488,7 @@ type Template = fn(u64) -> History;
 /// The paper replays 2477 known anomalies; `generate_corpus(2477, seed)`
 /// produces the same volume here.
 pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
-    let templates: [(&str, Template); 14] = [
+    let templates: [(&str, Template); 16] = [
         ("template:lost-update", lost_update),
         ("template:long-fork", long_fork),
         ("template:causality-violation", causality_violation),
@@ -449,6 +503,8 @@ pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
         ("template:so-cascade-causality", so_cascade_causality),
         ("template:late-arriving-anomaly", late_arriving_anomaly),
         ("template:checkpoint-flip", checkpoint_flip),
+        ("template:session-braid", session_braid),
+        ("template:monolithic-session", monolithic_session),
     ];
     let faults = [
         IsolationLevel::NoWriteConflictDetection,
@@ -538,14 +594,14 @@ mod tests {
     }
 
     #[test]
-    fn templates_cover_fourteen_anomaly_families() {
-        let corpus = generate_corpus(28, 1);
+    fn templates_cover_sixteen_anomaly_families() {
+        let corpus = generate_corpus(32, 1);
         let names: std::collections::HashSet<_> = corpus
             .iter()
             .filter(|e| e.source.starts_with("template:"))
             .map(|e| e.source.clone())
             .collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 16);
     }
 
     /// The streaming templates' defining property: SI-clean without the

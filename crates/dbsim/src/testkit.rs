@@ -118,7 +118,9 @@ pub fn corpus_classes(source: &str) -> &'static [&'static str] {
         | "template:sharded-lost-update"
         | "template:so-chain-lost-update"
         | "template:cascade-lost-update"
-        | "template:checkpoint-flip" => &["lost update"],
+        | "template:checkpoint-flip"
+        | "template:session-braid"
+        | "template:monolithic-session" => &["lost update"],
         "template:long-fork"
         | "template:sharded-long-fork"
         | "template:so-chain-long-fork"

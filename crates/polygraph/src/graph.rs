@@ -12,10 +12,348 @@
 //! violating cycles (every `RW` edge is immediately preceded by a `Dep`
 //! edge — i.e. no two adjacent `RW` edges).
 
-use crate::edge::Edge;
+use crate::edge::{Edge, Label};
 use crate::polygraph::Semantics;
 use polysi_history::TxnId;
-use polysi_solver::bitset::BitMatrix;
+use polysi_solver::bitset::{BitMatrix, ChainRows};
+
+/// Which reachability representation a [`KnownGraph`] stores.
+///
+/// The dense oracle keeps one `n`-bit closure row per layered node —
+/// exact for any graph but `O(n²/64)` memory, which walls components
+/// around ~10⁴ transactions. The chain oracle exploits the history's
+/// session structure: session order is a *path cover*, so per-node
+/// reachability collapses to one minimum-reachable-position `u32` per
+/// chain (`O(n·sessions)`), with identical query answers, cycle
+/// verdicts, witnesses, and propagation schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OracleKind {
+    /// Decide per build: chains when the session structure makes chain
+    /// rows cheaper than dense bit rows (see [`KnownGraph::build_with_oracle`]),
+    /// dense otherwise.
+    #[default]
+    Auto,
+    /// Always the dense `BitMatrix` closure.
+    Dense,
+    /// Always the session-chain decomposition.
+    Chains,
+}
+
+impl OracleKind {
+    /// Stable lowercase name (CLI flag values, CSV columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Auto => "auto",
+            OracleKind::Dense => "dense",
+            OracleKind::Chains => "chains",
+        }
+    }
+
+    /// Inverse of [`OracleKind::name`].
+    pub fn parse(s: &str) -> Option<OracleKind> {
+        match s {
+            "auto" => Some(OracleKind::Auto),
+            "dense" => Some(OracleKind::Dense),
+            "chains" => Some(OracleKind::Chains),
+            _ => None,
+        }
+    }
+}
+
+/// Chain placement of the boundary transactions: which chain each node
+/// sits on and where. Nodes start *unplaced* ([`ChainIndex::NONE`]) —
+/// equivalently, on a virtual singleton chain no row references — and
+/// acquire a real chain column lazily, either by extending a session
+/// chain (staging its `So` edge) or on first becoming reachable.
+struct ChainIndex {
+    /// Chain id per transaction (`NONE` = unplaced).
+    chain_of: Vec<u32>,
+    /// Position within the chain (0 for unplaced nodes).
+    pos: Vec<u32>,
+    /// Tail transaction per allocated chain.
+    tail: Vec<u32>,
+    /// Retired chain ids whose columns are pristine (all-unreached),
+    /// reusable for future placements — streamed transactions pass
+    /// through a transient singleton chain until their session `So`
+    /// edge lands, and recycling keeps the column count at
+    /// `O(sessions)`, not `O(n)`.
+    free: Vec<u32>,
+}
+
+impl ChainIndex {
+    const NONE: u32 = u32::MAX;
+
+    /// Allocate a chain column (recycling retired ids first).
+    fn alloc(&mut self, rows: &mut ChainRows) -> u32 {
+        if let Some(c) = self.free.pop() {
+            return c;
+        }
+        let c = rows.push_chain() as u32;
+        debug_assert_eq!(c as usize, self.tail.len());
+        self.tail.push(Self::NONE);
+        c
+    }
+
+    /// The chain column of `v`, placing `v` on a fresh singleton chain
+    /// if it is still unplaced (first reachability reference).
+    fn ensure_chain(&mut self, v: usize, rows: &mut ChainRows) -> u32 {
+        let c = self.chain_of[v];
+        if c != Self::NONE {
+            return c;
+        }
+        let c = self.alloc(rows);
+        self.chain_of[v] = c;
+        self.pos[v] = 0;
+        self.tail[c as usize] = v as u32;
+        c
+    }
+}
+
+/// Greedy session-order path cover: link `So f → t` when `f` has no
+/// chain successor and `t` no chain predecessor yet. Consecutive chain
+/// positions are therefore always joined by a real graph edge, which is
+/// what makes per-chain reachability *up-closed* — reaching position `p`
+/// implies reaching every later position — so one minimum per chain is
+/// an exact row. Nodes not on a multi-node chain stay unplaced.
+fn chain_cover(n: usize, known: &[Edge]) -> ChainIndex {
+    let mut succ = vec![u32::MAX; n];
+    let mut has_pred = vec![false; n];
+    let mut has_succ = vec![false; n];
+    for e in known {
+        if matches!(e.label, Label::So) {
+            let (f, t) = (e.from.idx(), e.to.idx());
+            if !has_succ[f] && !has_pred[t] {
+                succ[f] = e.to.0;
+                has_succ[f] = true;
+                has_pred[t] = true;
+            }
+        }
+    }
+    let mut idx = ChainIndex {
+        chain_of: vec![ChainIndex::NONE; n],
+        pos: vec![0; n],
+        tail: Vec::new(),
+        free: Vec::new(),
+    };
+    for h in 0..n {
+        if has_pred[h] || !has_succ[h] {
+            continue;
+        }
+        let c = idx.tail.len() as u32;
+        idx.tail.push(ChainIndex::NONE);
+        let (mut v, mut p) = (h as u32, 0u32);
+        loop {
+            idx.chain_of[v as usize] = c;
+            idx.pos[v as usize] = p;
+            idx.tail[c as usize] = v;
+            if succ[v as usize] == u32::MAX {
+                break;
+            }
+            v = succ[v as usize];
+            p += 1;
+        }
+    }
+    idx
+}
+
+/// Closure + `Dep`-predecessor storage behind [`KnownGraph`]'s queries,
+/// in one of the [`OracleKind`] representations. Queries agree bit for
+/// bit at every point outside a flush: chain appends are deferred to the
+/// flush that propagates the `So` edge, so implicit suffix reachability
+/// never races ahead of the dense bits. Mutators report "changed"
+/// conservatively — a chain minimum decrease always means a new dense
+/// bit, but a new dense bit already implied by a chain suffix is *free*
+/// for the chain store — so the chain flush wave visits a subset of the
+/// rows the dense wave grows (`closure_updates` ≤ dense; that gap is the
+/// algorithmic win) while converging to the same fixpoint.
+enum ClosureStore {
+    Dense {
+        /// Closure rows over layered nodes (2n × n columns, boundary
+        /// targets).
+        closure: BitMatrix,
+        /// `dep_in.row(j)` = transactions with a known `Dep` edge into `j`.
+        dep_in: BitMatrix,
+    },
+    Chains {
+        /// Min-reachable-position rows over layered nodes (2n × chains).
+        rows: ChainRows,
+        /// Chain placement of the boundary transactions.
+        idx: ChainIndex,
+        /// Sorted `Dep` predecessors per transaction (the sparse
+        /// `dep_in`; ascending, so witness selection matches the dense
+        /// row iteration order bit for bit).
+        dep_preds: Vec<Vec<u32>>,
+    },
+}
+
+impl ClosureStore {
+    /// Build an empty store of the requested kind; `Auto` resolves from
+    /// the cover: chains iff the component is big enough to matter
+    /// (n ≥ 1024) and the estimated chain count keeps a `u32` chain row
+    /// cheaper than an `n`-bit dense row (`4·chains ≤ n/8`).
+    fn new(n: usize, known: &[Edge], kind: OracleKind) -> ClosureStore {
+        let kind = if kind == OracleKind::Auto {
+            let idx = chain_cover(n, known);
+            let singles = idx.chain_of.iter().filter(|&&c| c == ChainIndex::NONE).count();
+            if n >= 1024 && (idx.tail.len() + singles) * 32 <= n {
+                return ClosureStore::Chains {
+                    rows: ChainRows::rect(0, 0),
+                    idx,
+                    dep_preds: vec![Vec::new(); n],
+                };
+            }
+            OracleKind::Dense
+        } else {
+            kind
+        };
+        match kind {
+            OracleKind::Dense => {
+                ClosureStore::Dense { closure: BitMatrix::rect(0, 0), dep_in: BitMatrix::new(n) }
+            }
+            OracleKind::Chains => ClosureStore::Chains {
+                rows: ChainRows::rect(0, 0),
+                idx: chain_cover(n, known),
+                dep_preds: vec![Vec::new(); n],
+            },
+            OracleKind::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+
+    fn kind(&self) -> OracleKind {
+        match self {
+            ClosureStore::Dense { .. } => OracleKind::Dense,
+            ClosureStore::Chains { .. } => OracleKind::Chains,
+        }
+    }
+
+    /// Allocate the closure rows for `n` transactions (post-topo-sort).
+    fn alloc_rows(&mut self, n: usize) {
+        match self {
+            ClosureStore::Dense { closure, .. } => *closure = BitMatrix::rect(2 * n, n),
+            ClosureStore::Chains { rows, idx, .. } => {
+                *rows = ChainRows::rect(2 * n, idx.tail.len())
+            }
+        }
+    }
+
+    /// Whether layered node `src` reaches boundary transaction `dst`.
+    #[inline]
+    fn reach(&self, src: usize, dst: usize) -> bool {
+        match self {
+            ClosureStore::Dense { closure, .. } => closure.get(src, dst),
+            ClosureStore::Chains { rows, idx, .. } => {
+                let c = idx.chain_of[dst];
+                c != ChainIndex::NONE && rows.get(src, c as usize) <= idx.pos[dst]
+            }
+        }
+    }
+
+    /// Record the direct edge target `dst` in `src`'s row; returns
+    /// whether the row grew.
+    #[inline]
+    fn set_fresh(&mut self, src: usize, dst: usize) -> bool {
+        match self {
+            ClosureStore::Dense { closure, .. } => closure.set_fresh(src, dst),
+            ClosureStore::Chains { rows, idx, .. } => {
+                let c = idx.ensure_chain(dst, rows);
+                rows.min_set(src, c as usize, idx.pos[dst])
+            }
+        }
+    }
+
+    /// Absorb `src`'s row into `dst`'s; returns whether `dst` grew.
+    #[inline]
+    fn merge_rows(&mut self, src: usize, dst: usize) -> bool {
+        match self {
+            ClosureStore::Dense { closure, .. } => closure.or_row_into(src, dst),
+            ClosureStore::Chains { rows, .. } => rows.min_row_into(src, dst),
+        }
+    }
+
+    /// Record a known `Dep` edge `from → to`.
+    fn record_dep(&mut self, from: usize, to: usize) {
+        match self {
+            ClosureStore::Dense { dep_in, .. } => dep_in.set(to, from),
+            ClosureStore::Chains { dep_preds, .. } => {
+                let v = &mut dep_preds[to];
+                if let Err(i) = v.binary_search(&(from as u32)) {
+                    v.insert(i, from as u32);
+                }
+            }
+        }
+    }
+
+    /// Whether `p` has a known `Dep` edge into `of`.
+    #[inline]
+    fn is_dep_pred(&self, of: usize, p: usize) -> bool {
+        match self {
+            ClosureStore::Dense { dep_in, .. } => dep_in.get(of, p),
+            ClosureStore::Chains { dep_preds, .. } => {
+                dep_preds[of].binary_search(&(p as u32)).is_ok()
+            }
+        }
+    }
+
+    /// Whether layered node `src` reaches some `Dep` predecessor of `of`.
+    fn reaches_dep_pred(&self, src: usize, of: usize) -> bool {
+        match self {
+            ClosureStore::Dense { closure, dep_in } => closure.row_intersects(src, dep_in.row(of)),
+            ClosureStore::Chains { dep_preds, .. } => {
+                dep_preds[of].iter().any(|&p| self.reach(src, p as usize))
+            }
+        }
+    }
+
+    /// The `Dep` predecessors of `of`, ascending (witness selection
+    /// order — identical in both representations).
+    fn dep_pred_iter<'a>(&'a self, of: usize) -> Box<dyn Iterator<Item = usize> + 'a> {
+        match self {
+            ClosureStore::Dense { dep_in, .. } => Box::new(dep_in.iter_row(of)),
+            ClosureStore::Chains { dep_preds, .. } => {
+                Box::new(dep_preds[of].iter().map(|&p| p as usize))
+            }
+        }
+    }
+
+    /// Extend a session chain: when flushing the `So` edge `f → t` and
+    /// `t` is still unplaced — no closure row references it, so moving
+    /// it is free — append `t` after `f` (placing `f` first if needed;
+    /// an unplaced `f` is trivially its own tail). The flushed edge
+    /// itself is the chain link that keeps per-chain reachability
+    /// up-closed. Streamed transactions join their session's chain this
+    /// way instead of accumulating singleton columns.
+    fn try_chain_append(&mut self, f: usize, t: usize) {
+        if let ClosureStore::Chains { rows, idx, .. } = self {
+            if idx.chain_of[t] != ChainIndex::NONE {
+                return;
+            }
+            let cf = match idx.chain_of[f] {
+                ChainIndex::NONE => {
+                    let c = idx.alloc(rows);
+                    idx.chain_of[f] = c;
+                    idx.pos[f] = 0;
+                    idx.tail[c as usize] = f as u32;
+                    c
+                }
+                c if idx.tail[c as usize] == f as u32 => c,
+                _ => return,
+            };
+            idx.chain_of[t] = cf;
+            idx.pos[t] = idx.pos[f] + 1;
+            idx.tail[cf as usize] = t as u32;
+        }
+    }
+
+    /// Bytes of closure + dep-index storage (memory accounting).
+    fn bytes(&self) -> usize {
+        match self {
+            ClosureStore::Dense { closure, dep_in } => closure.bytes() + dep_in.bytes(),
+            ClosureStore::Chains { rows, dep_preds, .. } => {
+                rows.bytes() + dep_preds.iter().map(|v| v.len() * 4).sum::<usize>()
+            }
+        }
+    }
+}
 
 /// Reachability oracle over the known induced SI graph.
 ///
@@ -38,10 +376,9 @@ pub struct KnownGraph {
     /// Reverse layered adjacency (sources per node): the ancestor
     /// iteration order of incremental closure updates.
     radj: Vec<Vec<u32>>,
-    /// `dep_in.row(j)` = transactions with a known `Dep` edge into `j`.
-    dep_in: BitMatrix,
-    /// Closure rows over layered nodes (2n × n columns, boundary targets).
-    closure: BitMatrix,
+    /// Closure rows + `Dep` predecessor index, in the representation
+    /// selected at build time ([`OracleKind`]).
+    store: ClosureStore,
     /// Topological priority of each layered node (a permutation of
     /// `0..2n`), maintained dynamically across insertions.
     ord: Vec<u32>,
@@ -55,6 +392,14 @@ pub struct KnownGraph {
     /// is recovered by composing at-flush closure segments with these
     /// explicit edges.
     pending: Vec<(u32, u32)>,
+    /// Session-chain extensions (`So f → t`) staged alongside [`Self::pending`]
+    /// and applied at the start of the next flush. Deferring the append
+    /// keeps the chain store bit-equivalent to the dense closure at every
+    /// stage-time query point: appending `t` to `f`'s chain makes every
+    /// row that reaches `f` implicitly reach `t`, which is exactly what
+    /// the flush's propagation wave for that edge establishes — never
+    /// earlier.
+    pending_chain: Vec<(u32, u32)>,
     // Pearce–Kelly DFS scratch (stamped to avoid clearing).
     stamp: u32,
     visited: Vec<u32>,
@@ -99,10 +444,28 @@ impl KnownGraph {
     /// `SO ∪ WR ∪ WW ∪ RW`. The SI-specific queries
     /// ([`Self::rw_closes_cycle`], [`Self::witness_pred`],
     /// [`Self::dep_edge_between`]) are meaningful only for SI-built graphs.
+    /// Always builds the dense closure; use
+    /// [`KnownGraph::build_with_oracle`] to select a representation.
     pub fn build_with(n: usize, known: &[Edge], semantics: Semantics) -> KnownGraphResult {
+        Self::build_with_oracle(n, known, semantics, OracleKind::Dense)
+    }
+
+    /// [`KnownGraph::build_with`] with an explicit closure representation.
+    /// `Auto` measures the history's session-chain cover and picks chains
+    /// exactly when the component is large (n ≥ 1024) and a chain row
+    /// (`4·chains` bytes) undercuts a dense bit row (`n/8` bytes). The
+    /// representation is invisible to every query: answers, cycle
+    /// verdicts, witnesses, and even the propagation counters are
+    /// byte-identical across kinds.
+    pub fn build_with_oracle(
+        n: usize,
+        known: &[Edge],
+        semantics: Semantics,
+        kind: OracleKind,
+    ) -> KnownGraphResult {
         let mut adj: Vec<Vec<(u32, Edge)>> = vec![Vec::new(); 2 * n];
         let mut radj: Vec<Vec<u32>> = vec![Vec::new(); 2 * n];
-        let mut dep_in = BitMatrix::new(n);
+        let mut store = ClosureStore::new(n, known, kind);
         for &e in known {
             let (f, t) = (e.from.0, e.to.0);
             debug_assert_ne!(f, t, "self edges are malformed: {e:?}");
@@ -112,7 +475,7 @@ impl KnownGraph {
                 if semantics == Semantics::Si {
                     adj[b(f) as usize].push((n as u32 + t, e));
                     radj[(n as u32 + t) as usize].push(b(f));
-                    dep_in.set(t as usize, f as usize);
+                    store.record_dep(f as usize, t as usize);
                 }
             } else {
                 adj[(n as u32 + f) as usize].push((b(t), e));
@@ -124,12 +487,12 @@ impl KnownGraph {
             semantics,
             adj,
             radj,
-            dep_in,
-            closure: BitMatrix::rect(0, 0),
+            store,
             ord: vec![0; 2 * n],
             closure_updates: 0,
             inserted_edges: 0,
             pending: Vec::new(),
+            pending_chain: Vec::new(),
             stamp: 0,
             visited: vec![0; 2 * n],
             grown: vec![0; 2 * n],
@@ -177,17 +540,16 @@ impl KnownGraph {
     /// Reverse-topological DP: `closure[u]` = boundary transactions
     /// reachable from layered node `u`.
     fn compute_closure(&mut self, order: &[u32]) {
-        let mut closure = BitMatrix::rect(2 * self.n, self.n);
+        self.store.alloc_rows(self.n);
         for &u in order.iter().rev() {
             for i in 0..self.adj[u as usize].len() {
                 let v = self.adj[u as usize][i].0;
                 if (v as usize) < self.n {
-                    closure.set(u as usize, v as usize);
+                    self.store.set_fresh(u as usize, v as usize);
                 }
-                closure.or_row_into(v as usize, u as usize);
+                self.store.merge_rows(v as usize, u as usize);
             }
         }
-        self.closure = closure;
     }
 
     /// Positions of the boundary nodes in a topological order of the known
@@ -214,10 +576,28 @@ impl KnownGraph {
         self.inserted_edges
     }
 
+    /// The closure representation this oracle stores (never `Auto`).
+    pub fn oracle_kind(&self) -> OracleKind {
+        self.store.kind()
+    }
+
+    /// Bytes of closure + dep-index storage (memory accounting; the
+    /// figure the `Auto` heuristic and the bench memory columns compare).
+    pub fn oracle_bytes(&self) -> usize {
+        self.store.bytes()
+    }
+
     /// The raw closure matrix (2n layered rows × n boundary columns), for
     /// diagnostics and equivalence tests against a from-scratch build.
+    /// Dense-only: panics on a chain-decomposition oracle (compare
+    /// through [`Self::reaches`] instead).
     pub fn closure(&self) -> &BitMatrix {
-        &self.closure
+        match &self.store {
+            ClosureStore::Dense { closure, .. } => closure,
+            ClosureStore::Chains { .. } => {
+                panic!("closure() is a dense-only diagnostic accessor")
+            }
+        }
     }
 
     /// Extend the vertex space to `n2` transactions (`n2 ≥ n`), adding
@@ -256,14 +636,28 @@ impl KnownGraph {
             ord[i] = next;
         }
         self.ord = ord;
-        self.dep_in = self.dep_in.remapped(n2, n2, |r| (r < n).then_some(r));
-        self.closure = self.closure.remapped(2 * n2, n2, |r| {
+        let layered_src = |r: usize| {
             if r < n2 {
                 (r < n).then_some(r)
             } else {
                 (r - n2 < n).then_some(r - n2 + n)
             }
-        });
+        };
+        match &mut self.store {
+            ClosureStore::Dense { closure, dep_in } => {
+                *dep_in = dep_in.remapped(n2, n2, |r| (r < n).then_some(r));
+                *closure = closure.remapped(2 * n2, n2, layered_src);
+            }
+            ClosureStore::Chains { rows, idx, dep_preds } => {
+                // Chain columns are index-stable; only the rows remap.
+                // New transactions stay unplaced until their session `So`
+                // edge (or first reachability reference) arrives.
+                *rows = rows.remapped(2 * n2, layered_src);
+                idx.chain_of.resize(n2, ChainIndex::NONE);
+                idx.pos.resize(n2, 0);
+                dep_preds.resize(n2, Vec::new());
+            }
+        }
         self.visited = vec![0; 2 * n2];
         self.grown = vec![0; 2 * n2];
         self.n = n2;
@@ -383,7 +777,14 @@ impl KnownGraph {
     /// No-op when nothing is pending.
     pub fn flush_closure(&mut self) {
         if self.pending.is_empty() {
+            debug_assert!(self.pending_chain.is_empty(), "chain append without a staged edge");
             return;
+        }
+        // Extend session chains for the `So` edges of this batch before
+        // propagating them: the implicit suffix reachability the append
+        // grants is exactly what the wave below establishes densely.
+        for (f, t) in std::mem::take(&mut self.pending_chain) {
+            self.store.try_chain_append(f as usize, t as usize);
         }
         self.stamp += 1;
         let stamp = self.stamp;
@@ -420,9 +821,9 @@ impl KnownGraph {
                 }
                 let v = lv as usize;
                 if v < self.n {
-                    grew |= self.closure.set_fresh(u, v);
+                    grew |= self.store.set_fresh(u, v);
                 }
-                grew |= self.closure.or_row_into(v, u);
+                grew |= self.store.merge_rows(v, u);
             }
             if !grew {
                 continue;
@@ -431,7 +832,7 @@ impl KnownGraph {
             self.closure_updates += 1;
             for i in 0..self.radj[u].len() {
                 let w = self.radj[u][i] as usize;
-                if self.closure.or_row_into(u, w) && self.grown[w] != stamp {
+                if self.store.merge_rows(u, w) && self.grown[w] != stamp {
                     self.grown[w] = stamp;
                     if self.visited[w] != stamp {
                         self.visited[w] = stamp;
@@ -527,7 +928,7 @@ impl KnownGraph {
         // Pearce–Kelly reorder a backward-priority insertion would pay.
         if !e.label.is_dep() {
             let (lu, lv) = layered[0];
-            let redundant = if bulk { self.closure.get(lu, lv) } else { self.reach_exact(lu, lv) };
+            let redundant = if bulk { self.store.reach(lu, lv) } else { self.reach_exact(lu, lv) };
             if redundant {
                 self.inserted_edges += 1;
                 return true;
@@ -552,7 +953,12 @@ impl KnownGraph {
             self.pending.push((lu as u32, lv as u32));
         }
         if self.semantics == Semantics::Si && e.label.is_dep() {
-            self.dep_in.set(t, f);
+            self.store.record_dep(f, t);
+        }
+        if matches!(e.label, Label::So) && matches!(self.store, ClosureStore::Chains { .. }) {
+            // Applied when the edge's closure propagation flushes — see
+            // the `pending_chain` field docs for why not here.
+            self.pending_chain.push((f as u32, t as u32));
         }
         self.inserted_edges += 1;
         true
@@ -564,7 +970,7 @@ impl KnownGraph {
     /// closure lookups plus a BFS over the (small, per-phase) pending-edge
     /// list are complete; with nothing pending this is one bit test.
     fn reach_exact(&self, src: usize, dst: usize) -> bool {
-        if self.closure.get(src, dst) {
+        if self.store.reach(src, dst) {
             return true;
         }
         if self.pending.is_empty() {
@@ -576,7 +982,7 @@ impl KnownGraph {
             let i = rest.trailing_zeros() as usize;
             rest &= rest - 1;
             let v = self.pending[i].1 as usize;
-            if v == dst || self.closure.get(v, dst) {
+            if v == dst || self.store.reach(v, dst) {
                 return true;
             }
             let new = self.pending_reached_from(v) & !frontier;
@@ -627,11 +1033,11 @@ impl KnownGraph {
             return true;
         }
         if y < self.n {
-            return self.closure.get(x, y);
+            return self.store.reach(x, y);
         }
         let pend = self.pending.iter().filter(|&&(_, v)| v as usize == y).count();
         let ins = &self.radj[y];
-        ins[..ins.len() - pend].iter().any(|&p| x == p as usize || self.closure.get(x, p as usize))
+        ins[..ins.len() - pend].iter().any(|&p| x == p as usize || self.store.reach(x, p as usize))
     }
 
     /// Pending-aware [`Self::rw_closes_cycle`]: after the stale row
@@ -639,11 +1045,10 @@ impl KnownGraph {
     /// pending BFS from `to` runs once, and each reached staged target's
     /// closure row is intersected against the `dep_in` row.
     fn rw_closes_cycle_exact(&self, from: TxnId, to: TxnId) -> bool {
-        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+        if self.store.is_dep_pred(from.idx(), to.idx()) {
             return true;
         }
-        let dep_row = self.dep_in.row(from.0 as usize);
-        if self.closure.row_intersects(b(to.0) as usize, dep_row) {
+        if self.store.reaches_dep_pred(b(to.0) as usize, from.idx()) {
             return true;
         }
         if self.pending.is_empty() {
@@ -654,10 +1059,10 @@ impl KnownGraph {
             let i = reached.trailing_zeros() as usize;
             reached &= reached - 1;
             let v = self.pending[i].1 as usize;
-            if v < self.n && (dep_row[v / 64] >> (v % 64) & 1 == 1) {
+            if v < self.n && self.store.is_dep_pred(from.idx(), v) {
                 return true;
             }
-            if self.closure.row_intersects(v, dep_row) {
+            if self.store.reaches_dep_pred(v, from.idx()) {
                 return true;
             }
         }
@@ -666,12 +1071,12 @@ impl KnownGraph {
 
     /// Pending-aware [`Self::witness_pred`].
     fn witness_pred_exact(&self, from: TxnId, to: TxnId) -> TxnId {
-        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+        if self.store.is_dep_pred(from.idx(), to.idx()) {
             return to;
         }
         let reached = self.pending_closure_from(to.idx());
         let exact_reach = |p: usize| {
-            if self.closure.get(to.idx(), p) {
+            if self.store.reach(to.idx(), p) {
                 return true;
             }
             let mut rest = reached;
@@ -679,14 +1084,14 @@ impl KnownGraph {
                 let i = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
                 let v = self.pending[i].1 as usize;
-                if v == p || self.closure.get(v, p) {
+                if v == p || self.store.reach(v, p) {
                     return true;
                 }
             }
             false
         };
-        self.dep_in
-            .iter_row(from.0 as usize)
+        self.store
+            .dep_pred_iter(from.idx())
             .map(|p| TxnId(p as u32))
             .find(|&p| exact_reach(p.idx()))
             .expect("rw_closes_cycle held")
@@ -761,7 +1166,7 @@ impl KnownGraph {
     #[inline]
     pub fn reaches(&self, a: TxnId, w: TxnId) -> bool {
         debug_assert!(self.pending.is_empty(), "query on an unflushed oracle");
-        self.closure.get(b(a.0) as usize, w.0 as usize)
+        self.store.reach(b(a.0) as usize, w.0 as usize)
     }
 
     /// Whether adding the `RW` edge `from → to` would close a cycle:
@@ -769,21 +1174,21 @@ impl KnownGraph {
     /// `to == prec` or `to ⇝ prec` (Figure 4b of the paper).
     pub fn rw_closes_cycle(&self, from: TxnId, to: TxnId) -> bool {
         debug_assert!(self.pending.is_empty(), "query on an unflushed oracle");
-        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+        if self.store.is_dep_pred(from.idx(), to.idx()) {
             return true;
         }
-        self.closure.row_intersects(b(to.0) as usize, self.dep_in.row(from.0 as usize))
+        self.store.reaches_dep_pred(b(to.0) as usize, from.idx())
     }
 
     /// Some `Dep` predecessor of `from` that `to` can reach (or equals),
     /// for witness construction. Must be called only if
     /// [`Self::rw_closes_cycle`] holds.
     pub fn witness_pred(&self, from: TxnId, to: TxnId) -> TxnId {
-        if self.dep_in.get(from.0 as usize, to.0 as usize) {
+        if self.store.is_dep_pred(from.idx(), to.idx()) {
             return to;
         }
-        self.dep_in
-            .iter_row(from.0 as usize)
+        self.store
+            .dep_pred_iter(from.idx())
             .map(|p| TxnId(p as u32))
             .find(|&p| self.reaches(to, p))
             .expect("rw_closes_cycle held")
@@ -1173,6 +1578,151 @@ mod tests {
         // ...and a back edge closes a plain cycle.
         let err = g.insert_edges(&[rw(2, 0)]).unwrap_err();
         assert_eq!(err.len(), 3);
+    }
+
+    fn acyclic_chains(n: usize, edges: &[Edge]) -> Box<KnownGraph> {
+        match KnownGraph::build_with_oracle(n, edges, Semantics::Si, OracleKind::Chains) {
+            KnownGraphResult::Acyclic(g) => g,
+            KnownGraphResult::Cyclic(c) => panic!("unexpected cycle {c:?}"),
+        }
+    }
+
+    fn assert_oracles_agree(a: &KnownGraph, b: &KnownGraph, n: usize, ctx: &str) {
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                assert_eq!(
+                    a.reaches(TxnId(x), TxnId(y)),
+                    b.reaches(TxnId(x), TxnId(y)),
+                    "{ctx}: reaches({x}, {y})"
+                );
+                if x != y {
+                    assert_eq!(
+                        a.rw_closes_cycle(TxnId(x), TxnId(y)),
+                        b.rw_closes_cycle(TxnId(x), TxnId(y)),
+                        "{ctx}: rw_closes_cycle({x}, {y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chain_oracle_matches_dense_build() {
+        // Two session chains plus cross-session dependencies and a
+        // session-free transaction (5).
+        let edges =
+            [so(0, 1), so(1, 2), so(3, 4), wr(0, 3), wr(2, 4), rw(4, 5), wr(1, 5), rw(2, 3)];
+        let dense = acyclic(6, &edges);
+        let chains = acyclic_chains(6, &edges);
+        assert_eq!(chains.oracle_kind(), OracleKind::Chains);
+        assert_eq!(dense.oracle_kind(), OracleKind::Dense);
+        assert_oracles_agree(&dense, &chains, 6, "build");
+    }
+
+    #[test]
+    fn chain_oracle_incremental_matches_dense() {
+        let initial = [so(0, 1), so(2, 3), wr(1, 2)];
+        let extra = [ww(3, 4), rw(4, 5), wr(0, 5), ww(1, 4)];
+        let mut dense = acyclic(6, &initial);
+        let mut chains = acyclic_chains(6, &initial);
+        dense.insert_edges(&extra).expect("acyclic");
+        chains.insert_edges(&extra).expect("acyclic");
+        assert_oracles_agree(&dense, &chains, 6, "incremental");
+        // Same propagation-operation unit, but chain suffixes absorb some
+        // dense row growth for free — never the other way around.
+        assert!(chains.closure_updates() <= dense.closure_updates(), "neutral counter");
+        assert!(chains.closure_updates() > 0);
+        assert_eq!(dense.inserted_edges(), chains.inserted_edges());
+        assert_eq!(dense.topo_positions(), chains.topo_positions());
+    }
+
+    #[test]
+    fn chain_oracle_rejects_same_cycles_with_same_witness() {
+        let initial = [so(0, 1), wr(1, 2)];
+        let closing = [ww(2, 3), rw(3, 0)];
+        let mut dense = acyclic(4, &initial);
+        let mut chains = acyclic_chains(4, &initial);
+        let e1 = dense.insert_edges(&closing).unwrap_err();
+        let e2 = chains.insert_edges(&closing).unwrap_err();
+        assert_eq!(e1, e2, "witness cycles must be byte-identical");
+    }
+
+    #[test]
+    fn chain_oracle_grow_appends_sessions() {
+        let initial = [so(0, 1), wr(1, 2)];
+        let mut dense = acyclic(3, &initial);
+        let mut chains = acyclic_chains(3, &initial);
+        dense.grow(6);
+        chains.grow(6);
+        // Session 0 continues into the new vertex space; 4, 5 start a
+        // new session; cross edges tie them in.
+        let extra = [so(1, 3), so(4, 5), wr(3, 4), ww(2, 4), rw(2, 5)];
+        dense.insert_edges(&extra).expect("acyclic after growth");
+        chains.insert_edges(&extra).expect("acyclic after growth");
+        assert_oracles_agree(&dense, &chains, 6, "grow");
+        assert!(chains.closure_updates() <= dense.closure_updates());
+        // The chain oracle keeps its column budget near the session
+        // count: 2 sessions + the lone txn 2, not one column per node.
+        assert!(chains.oracle_bytes() < dense.oracle_bytes() * 8);
+    }
+
+    #[test]
+    fn chain_oracle_bulk_and_deferred_match_dense() {
+        let initial = [so(0, 1), so(1, 2), so(3, 4)];
+        let batch = [wr(0, 3), rw(4, 1), ww(2, 5), wr(3, 5)];
+        let mut dense = acyclic(6, &initial);
+        let mut chains = acyclic_chains(6, &initial);
+        dense.insert_edges_bulk(&batch).expect("acyclic");
+        chains.insert_edges_bulk(&batch).expect("acyclic");
+        assert_oracles_agree(&dense, &chains, 6, "bulk");
+
+        let mut dense_d = acyclic(6, &initial);
+        let mut chains_d = acyclic_chains(6, &initial);
+        dense_d.insert_edges_deferred(&batch).expect("acyclic");
+        chains_d.insert_edges_deferred(&batch).expect("acyclic");
+        dense_d.flush_closure();
+        chains_d.flush_closure();
+        assert_oracles_agree(&dense_d, &chains_d, 6, "deferred");
+    }
+
+    #[test]
+    fn auto_resolution_follows_the_memory_heuristic() {
+        // Small component: dense regardless of session shape.
+        let g = match KnownGraph::build_with_oracle(3, &[so(0, 1)], Semantics::Si, OracleKind::Auto)
+        {
+            KnownGraphResult::Acyclic(g) => g,
+            _ => panic!("acyclic"),
+        };
+        assert_eq!(g.oracle_kind(), OracleKind::Dense);
+        // Large two-session component: chains win (2 chains × 4 bytes
+        // vs 2000-bit rows).
+        let n = 2000;
+        let mut edges = Vec::new();
+        for s in [0u32, 1] {
+            for i in 0..(n as u32 / 2 - 1) {
+                edges.push(so(s * n as u32 / 2 + i, s * n as u32 / 2 + i + 1));
+            }
+        }
+        let g = match KnownGraph::build_with_oracle(n, &edges, Semantics::Si, OracleKind::Auto) {
+            KnownGraphResult::Acyclic(g) => g,
+            _ => panic!("acyclic"),
+        };
+        assert_eq!(g.oracle_kind(), OracleKind::Chains);
+        assert_eq!(OracleKind::parse("chains"), Some(OracleKind::Chains));
+        assert_eq!(OracleKind::parse("bogus"), None);
+        assert_eq!(OracleKind::Auto.name(), "auto");
+    }
+
+    #[test]
+    fn chain_oracle_under_ser_semantics() {
+        let edges = [so(0, 1), so(1, 2), wr(2, 3)];
+        let mut g =
+            match KnownGraph::build_with_oracle(4, &edges, Semantics::Ser, OracleKind::Chains) {
+                KnownGraphResult::Acyclic(g) => g,
+                KnownGraphResult::Cyclic(c) => panic!("unexpected cycle {c:?}"),
+            };
+        g.insert_edges(&[rw(3, 0)]).unwrap_err();
+        assert!(g.reaches(TxnId(0), TxnId(3)));
     }
 
     #[test]

@@ -31,5 +31,5 @@ mod polygraph;
 
 pub use constraint::Constraint;
 pub use edge::{Edge, Label};
-pub use graph::{KnownGraph, KnownGraphResult};
+pub use graph::{KnownGraph, KnownGraphResult, OracleKind};
 pub use polygraph::{ConstraintMode, Polygraph, PruneOptions, PruneResult, PruneStats, Semantics};

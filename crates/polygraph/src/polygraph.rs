@@ -4,7 +4,7 @@
 
 use crate::constraint::Constraint;
 use crate::edge::{Edge, Label};
-use crate::graph::{KnownGraph, KnownGraphResult};
+use crate::graph::{KnownGraph, KnownGraphResult, OracleKind};
 use polysi_history::{Facts, History, ShardComponent, TxnId, WrSource};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -72,7 +72,11 @@ pub struct PruneStats {
     /// From-scratch reachability-oracle builds: 1 on the incremental path,
     /// one per pass on the rebuild path.
     pub graph_builds: usize,
-    /// Closure rows grown by incremental `insert_edges` updates.
+    /// Closure propagation operations: rows grown by incremental
+    /// `insert_edges` updates. Oracle-neutral in unit (one grown row is
+    /// one propagation op in either representation), so dense-vs-chains
+    /// bench rows compare directly; the chain oracle's implicit session
+    /// suffixes typically make its count *smaller* on the same input.
     pub closure_updates: usize,
     /// Typed edges fed to the oracle incrementally (resolved constraint
     /// sides).
@@ -138,6 +142,12 @@ pub struct PruneOptions {
     /// either way; `false` keeps the per-edge propagation for the `prune`
     /// bench's ablation rows.
     pub batch: bool,
+    /// Reachability-oracle representation ([`OracleKind`]): dense
+    /// `BitMatrix` closure rows, per-session chain-position rows, or
+    /// `Auto` (chains when the session count keeps a chain row cheaper
+    /// than an `n`-bit dense row). Pure representation knob — queries,
+    /// verdicts, and witnesses are byte-identical for any setting.
+    pub oracle: OracleKind,
 }
 
 impl Default for PruneOptions {
@@ -148,6 +158,7 @@ impl Default for PruneOptions {
             chunk_size: 0,
             parallel_min: PARALLEL_SWEEP_MIN,
             batch: true,
+            oracle: OracleKind::Auto,
         }
     }
 }
@@ -227,6 +238,11 @@ impl Polygraph {
         KnownGraph::build_with(self.n, &self.known, self.semantics)
     }
 
+    /// [`Polygraph::known_graph`] with an explicit oracle representation.
+    pub fn known_graph_with(&self, kind: OracleKind) -> KnownGraphResult {
+        KnownGraph::build_with_oracle(self.n, &self.known, self.semantics, kind)
+    }
+
     /// Prune constraints to a fixpoint (procedure `PruneConstraints`,
     /// Algorithm 1 lines 10–32) with the default [`PruneOptions`]:
     /// sequential sweep, incremental oracle.
@@ -278,7 +294,7 @@ impl Polygraph {
             ..Default::default()
         };
         let t_first = Instant::now();
-        let kg = match self.known_graph() {
+        let kg = match self.known_graph_with(opts.oracle) {
             KnownGraphResult::Acyclic(g) => g,
             KnownGraphResult::Cyclic(cycle) => return (PruneResult::Violation(cycle), None),
         };
@@ -396,7 +412,7 @@ impl Polygraph {
             // the rebuild-vs-incremental counters compare) would land in
             // neither timing bucket.
             if changed && !opts.incremental {
-                kg = match self.known_graph() {
+                kg = match self.known_graph_with(opts.oracle) {
                     KnownGraphResult::Acyclic(g) => g,
                     KnownGraphResult::Cyclic(cycle) => {
                         return (PruneResult::Violation(cycle), None)

@@ -1,0 +1,282 @@
+//! Differential oracle property tests: the chain-decomposition closure
+//! ([`OracleKind::Chains`]) must be *indistinguishable* from the dense
+//! `BitMatrix` closure under any random interleaving of
+//! `insert_edges` / `insert_edges_deferred` / `insert_edges_bulk` / `grow`
+//! — identical reachability answers, identical topological validity,
+//! identical cycle verdicts at identical points, byte-identical witness
+//! cycles, and identical propagation counters — under both SI and SER
+//! semantics. Extends the `incremental_prop` patterns (including the
+//! deferred≡eager check) to the two-representation setting.
+
+use polysi_history::{Key, TxnId};
+use polysi_polygraph::{Edge, KnownGraph, KnownGraphResult, Label, OracleKind, Semantics};
+use proptest::prelude::*;
+
+/// How one batch of edges is applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// `insert_edges` (stage + flush per call).
+    Eager,
+    /// `insert_edges_deferred` (flush only at batch-plan boundaries).
+    Deferred,
+    /// `insert_edges_bulk` (one flush per call, unbounded pending).
+    Bulk,
+}
+
+/// A random edge set plus an application schedule: initial build over a
+/// (possibly smaller) vertex space, then batches of the given sizes and
+/// modes, growing the oracle just-in-time when a batch references
+/// transactions beyond the current space.
+#[derive(Debug, Clone)]
+struct Plan {
+    n0: usize,
+    edges: Vec<Edge>,
+    initial: usize,
+    batches: Vec<(usize, Mode)>,
+    semantics: Semantics,
+}
+
+fn edge_strategy(n: u32) -> impl Strategy<Value = Edge> {
+    (0..n, 0..n - 1, 0u8..4, 0u64..3).prop_map(move |(f, t0, kind, key)| {
+        // Skew `t` so self-edges never occur.
+        let t = if t0 >= f { t0 + 1 } else { t0 };
+        let label = match kind {
+            0 => Label::So,
+            1 => Label::Wr(Key(key)),
+            2 => Label::Ww(Key(key)),
+            _ => Label::Rw(Key(key)),
+        };
+        Edge::new(TxnId(f), TxnId(t), label)
+    })
+}
+
+fn mode_strategy() -> impl Strategy<Value = Mode> {
+    (0u8..3).prop_map(|m| match m {
+        0 => Mode::Eager,
+        1 => Mode::Deferred,
+        _ => Mode::Bulk,
+    })
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (3u32..10, any::<bool>()).prop_flat_map(|(n, ser)| {
+        let edges = prop::collection::vec(edge_strategy(n), 0..20);
+        let batches = prop::collection::vec((1usize..5, mode_strategy()), 1..5);
+        (edges, batches, 0usize..6, 1u32..n).prop_map(move |(edges, batches, initial, n0)| {
+            let initial = initial.min(edges.len());
+            // The initial vertex space must cover the initial build.
+            let floor =
+                edges[..initial].iter().map(|e| e.from.0.max(e.to.0) + 1).max().unwrap_or(1);
+            Plan {
+                n0: n0.max(floor) as usize,
+                edges,
+                initial,
+                batches,
+                semantics: if ser { Semantics::Ser } else { Semantics::Si },
+            }
+        })
+    })
+}
+
+/// Check a violating cycle: edges chain up, the cycle closes, every edge
+/// is drawn from `allowed`, and under SI no two `RW` edges are adjacent.
+fn assert_valid_cycle(cycle: &[Edge], allowed: &[Edge], semantics: Semantics) {
+    assert!(!cycle.is_empty(), "empty witness");
+    for (i, e) in cycle.iter().enumerate() {
+        let next = &cycle[(i + 1) % cycle.len()];
+        assert_eq!(e.to, next.from, "cycle does not chain: {cycle:?}");
+        assert!(allowed.contains(e), "witness edge {e:?} was never inserted");
+        if semantics == Semantics::Si {
+            assert!(
+                e.label.is_dep() || next.label.is_dep(),
+                "adjacent RW edges in an SI witness: {cycle:?}"
+            );
+        }
+    }
+}
+
+/// Drive one oracle over the plan; `force` overrides every batch's mode.
+/// Returns the final (flushed) oracle and its vertex count on acceptance,
+/// or the edge position plus the witness on violation. Witnesses are
+/// structurally validated here, whichever representation produced them.
+fn drive(
+    plan: &Plan,
+    kind: OracleKind,
+    force: Option<Mode>,
+) -> Result<(Box<KnownGraph>, usize), (usize, Vec<Edge>)> {
+    let initial = &plan.edges[..plan.initial];
+    let mut g = match KnownGraph::build_with_oracle(plan.n0, initial, plan.semantics, kind) {
+        KnownGraphResult::Acyclic(g) => g,
+        KnownGraphResult::Cyclic(cycle) => {
+            assert_valid_cycle(&cycle, initial, plan.semantics);
+            return Err((plan.initial, cycle));
+        }
+    };
+    let mut cur_n = plan.n0;
+    let mut next = plan.initial;
+    let mut b = 0;
+    while next < plan.edges.len() {
+        let (size, mode) = plan.batches[b % plan.batches.len()];
+        let mode = force.unwrap_or(mode);
+        b += 1;
+        let end = (next + size).min(plan.edges.len());
+        let batch = &plan.edges[next..end];
+        let needed = batch.iter().map(|e| (e.from.0.max(e.to.0) + 1) as usize).max().unwrap_or(0);
+        if needed > cur_n {
+            g.flush_closure();
+            g.grow(needed);
+            cur_n = needed;
+        }
+        let staged = match mode {
+            Mode::Eager => g.insert_edges(batch),
+            Mode::Deferred => g.insert_edges_deferred(batch),
+            Mode::Bulk => g.insert_edges_bulk(batch),
+        };
+        match staged {
+            Ok(()) => next = end,
+            Err(cycle) => {
+                assert_valid_cycle(&cycle, &plan.edges[..end], plan.semantics);
+                return Err((end, cycle));
+            }
+        }
+    }
+    g.flush_closure();
+    Ok((g, cur_n))
+}
+
+/// Every observable of the two oracles must agree: queries, counters,
+/// maintained order.
+fn assert_indistinguishable(
+    dense: &KnownGraph,
+    chains: &KnownGraph,
+    n: usize,
+    semantics: Semantics,
+    plan: &Plan,
+) -> Result<(), TestCaseError> {
+    // Shared propagation-operation unit (satellite: oracle-neutral
+    // `closure_updates`); chain suffixes absorb some dense row growth for
+    // free, never the reverse.
+    prop_assert!(
+        chains.closure_updates() <= dense.closure_updates(),
+        "chain oracle propagated more than dense ({} > {}); plan={:?}",
+        chains.closure_updates(),
+        dense.closure_updates(),
+        plan
+    );
+    prop_assert_eq!(dense.inserted_edges(), chains.inserted_edges());
+    prop_assert_eq!(dense.topo_positions(), chains.topo_positions());
+    let pos = chains.topo_positions();
+    for a in 0..n as u32 {
+        for w in 0..n as u32 {
+            let (a, w) = (TxnId(a), TxnId(w));
+            prop_assert_eq!(dense.reaches(a, w), chains.reaches(a, w), "reaches({:?}, {:?})", a, w);
+            if semantics == Semantics::Si && a != w {
+                prop_assert_eq!(
+                    dense.rw_closes_cycle(a, w),
+                    chains.rw_closes_cycle(a, w),
+                    "rw_closes_cycle({:?}, {:?})",
+                    a,
+                    w
+                );
+            }
+            if a != w && chains.reaches(a, w) {
+                prop_assert!(
+                    pos[a.idx()] < pos[w.idx()],
+                    "positions contradict reachability {:?} -> {:?}",
+                    a,
+                    w
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The headline differential property: dense and chain oracles driven
+    /// through the same random schedule are indistinguishable — same
+    /// verdict at the same edge, byte-identical witnesses, identical
+    /// queries and counters on acceptance. On acceptance the
+    /// incrementally-grown chain oracle is additionally checked against a
+    /// from-scratch chain build (cover-assigned chains vs append-assigned
+    /// chains must answer identically).
+    #[test]
+    fn chain_oracle_is_indistinguishable_from_dense(plan in plan_strategy()) {
+        match (drive(&plan, OracleKind::Dense, None), drive(&plan, OracleKind::Chains, None)) {
+            (Ok((dense, n)), Ok((chains, n2))) => {
+                prop_assert_eq!(n, n2);
+                prop_assert_eq!(dense.oracle_kind(), OracleKind::Dense);
+                prop_assert_eq!(chains.oracle_kind(), OracleKind::Chains);
+                assert_indistinguishable(&dense, &chains, n, plan.semantics, &plan)?;
+                // From-scratch chain build over the full edge set.
+                let fresh = match KnownGraph::build_with_oracle(
+                    n, &plan.edges, plan.semantics, OracleKind::Chains,
+                ) {
+                    KnownGraphResult::Acyclic(f) => f,
+                    KnownGraphResult::Cyclic(c) => {
+                        return Err(TestCaseError::fail(format!(
+                            "incremental chains accepted a cyclic edge set: {c:?}"
+                        )));
+                    }
+                };
+                for a in 0..n as u32 {
+                    for w in 0..n as u32 {
+                        prop_assert_eq!(
+                            chains.reaches(TxnId(a), TxnId(w)),
+                            fresh.reaches(TxnId(a), TxnId(w)),
+                            "grown vs fresh chain oracle: reaches({}, {})", a, w
+                        );
+                    }
+                }
+            }
+            (Err((de, dc)), Err((ce, cc))) => {
+                prop_assert_eq!(de, ce, "violation surfaced at a different edge");
+                prop_assert_eq!(dc, cc, "witness cycles diverged");
+            }
+            (dense, chains) => {
+                return Err(TestCaseError::fail(format!(
+                    "verdicts diverged: dense={:?} chains={:?}",
+                    dense.is_ok(), chains.is_ok()
+                )));
+            }
+        }
+    }
+
+    /// Deferred≡eager, on the chain oracle: staging whole batches and
+    /// flushing late must be indistinguishable from flushing per call —
+    /// the pending-aware exact queries never depend on the chain rows'
+    /// staleness.
+    #[test]
+    fn chain_oracle_deferred_equals_eager(plan in plan_strategy()) {
+        match (
+            drive(&plan, OracleKind::Chains, Some(Mode::Eager)),
+            drive(&plan, OracleKind::Chains, Some(Mode::Deferred)),
+        ) {
+            (Ok((eager, n)), Ok((deferred, n2))) => {
+                prop_assert_eq!(n, n2);
+                for a in 0..n as u32 {
+                    for w in 0..n as u32 {
+                        prop_assert_eq!(
+                            eager.reaches(TxnId(a), TxnId(w)),
+                            deferred.reaches(TxnId(a), TxnId(w)),
+                            "reaches({}, {}) diverged between eager and deferred", a, w
+                        );
+                    }
+                }
+                prop_assert_eq!(eager.inserted_edges(), deferred.inserted_edges());
+            }
+            (Err((e_end, e_cycle)), Err((d_end, d_cycle))) => {
+                prop_assert_eq!(e_end, d_end, "violation surfaced at a different batch");
+                prop_assert_eq!(e_cycle, d_cycle, "witness cycles diverged");
+            }
+            (eager, deferred) => {
+                return Err(TestCaseError::fail(format!(
+                    "verdicts diverged: eager={:?} deferred={:?}",
+                    eager.is_ok(), deferred.is_ok()
+                )));
+            }
+        }
+    }
+}

@@ -24,7 +24,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--stream] [--checkpoints N]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--checkpoints N]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
     );
     ExitCode::from(2)
 }
@@ -218,6 +218,21 @@ fn main() -> ExitCode {
                                 return usage();
                             }
                         };
+                    }
+                    "--reach-oracle" => {
+                        i += 1;
+                        opts.reach_oracle =
+                            match args.get(i).and_then(|s| polysi::polygraph::OracleKind::parse(s))
+                            {
+                                Some(kind) => kind,
+                                None => {
+                                    eprintln!(
+                                        "--reach-oracle takes auto|dense|chains, got {:?}",
+                                        args.get(i)
+                                    );
+                                    return usage();
+                                }
+                            };
                     }
                     "--solve-threads" => {
                         i += 1;

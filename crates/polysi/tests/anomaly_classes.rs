@@ -8,8 +8,8 @@ use polysi::dbsim::corpus::generate_corpus;
 #[test]
 fn corpus_templates_classified_as_named() {
     // Enough entries to include at least one instance of each of the
-    // fourteen templates (they alternate with fault-injected draws).
-    let corpus = generate_corpus(34, 5);
+    // sixteen templates (they alternate with fault-injected draws).
+    let corpus = generate_corpus(38, 5);
     let mut seen = std::collections::HashSet::new();
     for entry in corpus {
         let Some(template) = entry.source.strip_prefix("template:") else {
@@ -23,7 +23,9 @@ fn corpus_templates_classified_as_named() {
                 | "sharded-lost-update"
                 | "so-chain-lost-update"
                 | "cascade-lost-update"
-                | "checkpoint-flip",
+                | "checkpoint-flip"
+                | "session-braid"
+                | "monolithic-session",
                 Outcome::CyclicViolation(v),
             ) => {
                 assert_eq!(v.anomaly, Anomaly::LostUpdate)
@@ -52,7 +54,7 @@ fn corpus_templates_classified_as_named() {
             (t, _) => panic!("template {t} produced the wrong outcome kind"),
         }
     }
-    assert_eq!(seen.len(), 14, "all fourteen templates exercised: {seen:?}");
+    assert_eq!(seen.len(), 16, "all sixteen templates exercised: {seen:?}");
 }
 
 #[test]

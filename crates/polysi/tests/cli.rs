@@ -65,7 +65,7 @@ fn stats_prints_counts() {
 /// Each entry is (file, expected exit code, required stdout substring).
 #[test]
 fn fixture_corpus_has_stable_verdicts() {
-    let fixtures: [(&str, i32, &str); 15] = [
+    let fixtures: [(&str, i32, &str); 17] = [
         ("long_fork.txt", 1, "long fork"),
         ("lost_update.txt", 1, "lost update"),
         ("write_skew.txt", 0, "OK"),
@@ -81,6 +81,8 @@ fn fixture_corpus_has_stable_verdicts() {
         ("solver_stress_clique.txt", 0, "OK"),
         ("late_arriving_anomaly.txt", 1, "long fork"),
         ("checkpoint_flip.txt", 1, "lost update"),
+        ("session_braid.txt", 1, "lost update"),
+        ("monolithic_session.txt", 1, "lost update"),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for (file, expected_code, needle) in fixtures {
@@ -302,7 +304,7 @@ fn fixture_corpus_parses_and_has_stats() {
         assert!(out.status.success(), "{}", path.display());
         assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
     }
-    assert_eq!(count, 15, "fixture corpus changed size without updating the verdict table");
+    assert_eq!(count, 17, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! Oracle-forced conformance sweep: the reachability oracle
+//! (`--reach-oracle dense|chains|auto`) is a pure representation choice
+//! inside the pruning/encoding known graph. Forcing each kind over the
+//! full conformance corpus must leave every engine report byte-identical
+//! — verdict, axiom-violation list, and canonical witness cycle — across
+//! sharding modes and at streaming checkpoints.
+
+use polysi::checker::engine::{check, EngineOptions, IsolationLevel, Sharding};
+use polysi::checker::{CheckReport, OracleKind, Outcome, StreamVerdict, StreamingChecker};
+use polysi::dbsim::testkit::{conformance_corpus, ConformanceCase};
+use polysi::history::{History, SessionId, TxnId};
+
+const ORACLES: [OracleKind; 3] = [OracleKind::Dense, OracleKind::Chains, OracleKind::Auto];
+
+/// The full corpus (engine-level sweep). Shared across tests: generation
+/// dominates their setup cost.
+fn corpus() -> &'static [ConformanceCase] {
+    static CORPUS: std::sync::OnceLock<Vec<ConformanceCase>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let cases = conformance_corpus(0xC0F_FEE, 2, 24);
+        assert!(cases.len() >= 50, "conformance corpus too small: {} cases", cases.len());
+        cases
+    })
+}
+
+/// A smaller corpus for the streaming sweep (each case replays with
+/// per-checkpoint solves, so the full corpus would dominate suite time).
+fn stream_corpus() -> &'static [ConformanceCase] {
+    static CORPUS: std::sync::OnceLock<Vec<ConformanceCase>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(|| conformance_corpus(0x0AC1E, 1, 14))
+}
+
+/// A stable digest of a report's full observable outcome (scenario
+/// excluded: it is derived from the cycle, not part of the verdict
+/// contract — and interpretation is off in this sweep anyway).
+fn digest(report: &CheckReport) -> String {
+    match &report.outcome {
+        Outcome::Si => "ok".into(),
+        Outcome::AxiomViolations(vs) => format!("axioms:{vs:?}"),
+        Outcome::CyclicViolation(v) => format!("cycle:{}:{:?}", v.anomaly, v.cycle),
+    }
+}
+
+fn options(sharding: Sharding, kind: OracleKind) -> EngineOptions {
+    EngineOptions { sharding, interpret: false, reach_oracle: kind, ..Default::default() }
+}
+
+/// Engine-level: every corpus case, both isolation levels, sharded and
+/// not — the three oracle kinds produce byte-identical reports, and each
+/// report records the kind it was configured with.
+#[test]
+fn oracle_choice_never_changes_engine_reports() {
+    for case in corpus() {
+        for isolation in [IsolationLevel::Si, IsolationLevel::Ser] {
+            for sharding in [Sharding::Off, Sharding::Auto] {
+                let digests: Vec<(OracleKind, String)> = ORACLES
+                    .iter()
+                    .map(|&kind| {
+                        let report = check(&case.history, isolation, &options(sharding, kind));
+                        assert_eq!(
+                            report.reach_oracle, kind,
+                            "{}: report does not record the configured oracle",
+                            case.name
+                        );
+                        (kind, digest(&report))
+                    })
+                    .collect();
+                let (baseline_kind, baseline) = &digests[0];
+                for (kind, d) in &digests[1..] {
+                    assert_eq!(
+                        d, baseline,
+                        "{}: {isolation:?}/{sharding:?}: {kind:?} diverged from {baseline_kind:?}",
+                        case.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Round-robin replay order (one transaction per session per round) —
+/// the CLI's `--stream` order.
+fn round_robin(h: &History) -> Vec<TxnId> {
+    let per_session: Vec<Vec<TxnId>> = h
+        .sessions()
+        .map(|s| (0..s.txns.len() as u32).map(|i| TxnId(s.first.0 + i)).collect())
+        .collect();
+    let mut cursors = vec![0usize; per_session.len()];
+    let mut order = Vec::with_capacity(h.len());
+    loop {
+        let mut progressed = false;
+        for (s, txns) in per_session.iter().enumerate() {
+            if cursors[s] < txns.len() {
+                order.push(txns[cursors[s]]);
+                cursors[s] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return order;
+        }
+    }
+}
+
+/// Evenly spaced checkpoint stops (always including the final prefix).
+fn cadence(total: usize, checkpoints: usize) -> Vec<usize> {
+    let interval = total.div_ceil(checkpoints.max(1)).max(1);
+    let mut stops: Vec<usize> = (1..=checkpoints).map(|i| (i * interval).min(total)).collect();
+    stops.dedup();
+    stops
+}
+
+/// Replay `h` along `order` with the given oracle, checkpointing at
+/// `stops`; return the digest observed at each checkpoint (truncated at
+/// the terminal first rejection, whose canonical report is digested).
+fn stream_digests(
+    h: &History,
+    order: &[TxnId],
+    stops: &[usize],
+    isolation: IsolationLevel,
+    sharding: Sharding,
+    kind: OracleKind,
+) -> Vec<String> {
+    let mut checker = StreamingChecker::new(isolation, options(sharding, kind));
+    let sessions: Vec<SessionId> = (0..h.num_sessions()).map(|_| checker.session()).collect();
+    let mut out = Vec::new();
+    let mut next_stop = 0usize;
+    for (i, &id) in order.iter().enumerate() {
+        let txn = h.txn(id);
+        checker.push_transaction(sessions[txn.session.0 as usize], txn.ops.clone(), txn.status);
+        while next_stop < stops.len() && i + 1 == stops[next_stop] {
+            next_stop += 1;
+            let cp = checker.checkpoint();
+            out.push(match &cp.verdict {
+                StreamVerdict::Accepted => "ok".into(),
+                StreamVerdict::AxiomViolations { violations, .. } => {
+                    format!("axioms:{violations:?}")
+                }
+                StreamVerdict::Rejected { .. } => {
+                    digest(&checker.rejection().expect("rejected stream has a report").report)
+                }
+            });
+            if matches!(cp.verdict, StreamVerdict::Rejected { .. }) {
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Streaming: checkpoint-by-checkpoint digests — including where in the
+/// replay the first rejection lands and its canonical witness — are
+/// identical under all three oracle kinds, sharded and not. This drives
+/// the warm-oracle delta path (`grow` + bulk inserts + `prune_resume`)
+/// rather than the batch constructor.
+#[test]
+fn oracle_choice_never_changes_streaming_checkpoints() {
+    for case in stream_corpus() {
+        let h = &case.history;
+        if h.is_empty() {
+            continue;
+        }
+        let order = round_robin(h);
+        let stops = cadence(h.len(), 3);
+        for isolation in [IsolationLevel::Si, IsolationLevel::Ser] {
+            for sharding in [Sharding::Off, Sharding::Auto] {
+                let runs: Vec<(OracleKind, Vec<String>)> = ORACLES
+                    .iter()
+                    .map(|&kind| {
+                        (kind, stream_digests(h, &order, &stops, isolation, sharding, kind))
+                    })
+                    .collect();
+                let (baseline_kind, baseline) = &runs[0];
+                for (kind, digests) in &runs[1..] {
+                    assert_eq!(
+                        digests, baseline,
+                        "{}: {isolation:?}/{sharding:?}: streaming {kind:?} diverged from \
+                         {baseline_kind:?}",
+                        case.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -142,6 +142,143 @@ impl BitMatrix {
     }
 }
 
+/// Per-chain reachability rows: the sparse counterpart of [`BitMatrix`]
+/// for graphs carrying a *path cover* (PolySI histories: session order).
+///
+/// Row `r` holds, per chain, the minimum chain position reachable from
+/// node `r` ([`ChainRows::NONE`] when the chain is untouched). Because
+/// consecutive chain positions are linked by a real graph edge,
+/// reachability within a chain is up-closed — reaching position `p`
+/// implies reaching every position after it — so the single minimum fully
+/// characterizes the reachable set and a row costs `O(chains)` `u32`s
+/// instead of `O(n)` bits. The mutators mirror the [`BitMatrix`] closure
+/// ops one-for-one (`min_set` ↔ `set_fresh`, `min_row_into` ↔
+/// `or_row_into`) and report "changed" under exactly the same conditions,
+/// so incremental closure maintenance can drive either representation
+/// through one code path with identical propagation schedules.
+#[derive(Clone)]
+pub struct ChainRows {
+    rows: usize,
+    chains: usize,
+    /// Allocated columns per row (`≥ chains`, grows by doubling).
+    stride: usize,
+    ents: Vec<u32>,
+}
+
+impl ChainRows {
+    /// Entry value meaning "no position of this chain is reachable".
+    pub const NONE: u32 = u32::MAX;
+
+    /// A `rows × chains` table with every entry [`ChainRows::NONE`].
+    pub fn rect(rows: usize, chains: usize) -> Self {
+        let stride = chains.next_power_of_two().max(4);
+        ChainRows { rows, chains, stride, ents: vec![Self::NONE; rows * stride] }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table is zero-dimensional.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of allocated chains (columns).
+    #[inline]
+    pub fn chains(&self) -> usize {
+        self.chains
+    }
+
+    /// Bytes of backing storage (for memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.ents.len() * 4
+    }
+
+    /// Minimum reachable position of `chain` from `row`'s node.
+    #[inline]
+    pub fn get(&self, row: usize, chain: usize) -> u32 {
+        self.ents[row * self.stride + chain]
+    }
+
+    /// Lower `(row, chain)` to at most `pos`; returns whether the entry
+    /// decreased — the exact analogue of [`BitMatrix::set_fresh`]: a
+    /// decrease means some chain position became newly reachable.
+    #[inline]
+    pub fn min_set(&mut self, row: usize, chain: usize, pos: u32) -> bool {
+        let e = &mut self.ents[row * self.stride + chain];
+        let fresh = pos < *e;
+        if fresh {
+            *e = pos;
+        }
+        fresh
+    }
+
+    /// Elementwise `self[dst] = min(self[dst], self[src])`; returns whether
+    /// `dst` changed (the analogue of [`BitMatrix::or_row_into`]).
+    pub fn min_row_into(&mut self, src: usize, dst: usize) -> bool {
+        debug_assert_ne!(src, dst);
+        let w = self.stride;
+        let (a, b) = if src < dst {
+            let (lo, hi) = self.ents.split_at_mut(dst * w);
+            (&lo[src * w..src * w + w], &mut hi[..w])
+        } else {
+            let (lo, hi) = self.ents.split_at_mut(src * w);
+            (&hi[..w], &mut lo[dst * w..dst * w + w])
+        };
+        let mut changed = false;
+        for (d, &s) in b.iter_mut().zip(a) {
+            if s < *d {
+                *d = s;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Allocate one more chain column (all [`ChainRows::NONE`]), growing
+    /// the stride by doubling when exhausted; returns the new chain index.
+    pub fn push_chain(&mut self) -> usize {
+        if self.chains == self.stride {
+            let stride = (self.stride * 2).max(4);
+            let mut ents = vec![Self::NONE; self.rows * stride];
+            for r in 0..self.rows {
+                ents[r * stride..r * stride + self.chains]
+                    .copy_from_slice(&self.ents[r * self.stride..r * self.stride + self.chains]);
+            }
+            self.stride = stride;
+            self.ents = ents;
+        }
+        self.chains += 1;
+        self.chains - 1
+    }
+
+    /// A copy with `rows` rows, row `r` taken from row `src_row(r)` of
+    /// `self` (all-[`ChainRows::NONE`] when `None`); chain columns keep
+    /// their index. The growable oracle's counterpart of
+    /// [`BitMatrix::remapped`].
+    pub fn remapped(&self, rows: usize, src_row: impl Fn(usize) -> Option<usize>) -> ChainRows {
+        let mut out =
+            ChainRows { rows, chains: self.chains, stride: self.stride, ents: Vec::new() };
+        out.ents = vec![Self::NONE; rows * out.stride];
+        for r in 0..rows {
+            if let Some(src) = src_row(r) {
+                out.ents[r * out.stride..(r + 1) * out.stride]
+                    .copy_from_slice(&self.ents[src * self.stride..(src + 1) * self.stride]);
+            }
+        }
+        out
+    }
+
+    /// Count of finite entries (diagnostics).
+    pub fn finite_count(&self) -> usize {
+        self.ents.iter().filter(|&&e| e != Self::NONE).count()
+    }
+}
+
 /// A single growable bit row (visited sets and similar).
 #[derive(Clone, Default)]
 pub struct BitRow {
@@ -310,6 +447,78 @@ mod tests {
     fn matrix_bytes_accounting() {
         let m = BitMatrix::new(64);
         assert_eq!(m.bytes(), 64 * 8);
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+
+    #[test]
+    fn min_set_reports_decreases_only() {
+        let mut c = ChainRows::rect(3, 2);
+        assert_eq!(c.get(0, 1), ChainRows::NONE);
+        assert!(c.min_set(0, 1, 7));
+        assert!(!c.min_set(0, 1, 7), "equal position is not fresh");
+        assert!(!c.min_set(0, 1, 9), "higher position is absorbed");
+        assert!(c.min_set(0, 1, 3));
+        assert_eq!(c.get(0, 1), 3);
+        assert_eq!(c.finite_count(), 1);
+    }
+
+    #[test]
+    fn min_row_into_merges_elementwise() {
+        let mut c = ChainRows::rect(3, 3);
+        c.min_set(0, 0, 5);
+        c.min_set(0, 2, 1);
+        c.min_set(1, 0, 2);
+        assert!(c.min_row_into(0, 1));
+        assert_eq!(c.get(1, 0), 2, "existing lower entry wins");
+        assert_eq!(c.get(1, 2), 1);
+        assert!(!c.min_row_into(0, 1), "second merge is a no-op");
+        // Other split direction.
+        assert!(c.min_row_into(1, 2));
+        assert_eq!(c.get(2, 0), 2);
+    }
+
+    #[test]
+    fn push_chain_grows_stride_and_preserves_entries() {
+        let mut c = ChainRows::rect(2, 4);
+        for ch in 0..4 {
+            c.min_set(1, ch, ch as u32);
+        }
+        let new = c.push_chain();
+        assert_eq!(new, 4);
+        assert_eq!(c.chains(), 5);
+        for ch in 0..4 {
+            assert_eq!(c.get(1, ch), ch as u32, "entry survived the stride doubling");
+        }
+        assert_eq!(c.get(1, new), ChainRows::NONE);
+        assert_eq!(c.get(0, new), ChainRows::NONE);
+    }
+
+    #[test]
+    fn remapped_moves_rows_keeps_columns() {
+        let mut c = ChainRows::rect(2, 2);
+        c.min_set(0, 0, 4);
+        c.min_set(1, 1, 6);
+        let g = c.remapped(4, |r| match r {
+            0 => Some(0),
+            3 => Some(1),
+            _ => None,
+        });
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.get(0, 0), 4);
+        assert_eq!(g.get(3, 1), 6);
+        assert_eq!(g.get(1, 0), ChainRows::NONE);
+        assert_eq!(g.finite_count(), 2);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let c = ChainRows::rect(4, 3);
+        // stride rounds 3 up to 4 columns of u32.
+        assert_eq!(c.bytes(), 4 * 4 * 4);
     }
 }
 
