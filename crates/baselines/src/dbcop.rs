@@ -46,6 +46,25 @@ pub fn dbcop_check_si(h: &History, state_budget: usize) -> DbcopReport {
     DbcopReport { verdict, elapsed: t0.elapsed() }
 }
 
+/// Iterative-deepening wrapper: run with `budget` and, on exhaustion,
+/// double it and re-search from scratch (the position/store memo is not
+/// resumable across budgets) until the search completes or the budget
+/// would exceed `cap`. This mirrors restarting dbcop with a longer
+/// timeout; the geometric schedule keeps the total work within a
+/// constant factor of the final budget's single run, while letting the
+/// cheap majority of histories finish at the small initial budget.
+pub fn dbcop_check_si_deepening(h: &History, budget: usize, cap: usize) -> DbcopReport {
+    let t0 = Instant::now();
+    let mut budget = budget.max(1).min(cap.max(1));
+    loop {
+        let r = dbcop_check_si(h, budget);
+        if r.verdict != DbcopVerdict::Timeout || budget >= cap {
+            return DbcopReport { verdict: r.verdict, elapsed: t0.elapsed() };
+        }
+        budget = budget.saturating_mul(2).min(cap);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +100,22 @@ mod tests {
         }
         let r = dbcop_check_si(&b.build(), 3);
         assert_eq!(r.verdict, DbcopVerdict::Timeout);
+    }
+
+    /// Deepening resolves what the initial budget alone exhausts, and a
+    /// hard cap still times out.
+    #[test]
+    fn deepening_doubles_past_an_exhausted_initial_budget() {
+        let mut b = HistoryBuilder::new();
+        for s in 0..5u64 {
+            b.session();
+            for t in 0..4u64 {
+                b.begin().write(Key(s), Value(s * 100 + t + 1)).commit();
+            }
+        }
+        let h = b.build();
+        assert_eq!(dbcop_check_si(&h, 3).verdict, DbcopVerdict::Timeout);
+        assert_eq!(dbcop_check_si_deepening(&h, 3, 1_000_000).verdict, DbcopVerdict::Si);
+        assert_eq!(dbcop_check_si_deepening(&h, 3, 4).verdict, DbcopVerdict::Timeout);
     }
 }

@@ -22,4 +22,4 @@ pub mod dbcop;
 
 pub use cobra::{cobra_check_ser, CobraOptions, CobraStats, SerVerdict};
 pub use cobra_si::{cobra_si_check, CobraSiStats, SiVerdict};
-pub use dbcop::{dbcop_check_si, DbcopReport, DbcopVerdict};
+pub use dbcop::{dbcop_check_si, dbcop_check_si_deepening, DbcopReport, DbcopVerdict};

@@ -1,0 +1,177 @@
+//! Soak: an unbounded stream checked at bounded RSS.
+//!
+//! Streams ≥10⁶ transactions (default; `--quick` shrinks the run for CI
+//! smoke) through a `StreamingChecker` with watermark compaction on. The
+//! workload arrives in *waves*: each wave opens a fresh set of sessions,
+//! writes fresh values over a fixed key working set, reads only recent
+//! values (the wave head reads the previous wave's final version of each
+//! key before overwriting it, which orients the cross-wave version order
+//! and lets the settled prefix drop), then seals its sessions. Every
+//! checkpoint therefore finds the previous wave settled: all its sessions
+//! sealed, every writer-pair constraint resolved, and nothing above the
+//! watermark reading below it.
+//!
+//! Asserted in-bin, not just reported:
+//!
+//! * every checkpoint accepts, and the compacted snapshot re-checks clean
+//!   under the batch engine at sampled prefixes;
+//! * `live_txns` stays bounded by a constant independent of stream length;
+//! * live allocator bytes plateau: the figure at the end of the run stays
+//!   within a small factor of the quarter-mark figure, where an
+//!   uncompacted checker would have grown ~4× (and by ~400 MiB at 10⁶
+//!   txns).
+//!
+//! Appends a summary row to `bench_results/soak.csv`.
+
+use polysi_bench::{csv_append, CountingAllocator};
+use polysi_checker::engine::{check, CompactMode, EngineOptions, IsolationLevel};
+use polysi_checker::{StreamVerdict, StreamingChecker};
+use polysi_history::{Key, Op, TxnStatus, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Sessions per wave; each owns a fixed disjoint slice of the key space.
+const SLOTS: usize = 8;
+/// Keys owned by each slot (stable across waves — keys are reused forever).
+const KEYS_PER_SLOT: usize = 4;
+/// Transactions each session pushes before its wave seals.
+const TXNS_PER_SESSION: usize = 32;
+/// Batch re-check of the compacted snapshot every this many waves.
+const EQUIV_EVERY: usize = 128;
+
+const WAVE_TXNS: usize = SLOTS * TXNS_PER_SESSION;
+
+fn key_of(slot: usize, i: usize) -> Key {
+    Key(1 + (slot * KEYS_PER_SLOT + i) as u64)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target: usize = if quick { 60_000 } else { 1_000_000 };
+    let waves = target.div_ceil(WAVE_TXNS);
+    let total = waves * WAVE_TXNS;
+    println!("# Soak: {total} txns in {waves} waves of {WAVE_TXNS}, compaction on");
+
+    let opts = EngineOptions { compact: CompactMode::On, ..Default::default() };
+    let mut checker = StreamingChecker::new(IsolationLevel::Si, opts);
+    let mut last_val: HashMap<Key, Value> = HashMap::new();
+    let mut next_val = 1u64;
+    let mut pushed = 0usize;
+    let mut compacted_total = 0usize;
+    let mut max_live_txns = 0usize;
+    let mut live_bytes_by_wave: Vec<usize> = Vec::with_capacity(waves);
+    let mut equiv_checks = 0usize;
+
+    CountingAllocator::reset_peak();
+    let t0 = Instant::now();
+    for wave in 0..waves {
+        let sessions: Vec<_> = (0..SLOTS).map(|_| checker.session()).collect();
+        for t in 0..TXNS_PER_SESSION {
+            for (slot, &session) in sessions.iter().enumerate() {
+                let key = key_of(slot, t % KEYS_PER_SLOT);
+                let mut ops = Vec::with_capacity(3);
+                if t < KEYS_PER_SLOT {
+                    // First write to this key this wave: read the previous
+                    // wave's final version before overwriting, so the new
+                    // version order is decided and the old wave settles.
+                    if let Some(&v) = last_val.get(&key) {
+                        ops.push(Op::Read { key, value: v });
+                    }
+                } else if t % 8 == 3 {
+                    // A recent cross-slot read: keeps the components merged
+                    // (one watermark frontier spanning all slots) without
+                    // chaining retention into history — the source is a
+                    // current-wave blind writer.
+                    let other = key_of((slot + 1) % SLOTS, t % KEYS_PER_SLOT);
+                    if let Some(&v) = last_val.get(&other) {
+                        ops.push(Op::Read { key: other, value: v });
+                    }
+                }
+                let value = Value(next_val);
+                next_val += 1;
+                ops.push(Op::Write { key, value });
+                checker.push_transaction(session, ops, TxnStatus::Committed);
+                last_val.insert(key, value);
+                pushed += 1;
+            }
+        }
+        for &s in &sessions {
+            checker.seal_session(s);
+        }
+
+        let cp = checker.checkpoint();
+        assert!(
+            matches!(cp.verdict, StreamVerdict::Accepted),
+            "wave {wave}: checkpoint rejected a clean stream: {:?}",
+            cp.verdict
+        );
+        assert_eq!(cp.txns, pushed, "wave {wave}: monotone txn counter drifted");
+        compacted_total += cp.compacted;
+        max_live_txns = max_live_txns.max(cp.live_txns);
+        // Bounded frontier: live txns never exceed two waves plus the
+        // retained boundary facts, regardless of how long the stream runs.
+        assert!(
+            cp.live_txns <= 2 * WAVE_TXNS + 64,
+            "wave {wave}: live_txns {} escaped the watermark bound",
+            cp.live_txns
+        );
+        live_bytes_by_wave.push(CountingAllocator::current());
+
+        if wave % EQUIV_EVERY == EQUIV_EVERY - 1 || wave == waves - 1 {
+            // Verdict equivalence at a sampled prefix: the batch engine on
+            // the compacted snapshot must agree with the online verdict.
+            let (snapshot, _) = checker.stream().snapshot();
+            let report = check(&snapshot, IsolationLevel::Si, &opts);
+            assert!(report.accepted(), "wave {wave}: batch disagrees on compacted snapshot");
+            equiv_checks += 1;
+        }
+        if wave % 512 == 511 {
+            println!(
+                "  wave {:>5}: pushed {:>8}, live {:>4} txns, {:>7.2} MiB live, {:>7.2} MiB peak",
+                wave + 1,
+                pushed,
+                cp.live_txns,
+                CountingAllocator::current() as f64 / (1024.0 * 1024.0),
+                CountingAllocator::peak() as f64 / (1024.0 * 1024.0)
+            );
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let peak_rss_mib = CountingAllocator::peak() as f64 / (1024.0 * 1024.0);
+    let live_bytes = *live_bytes_by_wave.last().unwrap();
+
+    // The plateau assertion: live bytes at the end of the run must sit
+    // within a small factor of the quarter-mark figure. Without compaction
+    // the checker's footprint grows linearly in stream length, so the
+    // final figure would be ~4× the quarter mark (hundreds of MiB at 10⁶
+    // txns); with it, both sit at the working-set plateau.
+    let quarter = live_bytes_by_wave[waves / 4];
+    assert!(
+        live_bytes <= 2 * quarter + 16 * 1024 * 1024,
+        "live bytes did not plateau: quarter-mark {quarter} vs final {live_bytes}"
+    );
+    assert!(
+        compacted_total * 2 >= pushed,
+        "compaction barely engaged: {compacted_total} of {pushed} txns dropped"
+    );
+    assert!(equiv_checks > 0);
+
+    println!(
+        "{total} txns in {elapsed:.1}s: peak {peak_rss_mib:.2} MiB, final live {:.2} MiB \
+         ({} txns live, {compacted_total} compacted, {equiv_checks} batch equivalence checks)",
+        live_bytes as f64 / (1024.0 * 1024.0),
+        max_live_txns
+    );
+    csv_append(
+        "soak",
+        "txns,waves,wave_txns,keys,compact,elapsed_seconds,peak_rss_mib,live_bytes,max_live_txns,compacted",
+        &[format!(
+            "{total},{waves},{WAVE_TXNS},{},on,{elapsed:.3},{peak_rss_mib:.3},{live_bytes},{max_live_txns},{compacted_total}",
+            SLOTS * KEYS_PER_SLOT
+        )],
+    );
+    println!("CSV appended to bench_results/soak.csv");
+}

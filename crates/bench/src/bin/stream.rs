@@ -13,13 +13,16 @@
 //!
 //! `--quick` shrinks the workload for CI smoke runs.
 
-use polysi_bench::csv_append;
+use polysi_bench::{csv_append, CountingAllocator};
 use polysi_checker::engine::{check, EngineOptions, IsolationLevel};
 use polysi_checker::{OracleKind, StreamVerdict, StreamingChecker};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
 use polysi_history::{History, HistoryStream};
 use polysi_workloads::{multi_component, GeneralParams};
 use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 /// A commit-order-like replay: Kahn's algorithm over `SO ∪ WR` with a
 /// lowest-id tie-break. Writers precede their readers and sessions stay
@@ -76,8 +79,16 @@ fn main() {
         if quick { &[OracleKind::Chains] } else { &[OracleKind::Dense, OracleKind::Chains] };
     println!("# Streaming vs batch re-check ({txns} txns)");
     println!(
-        "{:<16} {:>7} {:<7} {:>12} {:>12} {:>12} {:>9}",
-        "workload", "cpts", "oracle", "stream-secs", "batch-secs", "amortized", "verdicts"
+        "{:<16} {:>7} {:<7} {:>12} {:>12} {:>12} {:>9} {:>9} {:>11}",
+        "workload",
+        "cpts",
+        "oracle",
+        "stream-secs",
+        "batch-secs",
+        "amortized",
+        "verdicts",
+        "peak-mib",
+        "live-bytes"
     );
     let mut rows = Vec::new();
     for (name, components) in [("general", 1usize), ("multi_component", 4)] {
@@ -100,7 +111,12 @@ fn main() {
                 let opts = EngineOptions { reach_oracle: oracle, ..Default::default() };
                 let stops = boundaries(h.len(), cadence);
 
-                // Streaming: ingest + checkpoint at each boundary.
+                // Streaming: ingest + checkpoint at each boundary. The
+                // counting allocator brackets this phase so the peak and
+                // residual live bytes cover the checker, not the batch
+                // prefixes materialized below.
+                CountingAllocator::reset_peak();
+                let live_before = CountingAllocator::current();
                 let t = Instant::now();
                 let mut checker = StreamingChecker::new(IsolationLevel::Si, opts);
                 let sessions: Vec<_> = (0..h.num_sessions()).map(|_| checker.session()).collect();
@@ -125,6 +141,9 @@ fn main() {
                     }
                 }
                 let stream_secs = t.elapsed().as_secs_f64();
+                let peak_rss_mib = CountingAllocator::peak() as f64 / (1024.0 * 1024.0);
+                let live_bytes = CountingAllocator::current().saturating_sub(live_before);
+                drop(checker);
 
                 // Batch-from-scratch on the same prefixes (prefix snapshots
                 // materialized outside the timer).
@@ -158,11 +177,11 @@ fn main() {
 
                 let amortized = batch_secs / stream_secs;
                 println!(
-                "{name:<16} {cadence:>7} {:<7} {stream_secs:>12.3} {batch_secs:>12.3} {amortized:>11.2}x {stream_accepts:>9}",
+                "{name:<16} {cadence:>7} {:<7} {stream_secs:>12.3} {batch_secs:>12.3} {amortized:>11.2}x {stream_accepts:>9} {peak_rss_mib:>9.2} {live_bytes:>11}",
                 oracle.name()
             );
                 rows.push(format!(
-                    "{name},{},{cadence},{},{stream_secs:.6},{batch_secs:.6},{amortized:.3}",
+                    "{name},{},{cadence},{},{stream_secs:.6},{batch_secs:.6},{amortized:.3},{peak_rss_mib:.3},{live_bytes}",
                     h.len(),
                     oracle.name()
                 ));
@@ -171,7 +190,7 @@ fn main() {
     }
     csv_append(
         "stream",
-        "workload,txns,checkpoints,oracle,stream_seconds,batch_seconds,amortized_speedup",
+        "workload,txns,checkpoints,oracle,stream_seconds,batch_seconds,amortized_speedup,peak_rss_mib,live_bytes",
         &rows,
     );
     println!("\nCSV appended to bench_results/stream.csv");

@@ -130,6 +130,46 @@ impl PruneThreads {
     }
 }
 
+/// Watermark compaction of the streaming checker's settled prefix
+/// (CLI `--compact`). Batch checks ignore it; with streaming, any setting
+/// yields the same checkpoint verdicts, violation lists, and witnesses as
+/// `Off` for histories that respect the watermark contract (no reads below
+/// the fence) — property-tested by `crates/polysi/tests/compaction.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CompactMode {
+    /// Compact every settled component at every accepted checkpoint.
+    On,
+    /// Never compact; memory grows with the stream (the PR-5 behavior).
+    Off,
+    /// Compact when a component's settled prefix is large enough to be
+    /// worth the remap (the default). Since compaction engages only for
+    /// components whose sessions were all sealed via `seal_session`,
+    /// streams that never seal are unaffected.
+    #[default]
+    Auto,
+}
+
+impl CompactMode {
+    /// Short stable name, as accepted by the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompactMode::On => "on",
+            CompactMode::Off => "off",
+            CompactMode::Auto => "auto",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<CompactMode> {
+        match s {
+            "on" => Some(CompactMode::On),
+            "off" => Some(CompactMode::Off),
+            "auto" => Some(CompactMode::Auto),
+            _ => None,
+        }
+    }
+}
+
 /// One stage of the pipeline (see the module docs for the mapping back to
 /// Algorithm 1/2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -193,6 +233,9 @@ pub struct EngineOptions {
     /// dense bit-row budget). Verdict- and witness-identical for any
     /// setting.
     pub reach_oracle: OracleKind,
+    /// Watermark compaction of the streaming checker's settled prefix
+    /// ([`CompactMode`]); ignored by batch checks.
+    pub compact: CompactMode,
 }
 
 impl Default for EngineOptions {
@@ -207,6 +250,7 @@ impl Default for EngineOptions {
             solve_threads: SolveThreads::Auto,
             solve_mode: SolveMode::Auto,
             reach_oracle: OracleKind::Auto,
+            compact: CompactMode::Auto,
         }
     }
 }
@@ -228,6 +272,7 @@ impl From<&CheckOptions> for EngineOptions {
             solve_threads: SolveThreads::Fixed(1),
             solve_mode: SolveMode::Auto,
             reach_oracle: opts.reach_oracle,
+            compact: CompactMode::Auto,
         }
     }
 }

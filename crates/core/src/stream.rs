@@ -60,11 +60,11 @@
 
 use crate::anomaly::Anomaly;
 use crate::check::{CheckReport, Outcome};
-use crate::engine::{encode, CheckEngine, EngineOptions, IsolationLevel};
+use crate::engine::{encode, CheckEngine, CompactMode, EngineOptions, IsolationLevel};
 use crate::solve::SolvePlan;
 use polysi_history::{
     AxiomViolation, FactEvent, Facts, History, HistoryStream, Key, Op, RootInfo, SessionId,
-    ShardComponent, TxnId, TxnStatus,
+    ShardComponent, TxnId, TxnStatus, WrSource,
 };
 use polysi_polygraph::{
     Constraint, ConstraintMode, Edge, KnownGraph, Label, Polygraph, PruneOptions, PruneResult,
@@ -110,8 +110,14 @@ impl StreamVerdict {
 pub struct CheckpointReport {
     /// Checkpoint sequence number (1-based).
     pub seq: usize,
-    /// Transactions ingested so far.
+    /// Transactions ingested so far (monotone: compaction does not
+    /// subtract — compacted and uncompacted runs of the same stream report
+    /// the same count).
     pub txns: usize,
+    /// Transactions still held live after this checkpoint's compaction.
+    pub live_txns: usize,
+    /// Transactions dropped by watermark compaction at this checkpoint.
+    pub compacted: usize,
     /// Operations ingested so far.
     pub ops: usize,
     /// Current component count (transaction-bearing only).
@@ -254,12 +260,15 @@ impl StreamingChecker {
         let t0 = Instant::now();
         self.checkpoints += 1;
         let seq = self.checkpoints;
-        let (txns, ops) = (self.stream.len(), self.stream.num_ops());
+        let (txns, ops) = (self.stream.total_pushed(), self.stream.num_ops());
+        let live_txns = self.stream.len();
         let components = self.stream.shards().components().filter(|c| !c.txns.is_empty()).count();
         let base =
             |verdict: StreamVerdict, dirty: usize, rebuilt: usize, t0: Instant| CheckpointReport {
                 seq,
                 txns,
+                live_txns,
+                compacted: 0,
                 ops,
                 components,
                 dirty,
@@ -279,15 +288,28 @@ impl StreamingChecker {
 
         // Axiom state: batch-canonical reporting, graph work skipped (the
         // event cursor stays put, so a healed prefix replays the backlog).
+        // Fenced reads are streaming-only — the compacted snapshot no
+        // longer contains the dropped writers a batch analysis would need
+        // to see them — so they are appended to the snapshot's list.
         if !self.stream.facts().axioms_ok() {
             let healable = self.stream.facts().axioms_can_heal();
+            let fence = self.stream.facts().fence_violations().to_vec();
             let (prefix, _) = self.stream.snapshot();
-            let violations = Facts::analyze(&prefix).violations;
+            let mut violations = Facts::analyze(&prefix).violations;
+            violations.extend(fence.iter().cloned());
             if !healable {
-                // Monotone violations never heal: canonicalize once and
-                // reject terminally, like a cyclic violation.
-                let report = CheckEngine::new(self.isolation, self.opts).check(&prefix);
-                debug_assert!(!report.accepted(), "monotone axiom violations must reject");
+                // Monotone and fenced violations never heal: canonicalize
+                // once and reject terminally, like a cyclic violation.
+                let mut report = CheckEngine::new(self.isolation, self.opts).check(&prefix);
+                if report.accepted() {
+                    // Fence-only breakage: the batch engine cannot reject
+                    // what the snapshot no longer shows; carry the fenced
+                    // reads as the report's outcome.
+                    debug_assert!(!fence.is_empty(), "unhealable axiom state must have a cause");
+                    report.outcome = Outcome::AxiomViolations(violations);
+                } else if let Outcome::AxiomViolations(vs) = &mut report.outcome {
+                    vs.extend(fence.iter().cloned());
+                }
                 self.rejection = Some(StreamRejection {
                     prefix,
                     report,
@@ -380,7 +402,173 @@ impl StreamingChecker {
             });
             return base(verdict, dirty, rebuilt, t0);
         }
-        base(StreamVerdict::Accepted, dirty, rebuilt, t0)
+
+        // Watermark GC: the settled prefix of every fully sealed component
+        // can be dropped now that the prefix is accepted.
+        let compacted = self.maybe_compact();
+        let mut report = base(StreamVerdict::Accepted, dirty, rebuilt, t0);
+        report.live_txns = self.stream.len();
+        report.compacted = compacted;
+        report
+    }
+
+    /// Compact the settled prefix of every eligible component (watermark
+    /// GC). Called only after an accepted checkpoint, when the event
+    /// cursor is fully drained.
+    ///
+    /// Per component, the watermark requires: every contributing session
+    /// sealed, cached (accepted) pipeline state present, and a settled
+    /// prefix — the complement of the *retained* set, which is the forward
+    /// closure (along known dependency edges, plus each retained reader's
+    /// `WR` sources) of the per-key final writers, the endpoints of the
+    /// still-open constraints, and every non-committed transaction (whose
+    /// writes stay readable forever). That closure makes the drop set exact: no
+    /// survivor has a known edge into it, every reader of a dropped writer
+    /// is dropped, and no open constraint straddles the watermark — so
+    /// dropping it is a pure subgraph restriction and every later verdict,
+    /// violation list, and witness equals the uncompacted run's (fence
+    /// reads excepted; see [`HistoryStream::compact`]).
+    fn maybe_compact(&mut self) -> usize {
+        let threshold = match self.opts.compact {
+            CompactMode::Off => return 0,
+            CompactMode::On => 1,
+            // Skip remaps that cannot pay for themselves.
+            CompactMode::Auto => 64,
+        };
+        debug_assert_eq!(self.cursor, self.stream.facts().events().len());
+
+        // Phase 1: per-component retained sets, merged into one global
+        // drop mask.
+        let facts = self.stream.facts().facts();
+        let mut drop = vec![false; self.stream.len()];
+        let mut keeps: HashMap<u64, Vec<bool>> = HashMap::new();
+        let mut dropped = 0usize;
+        for info in self.stream.shards().components() {
+            if info.txns.is_empty() {
+                continue;
+            }
+            let Some(state) = self.comps.get(&info.tag) else { continue };
+            if !info.sessions.iter().all(|&s| self.stream.is_sealed(s)) {
+                continue;
+            }
+            let n = state.txns.len();
+            debug_assert_eq!(n, info.txns.len());
+            let mut keep = vec![false; n];
+            let mut stack: Vec<u32> = Vec::new();
+            let mark = |i: u32, keep: &mut Vec<bool>, stack: &mut Vec<u32>| {
+                if !keep[i as usize] {
+                    keep[i as usize] = true;
+                    stack.push(i);
+                }
+            };
+            // Seed: the final writer of every key (later reads of the
+            // key's live value must keep resolving) and the endpoints of
+            // the open constraints (the undecided frontier).
+            for &key in &info.keys {
+                if let Some(&w) = facts.writers.get(&key).and_then(|ws| ws.last()) {
+                    mark(state.local(w).0, &mut keep, &mut stack);
+                }
+            }
+            for c in &state.poly.constraints {
+                for e in c.either.iter().chain(c.or.iter()) {
+                    mark(e.from.0, &mut keep, &mut stack);
+                    mark(e.to.0, &mut keep, &mut stack);
+                }
+            }
+            // Non-committed transactions never settle: their writes stay
+            // readable forever (an aborted read is a terminal, monotone
+            // violation that must still classify as one), but they are
+            // invisible to `facts.writers` — so they are retained as
+            // permanent fence posts rather than dropped as history.
+            for (i, &gid) in state.txns.iter().enumerate() {
+                if !self.stream.txn(gid).committed() {
+                    mark(i as u32, &mut keep, &mut stack);
+                }
+            }
+            // Forward closure: successors along known edges, plus the `WR`
+            // sources of retained readers (so no dropped writer keeps a
+            // live reader).
+            let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for e in &state.poly.known {
+                adj[e.from.idx()].push(e.to.0);
+            }
+            while let Some(i) = stack.pop() {
+                for &j in &adj[i as usize] {
+                    if !keep[j as usize] {
+                        keep[j as usize] = true;
+                        stack.push(j);
+                    }
+                }
+                for &(_, _, src) in &facts.reads[state.txns[i as usize].idx()] {
+                    if let WrSource::Txn(w) = src {
+                        let j = state.local(w).0;
+                        if !keep[j as usize] {
+                            keep[j as usize] = true;
+                            stack.push(j);
+                        }
+                    }
+                }
+            }
+            let d = keep.iter().filter(|&&kept| !kept).count();
+            if d < threshold {
+                continue;
+            }
+            for (i, &kept) in keep.iter().enumerate() {
+                if !kept {
+                    drop[state.txns[i].idx()] = true;
+                }
+            }
+            dropped += d;
+            keeps.insert(info.tag, keep);
+        }
+        if dropped == 0 {
+            return 0;
+        }
+
+        // Phase 2: compact the stream (facts, sessions, shard membership)
+        // and re-anchor the event cursor on the now-empty log.
+        let map = self.stream.compact(&drop);
+        self.cursor = 0;
+
+        // Phase 3: remap every cached component in place. Untouched
+        // components only renumber their member list (local ids are
+        // positional and unchanged); compacted ones restrict their oracle,
+        // polygraph, and bookkeeping to the survivors.
+        let facts = self.stream.facts().facts();
+        for (tag, state) in self.comps.iter_mut() {
+            let Some(keep) = keeps.get(tag) else {
+                for id in state.txns.iter_mut() {
+                    *id = TxnId(map[id.idx()]);
+                }
+                continue;
+            };
+            let oracle = state.oracle.as_mut().expect("live component has an oracle");
+            let lmap = oracle.compact(keep);
+            let n2 = keep.iter().filter(|&&kept| kept).count();
+            state.poly.compact(&lmap, n2);
+            state.known_set = state
+                .known_set
+                .iter()
+                .filter_map(|e| {
+                    let (f, t) = (lmap[e.from.idx()], lmap[e.to.idx()]);
+                    (f != u32::MAX && t != u32::MAX).then(|| Edge::new(TxnId(f), TxnId(t), e.label))
+                })
+                .collect();
+            state.txns = state
+                .txns
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| keep[i])
+                .map(|(_, &g)| TxnId(map[g.idx()]))
+                .collect();
+            state.writer_seen = state
+                .writer_seen
+                .keys()
+                .map(|&key| (key, facts.writers.get(&key).map_or(0, Vec::len)))
+                .collect();
+        }
+        self.comps.retain(|_, s| !s.txns.is_empty());
+        dropped
     }
 
     /// First sight of a component (or a post-merge rebuild): construct
@@ -768,6 +956,138 @@ mod tests {
         let cp = c.checkpoint();
         assert!(matches!(cp.verdict, StreamVerdict::Rejected { anomaly: None, .. }));
         assert!(c.rejection().is_some());
+    }
+
+    /// Watermark GC: a sealed component's settled prefix is dropped, the
+    /// stream keeps checking against the survivors, and counters stay
+    /// monotone.
+    #[test]
+    fn compaction_drops_settled_prefix_and_keeps_checking() {
+        let opts = EngineOptions { compact: CompactMode::On, ..EngineOptions::default() };
+        let mut c = StreamingChecker::new(IsolationLevel::Si, opts);
+        let s0 = c.session();
+        let s1 = c.session();
+        // Component A: three blind writes on key 1, ordered by session
+        // order; the settled prefix is everything but the final writer.
+        c.push_transaction(s0, vec![w(1, 1)], TxnStatus::Committed);
+        c.push_transaction(s0, vec![w(1, 2)], TxnStatus::Committed);
+        c.push_transaction(s0, vec![w(1, 3)], TxnStatus::Committed);
+        // Component B stays live.
+        c.push_transaction(s1, vec![w(10, 1)], TxnStatus::Committed);
+        c.seal_session(s0);
+        let cp = c.checkpoint();
+        assert!(cp.verdict.accepted());
+        assert_eq!(cp.compacted, 2, "settled prefix below the final writer is dropped");
+        assert_eq!((cp.txns, cp.live_txns), (4, 2));
+
+        // Later transactions resolve against the surviving final writer,
+        // and the verdict still matches batch on the compacted snapshot.
+        let s2 = c.session();
+        c.push_transaction(s2, vec![r(1, 3), w(1, 4)], TxnStatus::Committed);
+        c.push_transaction(s1, vec![r(10, 1), w(10, 2)], TxnStatus::Committed);
+        let cp = c.checkpoint();
+        assert!(cp.verdict.accepted());
+        assert_eq!(cp.txns, 6, "txns count stays monotone across compaction");
+        assert_matches_batch(&mut c);
+        // A stale RMW against the surviving writer still rejects.
+        let s3 = c.session();
+        c.push_transaction(s3, vec![r(1, 3), w(1, 5)], TxnStatus::Committed);
+        let cp = c.checkpoint();
+        assert!(matches!(
+            cp.verdict,
+            StreamVerdict::Rejected { anomaly: Some(Anomaly::LostUpdate), .. }
+        ));
+    }
+
+    /// The watermark refuses to cross open reads: an RMW chain keeps every
+    /// read's source alive, so nothing is dropped even when fully sealed.
+    #[test]
+    fn compaction_refuses_to_cross_open_reads() {
+        let opts = EngineOptions { compact: CompactMode::On, ..EngineOptions::default() };
+        let mut c = StreamingChecker::new(IsolationLevel::Si, opts);
+        let s0 = c.session();
+        c.push_transaction(s0, vec![w(1, 1)], TxnStatus::Committed);
+        c.push_transaction(s0, vec![r(1, 1), w(1, 2)], TxnStatus::Committed);
+        c.push_transaction(s0, vec![r(1, 2), w(1, 3)], TxnStatus::Committed);
+        c.seal_session(s0);
+        let cp = c.checkpoint();
+        assert!(cp.verdict.accepted());
+        assert_eq!(cp.compacted, 0, "every prefix txn is a WR source of a survivor");
+        assert_eq!(cp.live_txns, 3);
+    }
+
+    /// `Auto` defers compactions too small to pay for the remap; `On`
+    /// takes them.
+    #[test]
+    fn auto_compaction_defers_small_drops() {
+        let mut c = StreamingChecker::new(IsolationLevel::Si, EngineOptions::default());
+        let s0 = c.session();
+        c.push_transaction(s0, vec![w(1, 1)], TxnStatus::Committed);
+        c.push_transaction(s0, vec![w(1, 2)], TxnStatus::Committed);
+        c.seal_session(s0);
+        let cp = c.checkpoint();
+        assert!(cp.verdict.accepted());
+        assert_eq!(cp.compacted, 0, "one droppable txn is below the auto threshold");
+        assert_eq!(cp.live_txns, 2);
+    }
+
+    /// An initial-value read below the watermark is a terminal rejection
+    /// carrying the fenced-read violation (batch cannot reproduce it: the
+    /// compacted snapshot no longer shows the dropped writers).
+    #[test]
+    fn fenced_init_read_rejects_terminally() {
+        let opts = EngineOptions { compact: CompactMode::On, ..EngineOptions::default() };
+        let mut c = StreamingChecker::new(IsolationLevel::Si, opts);
+        let s0 = c.session();
+        c.push_transaction(s0, vec![w(1, 1)], TxnStatus::Committed);
+        c.push_transaction(s0, vec![w(1, 2)], TxnStatus::Committed);
+        c.push_transaction(s0, vec![w(1, 3)], TxnStatus::Committed);
+        c.seal_session(s0);
+        let cp = c.checkpoint();
+        assert!(cp.verdict.accepted());
+        assert_eq!(cp.compacted, 2);
+        let s1 = c.session();
+        c.push_transaction(s1, vec![r(1, 0)], TxnStatus::Committed);
+        let cp = c.checkpoint();
+        assert!(matches!(cp.verdict, StreamVerdict::Rejected { anomaly: None, .. }));
+        let rej = c.rejection().expect("fence rejection is terminal");
+        let Outcome::AxiomViolations(vs) = &rej.report.outcome else {
+            panic!("fence rejection must carry axiom violations");
+        };
+        assert!(vs.iter().any(|v| matches!(v, AxiomViolation::FencedRead { .. })));
+        // Stable thereafter.
+        c.push_transaction(s1, vec![w(2, 1)], TxnStatus::Committed);
+        assert!(matches!(c.checkpoint().verdict, StreamVerdict::Rejected { .. }));
+    }
+
+    /// Compacted and uncompacted runs of the same stream produce the same
+    /// verdicts and monotone counters at every checkpoint.
+    #[test]
+    fn compaction_is_verdict_invisible() {
+        let run = |mode: CompactMode| {
+            let opts = EngineOptions { compact: mode, ..EngineOptions::default() };
+            let mut c = StreamingChecker::new(IsolationLevel::Si, opts);
+            let mut digest: Vec<(usize, usize, bool)> = Vec::new();
+            let s0 = c.session();
+            let s1 = c.session();
+            for i in 0..6u64 {
+                if i < 3 {
+                    c.push_transaction(s0, vec![w(1, i + 1)], TxnStatus::Committed);
+                }
+                c.push_transaction(s1, vec![w(10, i + 1), r(10, i + 1)], TxnStatus::Committed);
+                if i == 2 {
+                    c.seal_session(s0);
+                    let s2 = c.session();
+                    c.push_transaction(s2, vec![r(1, 3), w(1, 100)], TxnStatus::Committed);
+                    c.seal_session(s2);
+                }
+                let cp = c.checkpoint();
+                digest.push((cp.txns, cp.ops, cp.verdict.accepted()));
+            }
+            digest
+        };
+        assert_eq!(run(CompactMode::Off), run(CompactMode::On));
+        assert_eq!(run(CompactMode::Off), run(CompactMode::Auto));
     }
 
     /// SER streaming rejects a write-skew chain SI accepts, at the same

@@ -327,6 +327,53 @@ pub fn monolithic_session(base: u64) -> History {
     b.build()
 }
 
+/// Template: **settled-prefix late anomaly** — a sealed session of blind
+/// writes builds a long, fully decided version history (the streaming
+/// checker's watermark drops everything but the final writer once the
+/// session seals), then a stale RMW pair on that *final* version arrives.
+/// The violating cycle lives entirely above the watermark: a compacting
+/// streaming run and a batch run must report the identical lost update.
+pub fn settled_prefix_late_anomaly(base: u64) -> History {
+    let x = Key(base);
+    let prefix = 6u64;
+    let mut b = HistoryBuilder::new();
+    b.session(); // the settled prefix: a blind, SO-decided version history
+    for i in 0..prefix {
+        b.begin().write(x, Value(base + 1 + i)).commit();
+    }
+    // Above the watermark: both RMWs read the prefix's final version, the
+    // one transaction compaction always retains.
+    b.session();
+    b.begin().read(x, Value(base + prefix)).write(x, Value(base + 10)).commit();
+    b.session();
+    b.begin().read(x, Value(base + prefix)).write(x, Value(base + 11)).commit();
+    b.build()
+}
+
+/// Template: **watermark-straddling anomaly** — an unbroken RMW chain
+/// (every version is read by its successor) keeps the watermark pinned at
+/// the chain's head: each retained reader retains its writer, so a
+/// compacting checkpoint after the chain's session seals must drop
+/// *nothing*. The late transaction then RMWs a version deep below the
+/// frontier; the lost-update witness threads the retained prefix — the
+/// shape that proves the quiescence guard refuses to cross open reads
+/// rather than compacting away evidence.
+pub fn watermark_straddle_anomaly(base: u64) -> History {
+    let x = Key(base);
+    let chain = 5u64;
+    let mut b = HistoryBuilder::new();
+    b.session();
+    b.begin().write(x, Value(base + 1)).commit();
+    for i in 1..chain {
+        b.begin().read(x, Value(base + i)).write(x, Value(base + i + 1)).commit();
+    }
+    // The straddling observation: a stale RMW of the chain's second
+    // version, far below the final one.
+    b.session();
+    b.begin().read(x, Value(base + 2)).write(x, Value(base + 20)).commit();
+    b.build()
+}
+
 /// Template: causality violation across a long session-order write chain —
 /// a second session observes the chain's last write, then (later in its
 /// own session) reads the chain's first key as unwritten. The violating
@@ -488,7 +535,7 @@ type Template = fn(u64) -> History;
 /// The paper replays 2477 known anomalies; `generate_corpus(2477, seed)`
 /// produces the same volume here.
 pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
-    let templates: [(&str, Template); 16] = [
+    let templates: [(&str, Template); 18] = [
         ("template:lost-update", lost_update),
         ("template:long-fork", long_fork),
         ("template:causality-violation", causality_violation),
@@ -505,6 +552,8 @@ pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
         ("template:checkpoint-flip", checkpoint_flip),
         ("template:session-braid", session_braid),
         ("template:monolithic-session", monolithic_session),
+        ("template:settled-prefix-late-anomaly", settled_prefix_late_anomaly),
+        ("template:watermark-straddle-anomaly", watermark_straddle_anomaly),
     ];
     let faults = [
         IsolationLevel::NoWriteConflictDetection,
@@ -594,14 +643,14 @@ mod tests {
     }
 
     #[test]
-    fn templates_cover_sixteen_anomaly_families() {
-        let corpus = generate_corpus(32, 1);
+    fn templates_cover_eighteen_anomaly_families() {
+        let corpus = generate_corpus(36, 1);
         let names: std::collections::HashSet<_> = corpus
             .iter()
             .filter(|e| e.source.starts_with("template:"))
             .map(|e| e.source.clone())
             .collect();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 18);
     }
 
     /// The streaming templates' defining property: SI-clean without the

@@ -120,7 +120,9 @@ pub fn corpus_classes(source: &str) -> &'static [&'static str] {
         | "template:cascade-lost-update"
         | "template:checkpoint-flip"
         | "template:session-braid"
-        | "template:monolithic-session" => &["lost update"],
+        | "template:monolithic-session"
+        | "template:settled-prefix-late-anomaly"
+        | "template:watermark-straddle-anomaly" => &["lost update"],
         "template:long-fork"
         | "template:sharded-long-fork"
         | "template:so-chain-long-fork"

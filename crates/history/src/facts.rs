@@ -40,6 +40,13 @@ pub enum AxiomViolation {
     UnknownValueRead { txn: TxnId, key: Key, value: Value },
     /// A transaction wrote the reserved initial value.
     WroteInitValue { txn: TxnId, key: Key },
+    /// A read below the compaction watermark: the transaction observed the
+    /// initial version of a key whose early writers were already compacted
+    /// away (streaming only — batch analysis never emits this). Under the
+    /// watermark contract clients do not read versions older than the
+    /// fence; such a read could hide a real cycle through the dropped
+    /// prefix, so it is refused as a terminal violation.
+    FencedRead { txn: TxnId, key: Key },
 }
 
 impl fmt::Display for AxiomViolation {
@@ -67,6 +74,13 @@ impl fmt::Display for AxiomViolation {
             }
             AxiomViolation::WroteInitValue { txn, key } => {
                 write!(f, "{txn} wrote the reserved initial value to key {key}")
+            }
+            AxiomViolation::FencedRead { txn, key } => {
+                write!(
+                    f,
+                    "fenced read: {txn} read the initial version of key {key} \
+                     below the compaction watermark"
+                )
             }
         }
     }

@@ -33,7 +33,7 @@
 //!   checker consumes to extend per-component polygraphs without
 //!   re-deriving anything from scratch.
 
-use crate::facts::{Facts, ReadFact, WrSource};
+use crate::facts::{AxiomViolation, Facts, ReadFact, WrSource};
 use crate::history::{History, Transaction};
 use crate::ids::{Key, SessionId, TxnId, Value};
 use crate::op::{Op, TxnStatus};
@@ -109,6 +109,17 @@ pub struct StreamFacts {
     /// writes, writes of the reserved initial value). These never heal,
     /// unlike unresolved reads.
     monotone_violations: usize,
+    /// Keys with at least one writer dropped by compaction, with the
+    /// dropped-writer count. An initial-value read of a fenced key after
+    /// compaction can no longer be given its anti-dependency edges to the
+    /// dropped writers, so it is refused as a terminal
+    /// [`AxiomViolation::FencedRead`] rather than silently under-checked.
+    fenced: HashMap<Key, u32>,
+    /// Fenced reads seen so far. Like monotone violations these never
+    /// heal; unlike them they are streaming-only (a batch analysis of the
+    /// compacted snapshot cannot know about dropped writers), so they are
+    /// reported from here rather than from a snapshot re-analysis.
+    fence_violations: Vec<AxiomViolation>,
     events: Vec<FactEvent>,
 }
 
@@ -128,6 +139,8 @@ impl StreamFacts {
             unresolved: HashMap::new(),
             unresolved_count: 0,
             monotone_violations: 0,
+            fenced: HashMap::new(),
+            fence_violations: Vec::new(),
             events: Vec::new(),
         }
     }
@@ -147,13 +160,27 @@ impl StreamFacts {
     /// them as aborted/intermediate/unknown-value reads); they may heal
     /// when the writer arrives, monotone violations never do.
     pub fn axioms_ok(&self) -> bool {
-        self.monotone_violations == 0 && self.unresolved_count == 0
+        self.monotone_violations == 0
+            && self.unresolved_count == 0
+            && self.fence_violations.is_empty()
     }
 
-    /// Whether the axioms can still heal: no *monotone* violation has
-    /// occurred (any breakage is unresolved reads only).
+    /// Whether the axioms can still heal: no *monotone* violation and no
+    /// fenced read has occurred (any breakage is unresolved reads only).
     pub fn axioms_can_heal(&self) -> bool {
-        self.monotone_violations == 0
+        self.monotone_violations == 0 && self.fence_violations.is_empty()
+    }
+
+    /// Terminal fenced reads (see [`AxiomViolation::FencedRead`]): reads
+    /// of the initial version of a key below the compaction watermark.
+    pub fn fence_violations(&self) -> &[AxiomViolation] {
+        &self.fence_violations
+    }
+
+    /// Keys fenced by compaction (at least one dropped writer), with the
+    /// dropped-writer count.
+    pub fn fenced_keys(&self) -> &HashMap<Key, u32> {
+        &self.fenced
     }
 
     /// The append-only graph-delta log (see [`FactEvent`]).
@@ -252,6 +279,12 @@ impl StreamFacts {
         if committed {
             for (key, value) in ext_reads {
                 let source = if value.is_init() {
+                    if self.fenced.contains_key(&key) {
+                        // The anti-dependency edges to the key's dropped
+                        // writers cannot be produced any more — refuse
+                        // loudly instead of under-checking.
+                        self.fence_violations.push(AxiomViolation::FencedRead { txn: id, key });
+                    }
                     self.facts.init_readers.entry(key).or_default().push(id);
                     self.events.push(FactEvent::InitRead { key, reader: id });
                     Some(WrSource::Init)
@@ -273,6 +306,95 @@ impl StreamFacts {
             }
             self.rebuild_reads(id);
         }
+    }
+
+    /// Drop the transactions whose `map` entry is `u32::MAX` and renumber
+    /// the survivors (`map[old] = new`, order-preserving). The caller
+    /// guarantees the drop set is *forward-closed out of*: no surviving
+    /// transaction has a known dependency edge into a dropped one — in
+    /// particular every reader of a dropped writer is itself dropped and
+    /// every `WR` source of a surviving reader survives — so the compacted
+    /// facts are exactly `Facts::analyze` of the compacted snapshot. Keys
+    /// losing a writer are fenced (see [`StreamFacts::fenced_keys`]); the
+    /// event log is cleared (consumers re-anchor their cursors at zero).
+    fn compact(&mut self, map: &[u32]) {
+        assert!(
+            self.unresolved.is_empty() && self.unresolved_count == 0,
+            "compact with unresolved reads"
+        );
+        let live = |id: TxnId| map[id.idx()] != u32::MAX;
+        let remap = |id: TxnId| TxnId(map[id.idx()]);
+
+        // Dense per-transaction vectors: survivors keep their relative
+        // order, so retained index == map value.
+        let mut i = 0;
+        self.ext.retain(|_| {
+            let keep = map[i] != u32::MAX;
+            i += 1;
+            keep
+        });
+        for ext in &mut self.ext {
+            for slot in ext.iter_mut() {
+                if let Some(WrSource::Txn(w)) = slot.2 {
+                    debug_assert!(live(w), "surviving reader kept a dropped WR source");
+                    slot.2 = Some(WrSource::Txn(remap(w)));
+                }
+            }
+        }
+        let mut i = 0;
+        self.facts.writes.retain(|_| {
+            let keep = map[i] != u32::MAX;
+            i += 1;
+            keep
+        });
+        self.facts.reads.clear();
+        self.facts.reads.resize(self.ext.len(), Vec::new());
+        for r in 0..self.ext.len() {
+            self.rebuild_reads(TxnId(r as u32));
+        }
+
+        self.final_writer.retain(|_, w| {
+            if live(*w) {
+                *w = remap(*w);
+                true
+            } else {
+                false
+            }
+        });
+        let fenced = &mut self.fenced;
+        self.facts.writers.retain(|&key, ws| {
+            let before = ws.len();
+            ws.retain(|&w| live(w));
+            let dropped = (before - ws.len()) as u32;
+            if dropped > 0 {
+                *fenced.entry(key).or_insert(0) += dropped;
+            }
+            for w in ws.iter_mut() {
+                *w = remap(*w);
+            }
+            !ws.is_empty()
+        });
+        let mut readers = HashMap::with_capacity(self.facts.readers.len());
+        for ((key, w), mut rs) in self.facts.readers.drain() {
+            if !live(w) {
+                debug_assert!(rs.iter().all(|&r| !live(r)), "surviving reader of a dropped writer");
+                continue;
+            }
+            debug_assert!(rs.iter().all(|&r| live(r)), "dropped reader of a surviving writer");
+            for r in rs.iter_mut() {
+                *r = remap(*r);
+            }
+            readers.insert((key, remap(w)), rs);
+        }
+        self.facts.readers = readers;
+        self.facts.init_readers.retain(|_, rs| {
+            rs.retain(|&r| live(r));
+            for r in rs.iter_mut() {
+                *r = remap(*r);
+            }
+            !rs.is_empty()
+        });
+        self.events.clear();
     }
 }
 
@@ -436,6 +558,10 @@ pub struct HistoryStream {
     session_txns: Vec<Vec<TxnId>>,
     sealed: Vec<bool>,
     ops: usize,
+    /// Transactions dropped by watermark compaction (monotone; `ops` and
+    /// `total_pushed` likewise never decrease, so progress counters agree
+    /// between compacted and uncompacted runs of the same stream).
+    compacted_txns: usize,
     facts: StreamFacts,
     shards: StreamShards,
 }
@@ -454,6 +580,7 @@ impl HistoryStream {
             session_txns: Vec::new(),
             sealed: Vec::new(),
             ops: 0,
+            compacted_txns: 0,
             facts: StreamFacts::new(),
             shards: StreamShards::new(),
         }
@@ -499,16 +626,32 @@ impl HistoryStream {
         id
     }
 
-    /// Seal a session: no further transactions will arrive on it. (The
-    /// hook for watermark-based GC of settled components; currently it
-    /// only enforces the contract.)
+    /// Seal a session: no further transactions will arrive on it. Sealing
+    /// is what lets watermark compaction ([`HistoryStream::compact`])
+    /// consider the session's settled prefix droppable.
     pub fn seal_session(&mut self, session: SessionId) {
         self.sealed[session.0 as usize] = true;
     }
 
-    /// Number of transactions pushed.
+    /// Whether `session` has been sealed.
+    pub fn is_sealed(&self, session: SessionId) -> bool {
+        self.sealed[session.0 as usize]
+    }
+
+    /// Number of **live** transactions (pushed minus compacted); live
+    /// arrival ids are `0..len()`.
     pub fn len(&self) -> usize {
         self.txns.len()
+    }
+
+    /// Transactions dropped by compaction so far.
+    pub fn compacted_txns(&self) -> usize {
+        self.compacted_txns
+    }
+
+    /// Total transactions ever pushed (monotone across compaction).
+    pub fn total_pushed(&self) -> usize {
+        self.txns.len() + self.compacted_txns
     }
 
     /// Whether the stream is empty.
@@ -536,6 +679,86 @@ impl HistoryStream {
         let t = &self.txns[id.idx()];
         let idx = t.index_in_session as usize;
         (idx > 0).then(|| self.session_txns[t.session.0 as usize][idx - 1])
+    }
+
+    /// Watermark compaction: drop the transactions with `drop[id] == true`
+    /// and renumber the survivors densely, returning the old→new arrival-id
+    /// map (`u32::MAX` for dropped ids). `ops`, `total_pushed`, and
+    /// `compacted_txns` stay monotone; `len` shrinks.
+    ///
+    /// The caller (the streaming checker) must pass a settled,
+    /// forward-closed drop set:
+    ///
+    /// * every dropped transaction belongs to a **sealed** session, and the
+    ///   dropped transactions of each session form a session-order
+    ///   **prefix** (asserted here);
+    /// * no surviving transaction has a known dependency edge into a
+    ///   dropped one — every reader of a dropped writer is dropped, every
+    ///   `WR` source of a survivor survives, and no live constraint touches
+    ///   a dropped endpoint (the checker computes this closure; the facts
+    ///   compaction debug-asserts the read/write half).
+    ///
+    /// Under that contract the compacted stream behaves exactly like a
+    /// fresh stream of the surviving suffix, with two loud exceptions at
+    /// the fence: later reads of a *dropped value* stay unresolved forever
+    /// (the axioms keep failing, as they should — the value no longer has a
+    /// writer), and later *initial-value* reads of a key with dropped
+    /// writers are refused as terminal [`AxiomViolation::FencedRead`]s.
+    pub fn compact(&mut self, drop: &[bool]) -> Vec<u32> {
+        assert_eq!(drop.len(), self.txns.len(), "drop mask must cover the live transactions");
+        let mut map = vec![u32::MAX; self.txns.len()];
+        let mut next = 0u32;
+        for (i, &d) in drop.iter().enumerate() {
+            if d {
+                let session = self.txns[i].session;
+                assert!(
+                    self.sealed[session.0 as usize],
+                    "compact a transaction of unsealed session {session:?}"
+                );
+            } else {
+                map[i] = next;
+                next += 1;
+            }
+        }
+        let dropped = self.txns.len() - next as usize;
+        if dropped == 0 {
+            return map;
+        }
+        // Session-order edges point forward, so a forward-closed drop set
+        // is a prefix of every session.
+        let mut prefix = vec![0u32; self.session_txns.len()];
+        for (s, txns) in self.session_txns.iter().enumerate() {
+            let p = txns.iter().take_while(|id| drop[id.idx()]).count();
+            assert!(
+                txns[p..].iter().all(|id| !drop[id.idx()]),
+                "dropped transactions of session {s} are not a session prefix"
+            );
+            prefix[s] = p as u32;
+        }
+        let mut kept = Vec::with_capacity(next as usize);
+        for (i, mut t) in std::mem::take(&mut self.txns).into_iter().enumerate() {
+            if drop[i] {
+                continue;
+            }
+            t.index_in_session -= prefix[t.session.0 as usize];
+            kept.push(t);
+        }
+        self.txns = kept;
+        for txns in self.session_txns.iter_mut() {
+            txns.retain(|id| !drop[id.idx()]);
+            for id in txns.iter_mut() {
+                *id = TxnId(map[id.idx()]);
+            }
+        }
+        self.facts.compact(&map);
+        for info in self.shards.info.values_mut() {
+            info.txns.retain(|id| !drop[id.idx()]);
+            for id in info.txns.iter_mut() {
+                *id = TxnId(map[id.idx()]);
+            }
+        }
+        self.compacted_txns += dropped;
+        map
     }
 
     /// The incremental facts.
@@ -721,6 +944,128 @@ mod tests {
         assert_eq!(s.session_predecessor(TxnId(2)), Some(TxnId(1)));
         assert_eq!(s.session_predecessor(TxnId(1)), None);
         assert_eq!(s.num_ops(), 3);
+    }
+
+    /// Compacting a settled prefix leaves a stream equivalent to a fresh
+    /// stream of the surviving suffix: facts match the batch analysis on
+    /// the compacted snapshot, ids are renumbered densely, and later
+    /// pushes resolve against survivors as usual.
+    #[test]
+    fn compact_behaves_like_fresh_stream_of_suffix() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed); // T0: dropped
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Committed); // T1: last writer
+        s.push_transaction(s1, vec![r(k(1), v(2))], TxnStatus::Committed); // T2: reads T1
+        s.seal_session(s0);
+        assert!(s.facts().axioms_ok());
+
+        // Drop T0 only: the last writer of key 1 and its reader survive,
+        // no survivor depends on T0 (forward-closed).
+        let map = s.compact(&[true, false, false]);
+        assert_eq!(map, vec![u32::MAX, 0, 1]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.compacted_txns(), 1);
+        assert_eq!(s.total_pushed(), 3);
+        assert_eq!(s.num_ops(), 3, "ops stay monotone across compaction");
+        assert!(s.facts().events().is_empty(), "event log is cleared");
+        assert_eq!(s.facts().fenced_keys().get(&k(1)), Some(&1));
+        assert_eq!(s.session_predecessor(TxnId(0)), None, "T1 is now a session head");
+        assert!(s.facts().axioms_ok());
+
+        // Facts equal the batch analysis of the compacted snapshot.
+        let (h, snap_map) = s.snapshot();
+        let batch = Facts::analyze(&h);
+        assert!(batch.axioms_ok());
+        let mut stream_wr: Vec<_> = s
+            .facts()
+            .facts()
+            .wr_edges()
+            .map(|(a, b, key)| (snap_map[a.idx()], snap_map[b.idx()], key))
+            .collect();
+        let mut batch_wr: Vec<_> = batch.wr_edges().collect();
+        stream_wr.sort_unstable_by_key(|&(a, b, key)| (a.0, b.0, key.0));
+        batch_wr.sort_unstable_by_key(|&(a, b, key)| (a.0, b.0, key.0));
+        assert_eq!(stream_wr, batch_wr);
+
+        // Later pushes get dense ids and resolve against survivors.
+        let id = s.push_transaction(s1, vec![r(k(1), v(2)), w(k(1), v(3))], TxnStatus::Committed);
+        assert_eq!(id, TxnId(2));
+        assert!(s.facts().axioms_ok());
+        assert!(s
+            .facts()
+            .events()
+            .iter()
+            .any(|e| matches!(e, FactEvent::Wr { writer: TxnId(0), reader: TxnId(2), .. })));
+        // Compaction of nothing is the identity.
+        let map = s.compact(&[false, false, false]);
+        assert_eq!(map, vec![0, 1, 2]);
+        assert_eq!(s.compacted_txns(), 1);
+    }
+
+    /// A later initial-value read of a fenced key (one with dropped
+    /// writers) is refused as a terminal fenced read.
+    #[test]
+    fn init_reads_below_the_fence_are_terminal() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Committed);
+        s.seal_session(s0);
+        s.compact(&[true, false]);
+        // An init read of an *unfenced* key is fine.
+        s.push_transaction(s1, vec![r(k(7), Value::INIT)], TxnStatus::Committed);
+        assert!(s.facts().axioms_ok());
+        // An init read of the fenced key is refused for good.
+        s.push_transaction(s1, vec![r(k(1), Value::INIT)], TxnStatus::Committed);
+        assert!(!s.facts().axioms_ok());
+        assert!(!s.facts().axioms_can_heal());
+        assert_eq!(
+            s.facts().fence_violations(),
+            &[AxiomViolation::FencedRead { txn: TxnId(2), key: k(1) }]
+        );
+    }
+
+    /// A later read of a *dropped value* stays unresolved forever — loud
+    /// at every checkpoint, but not terminal (matches the batch verdict on
+    /// the compacted snapshot, which sees an unknown-value read).
+    #[test]
+    fn reads_of_dropped_values_stay_unresolved() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Committed);
+        s.seal_session(s0);
+        s.compact(&[true, false]);
+        s.push_transaction(s1, vec![r(k(1), v(1))], TxnStatus::Committed);
+        assert!(!s.facts().axioms_ok());
+        assert!(s.facts().axioms_can_heal(), "unresolved, not terminal");
+        let (h, _) = s.snapshot();
+        assert!(!Facts::analyze(&h).axioms_ok(), "batch agrees the compacted prefix is broken");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsealed session")]
+    fn compact_requires_sealed_sessions() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Committed);
+        s.compact(&[true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a session prefix")]
+    fn compact_requires_session_prefixes() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Committed);
+        s.seal_session(s0);
+        s.compact(&[false, true]);
     }
 
     #[test]

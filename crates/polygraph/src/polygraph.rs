@@ -232,6 +232,33 @@ impl Polygraph {
         self.constraints.iter().map(Constraint::num_edges).sum()
     }
 
+    /// Apply a watermark-compaction id map (`u32::MAX` = dropped, as
+    /// returned by [`KnownGraph::compact`]): known edges with a dropped
+    /// endpoint disappear, surviving edges and constraints are renumbered,
+    /// and the vertex count shrinks to `n2`. The caller guarantees no
+    /// live constraint references a dropped transaction — the watermark
+    /// guard retains every constraint endpoint.
+    pub fn compact(&mut self, map: &[u32], n2: usize) {
+        debug_assert_eq!(map.len(), self.n);
+        self.known.retain(|e| map[e.from.idx()] != u32::MAX && map[e.to.idx()] != u32::MAX);
+        let remap = |e: &mut Edge| {
+            e.from = TxnId(map[e.from.idx()]);
+            e.to = TxnId(map[e.to.idx()]);
+        };
+        self.known.iter_mut().for_each(remap);
+        for cons in &mut self.constraints {
+            debug_assert!(
+                cons.either
+                    .iter()
+                    .chain(&cons.or)
+                    .all(|e| map[e.from.idx()] != u32::MAX && map[e.to.idx()] != u32::MAX),
+                "live constraint references a compacted transaction"
+            );
+            cons.either.iter_mut().chain(cons.or.iter_mut()).for_each(remap);
+        }
+        self.n = n2;
+    }
+
     /// Build the reachability oracle over the current known edges, or
     /// return a violating cycle if the known part is already cyclic.
     pub fn known_graph(&self) -> KnownGraphResult {

@@ -16,7 +16,7 @@
 //! ```
 
 use polysi::checker::engine::{
-    CheckEngine, EngineOptions, IsolationLevel, PruneThreads, Sharding, SolveThreads,
+    CheckEngine, CompactMode, EngineOptions, IsolationLevel, PruneThreads, Sharding, SolveThreads,
 };
 use polysi::checker::{check_si, dot, CheckOptions, Outcome, StreamVerdict, StreamingChecker};
 use polysi::history::{codec, stats::HistoryStats, History};
@@ -24,7 +24,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--checkpoints N]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--checkpoints N] [--compact on|off|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
     );
     ExitCode::from(2)
 }
@@ -75,6 +75,11 @@ fn stream_check(
             let txn = history.txn(polysi::history::TxnId(first + cursors[s] as u32));
             checker.push_transaction(sessions[s], txn.ops.clone(), txn.status);
             cursors[s] += 1;
+            if cursors[s] == len {
+                // The session is exhausted: sealing it lets watermark
+                // compaction treat its settled transactions as droppable.
+                checker.seal_session(sessions[s]);
+            }
             pushed += 1;
             since_checkpoint += 1;
             progressed = true;
@@ -215,6 +220,16 @@ fn main() -> ExitCode {
                             },
                             None => {
                                 eprintln!("--prune-threads takes N|auto");
+                                return usage();
+                            }
+                        };
+                    }
+                    "--compact" => {
+                        i += 1;
+                        opts.compact = match args.get(i).and_then(|s| CompactMode::parse(s)) {
+                            Some(mode) => mode,
+                            None => {
+                                eprintln!("--compact takes on|off|auto, got {:?}", args.get(i));
                                 return usage();
                             }
                         };

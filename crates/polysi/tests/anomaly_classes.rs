@@ -8,7 +8,7 @@ use polysi::dbsim::corpus::generate_corpus;
 #[test]
 fn corpus_templates_classified_as_named() {
     // Enough entries to include at least one instance of each of the
-    // sixteen templates (they alternate with fault-injected draws).
+    // eighteen templates (they alternate with fault-injected draws).
     let corpus = generate_corpus(38, 5);
     let mut seen = std::collections::HashSet::new();
     for entry in corpus {
@@ -25,7 +25,9 @@ fn corpus_templates_classified_as_named() {
                 | "cascade-lost-update"
                 | "checkpoint-flip"
                 | "session-braid"
-                | "monolithic-session",
+                | "monolithic-session"
+                | "settled-prefix-late-anomaly"
+                | "watermark-straddle-anomaly",
                 Outcome::CyclicViolation(v),
             ) => {
                 assert_eq!(v.anomaly, Anomaly::LostUpdate)
@@ -54,7 +56,7 @@ fn corpus_templates_classified_as_named() {
             (t, _) => panic!("template {t} produced the wrong outcome kind"),
         }
     }
-    assert_eq!(seen.len(), 16, "all sixteen templates exercised: {seen:?}");
+    assert_eq!(seen.len(), 18, "all eighteen templates exercised: {seen:?}");
 }
 
 #[test]

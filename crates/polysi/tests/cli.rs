@@ -65,7 +65,7 @@ fn stats_prints_counts() {
 /// Each entry is (file, expected exit code, required stdout substring).
 #[test]
 fn fixture_corpus_has_stable_verdicts() {
-    let fixtures: [(&str, i32, &str); 17] = [
+    let fixtures: [(&str, i32, &str); 19] = [
         ("long_fork.txt", 1, "long fork"),
         ("lost_update.txt", 1, "lost update"),
         ("write_skew.txt", 0, "OK"),
@@ -83,6 +83,8 @@ fn fixture_corpus_has_stable_verdicts() {
         ("checkpoint_flip.txt", 1, "lost update"),
         ("session_braid.txt", 1, "lost update"),
         ("monolithic_session.txt", 1, "lost update"),
+        ("settled_prefix_late_anomaly.txt", 1, "lost update"),
+        ("watermark_straddle_anomaly.txt", 1, "lost update"),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for (file, expected_code, needle) in fixtures {
@@ -181,6 +183,39 @@ fn stream_flag_replays_with_checkpoints() {
         .output()
         .expect("run stream check");
     assert_eq!(out.status.code(), Some(2), "--stream --no-pruning must be a usage error");
+}
+
+/// `--compact` composes with `--stream`: the watermark fixtures keep
+/// their anomaly verdicts with compaction on (the settled-prefix witness
+/// sits above the watermark; the straddling one pins it), clean fixtures
+/// still accept, and every `--compact` setting agrees with the batch
+/// verdict.
+#[test]
+fn stream_compact_flag_preserves_fixture_verdicts() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (file, code, needle) in [
+        ("settled_prefix_late_anomaly.txt", 1, "lost update"),
+        ("watermark_straddle_anomaly.txt", 1, "lost update"),
+        ("checkpoint_flip.txt", 1, "lost update"),
+        ("shard_disjoint_components.txt", 0, "OK"),
+    ] {
+        for mode in ["on", "off", "auto"] {
+            let out = bin()
+                .arg("check")
+                .arg(dir.join(file))
+                .args(["--stream", "--compact", mode])
+                .output()
+                .expect("run stream compact check");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert_eq!(out.status.code(), Some(code), "{file} --compact {mode}\n{stdout}");
+            assert!(stdout.contains(needle), "{file} --compact {mode}: {stdout}");
+        }
+    }
+    let out = bin()
+        .args(["check", "/nonexistent", "--stream", "--compact", "sometimes"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "bad --compact must be a usage error");
 }
 
 #[test]
@@ -304,7 +339,7 @@ fn fixture_corpus_parses_and_has_stats() {
         assert!(out.status.success(), "{}", path.display());
         assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
     }
-    assert_eq!(count, 17, "fixture corpus changed size without updating the verdict table");
+    assert_eq!(count, 19, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]
