@@ -1,0 +1,34 @@
+// Probe: duplicate write of a compacted-away value is silently accepted.
+use polysi::checker::engine::{CompactMode, EngineOptions, IsolationLevel};
+use polysi::checker::StreamingChecker;
+use polysi::history::{Key, Op, TxnStatus, Value};
+
+fn w(k: u64, v: u64) -> Op { Op::Write(Key(k), Value(v)) }
+fn r(k: u64, v: u64) -> Op { Op::Read(Key(k), Value(v)) }
+
+fn run(mode: CompactMode) -> Vec<bool> {
+    let opts = EngineOptions { compact: mode, ..EngineOptions::default() };
+    let mut c = StreamingChecker::new(IsolationLevel::Si, opts);
+    let s0 = c.session();
+    c.push_transaction(s0, vec![w(1, 1)], TxnStatus::Committed);
+    c.push_transaction(s0, vec![w(1, 2)], TxnStatus::Committed);
+    c.push_transaction(s0, vec![w(1, 3)], TxnStatus::Committed);
+    c.seal_session(s0);
+    let mut verdicts = vec![c.checkpoint().verdict.accepted()];
+    // Duplicate committed write of value 1 on key 1 (written by the
+    // now-compacted first txn), then a read that resolves to it.
+    let s1 = c.session();
+    c.push_transaction(s1, vec![w(1, 1)], TxnStatus::Committed);
+    verdicts.push(c.checkpoint().verdict.accepted());
+    c.push_transaction(s1, vec![r(1, 1)], TxnStatus::Committed);
+    verdicts.push(c.checkpoint().verdict.accepted());
+    verdicts
+}
+
+#[test]
+fn dup_write_probe() {
+    let off = run(CompactMode::Off);
+    let on = run(CompactMode::On);
+    println!("off={off:?} on={on:?}");
+    assert_eq!(off, on, "compacted run diverges from uncompacted on duplicate write");
+}
