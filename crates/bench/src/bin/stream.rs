@@ -11,11 +11,18 @@
 //! (a real batch deployment would have the history accumulated anyway),
 //! so the comparison is pipeline work only.
 //!
+//! `--live` switches to the live-pipeline benchmark instead: producers on
+//! one thread per session push through the bounded-queue ingest service
+//! while the drain thread checks concurrently, and the row reports
+//! end-to-end throughput plus per-checkpoint latency percentiles
+//! (p50/p99/max) — the pause a live deployment pays for each online
+//! verdict.
+//!
 //! `--quick` shrinks the workload for CI smoke runs.
 
 use polysi_bench::{csv_append, CountingAllocator};
 use polysi_checker::engine::{check, EngineOptions, IsolationLevel};
-use polysi_checker::{OracleKind, StreamVerdict, StreamingChecker};
+use polysi_checker::{LiveConfig, LiveService, OracleKind, StreamVerdict, StreamingChecker};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
 use polysi_history::{History, HistoryStream};
 use polysi_workloads::{multi_component, GeneralParams};
@@ -69,8 +76,89 @@ fn boundaries(total: usize, checkpoints: usize) -> Vec<usize> {
     b
 }
 
+/// The `--live` benchmark: concurrent producers through the ingest
+/// service, checkpoint-latency percentiles out.
+fn live_bench(quick: bool) {
+    let seed = 0x57_12EA_u64;
+    let total_sessions = 8usize;
+    let txns = if quick { 480 } else { 3200 };
+    let cadences: &[usize] = if quick { &[8] } else { &[8, 32] };
+    println!("# Live pipeline: concurrent producers vs checker ({txns} txns)");
+    println!(
+        "{:<16} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "workload", "cpts", "secs", "txns/s", "p50-ms", "p99-ms", "max-ms", "degraded"
+    );
+    let mut rows = Vec::new();
+    for (name, components) in [("general", 1usize), ("multi_component", 4)] {
+        let base = GeneralParams {
+            sessions: (total_sessions / components).max(1),
+            txns_per_session: txns / total_sessions,
+            ops_per_txn: 8,
+            keys: 40,
+            read_pct: 50,
+            seed,
+            ..Default::default()
+        };
+        let plan = multi_component(&base, components);
+        let sim = run(&plan, &SimConfig::new(SimLevel::SnapshotIsolation, seed));
+        let h = sim.history;
+
+        for &cadence in cadences {
+            let opts = EngineOptions::default();
+            let cfg = LiveConfig {
+                checkpoint_every: h.len().div_ceil(cadence).max(1),
+                ..LiveConfig::default()
+            };
+            let t = Instant::now();
+            let (service, clients) =
+                LiveService::spawn(IsolationLevel::Si, opts, cfg, h.num_sessions());
+            let report = std::thread::scope(|scope| {
+                for (client, session) in clients.into_iter().zip(h.sessions()) {
+                    let mut client = client;
+                    scope.spawn(move || {
+                        for txn in session.txns {
+                            client.push(txn.ops.clone(), txn.status);
+                        }
+                        client.seal();
+                    });
+                }
+                service.finish()
+            });
+            let wall = t.elapsed().as_secs_f64();
+            assert!(report.faults.is_empty(), "{name}: clean delivery must not fault");
+            assert!(
+                matches!(report.verdict(), StreamVerdict::Accepted),
+                "{name}: live check rejected a clean history"
+            );
+            let mut lats: Vec<f64> =
+                report.checkpoints.iter().map(|c| c.report.elapsed.as_secs_f64() * 1e3).collect();
+            lats.sort_by(f64::total_cmp);
+            let pct = |q: f64| lats[((lats.len() - 1) as f64 * q).round() as usize];
+            let (p50, p99, max) = (pct(0.50), pct(0.99), lats[lats.len() - 1]);
+            let throughput = report.stats.ingested as f64 / wall;
+            let degraded = report.checkpoints.iter().filter(|c| c.degraded).count();
+            println!(
+                "{name:<16} {cadence:>7} {wall:>10.3} {throughput:>10.0} {p50:>9.2} {p99:>9.2} {max:>9.2} {degraded:>9}"
+            );
+            rows.push(format!(
+                "{name},{},{cadence},{wall:.6},{throughput:.0},{p50:.4},{p99:.4},{max:.4},{degraded}",
+                h.len()
+            ));
+        }
+    }
+    csv_append(
+        "stream_live",
+        "workload,txns,checkpoints,wall_seconds,txns_per_sec,p50_ms,p99_ms,max_ms,degraded",
+        &rows,
+    );
+    println!("\nCSV appended to bench_results/stream_live.csv");
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::args().any(|a| a == "--live") {
+        return live_bench(quick);
+    }
     let seed = 0x57_12EA_u64;
     let total_sessions = 8usize;
     let txns = if quick { 480 } else { 3200 };

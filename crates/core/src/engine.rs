@@ -130,6 +130,36 @@ impl PruneThreads {
     }
 }
 
+/// Worker threads for the streaming checker's dirty-component sweep at a
+/// checkpoint (CLI `--checkpoint-threads`). Each dirty component's
+/// delta-extend (or rebuild) is independent of the others, so the sweep
+/// fans out over scoped threads exactly like the sharded batch engine;
+/// checkpoint reports are byte-identical for any setting — the verdict,
+/// violation list, and witness are canonical functions of the session-major
+/// snapshot, and the per-checkpoint stats are order-independent counts.
+/// Ignored by batch checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CheckpointThreads {
+    /// Use the machine's available parallelism, capped at the number of
+    /// dirty components.
+    #[default]
+    Auto,
+    /// Exactly `n` workers (1 = the sequential sweep).
+    Fixed(usize),
+}
+
+impl CheckpointThreads {
+    /// Resolve to a concrete worker count for `dirty` dirty components.
+    pub(crate) fn resolve(self, dirty: usize) -> usize {
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        match self {
+            CheckpointThreads::Fixed(n) => n.clamp(1, cores.saturating_mul(4).max(64)),
+            CheckpointThreads::Auto => cores,
+        }
+        .min(dirty.max(1))
+    }
+}
+
 /// Watermark compaction of the streaming checker's settled prefix
 /// (CLI `--compact`). Batch checks ignore it; with streaming, any setting
 /// yields the same checkpoint verdicts, violation lists, and witnesses as
@@ -236,6 +266,10 @@ pub struct EngineOptions {
     /// Watermark compaction of the streaming checker's settled prefix
     /// ([`CompactMode`]); ignored by batch checks.
     pub compact: CompactMode,
+    /// Worker parallelism of the streaming checker's dirty-component
+    /// sweep at a checkpoint ([`CheckpointThreads`]); ignored by batch
+    /// checks.
+    pub checkpoint_threads: CheckpointThreads,
 }
 
 impl Default for EngineOptions {
@@ -251,6 +285,7 @@ impl Default for EngineOptions {
             solve_mode: SolveMode::Auto,
             reach_oracle: OracleKind::Auto,
             compact: CompactMode::Auto,
+            checkpoint_threads: CheckpointThreads::Auto,
         }
     }
 }
@@ -273,6 +308,7 @@ impl From<&CheckOptions> for EngineOptions {
             solve_mode: SolveMode::Auto,
             reach_oracle: opts.reach_oracle,
             compact: CompactMode::Auto,
+            checkpoint_threads: CheckpointThreads::Fixed(1),
         }
     }
 }

@@ -47,6 +47,7 @@ pub mod dot;
 pub mod engine;
 pub mod interpret;
 pub mod list;
+pub mod live;
 pub mod oracle;
 pub mod solve;
 pub mod stream;
@@ -56,10 +57,14 @@ pub use check::{
     check_si, CheckOptions, CheckReport, EncodeStats, Outcome, StageTimings, Violation,
 };
 pub use engine::{
-    check, CheckEngine, EngineOptions, IsolationLevel, PruneThreads, ShardStats, Sharding, Stage,
+    check, CheckEngine, CheckpointThreads, EngineOptions, IsolationLevel, PruneThreads, ShardStats,
+    Sharding, Stage,
 };
 pub use interpret::{Certainty, Scenario};
 pub use list::{check_si_list, ListHistory, ListOp, ListReport, ListTxn, ListViolation};
+pub use live::{
+    LiveChecker, LiveCheckpoint, LiveClient, LiveConfig, LiveReport, LiveService, LiveStats,
+};
 pub use polysi_history::ShardFallback;
 pub use polysi_polygraph::OracleKind;
 pub use solve::{SolveMode, SolveModeUsed, SolveStats, SolveThreads};

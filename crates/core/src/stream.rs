@@ -63,13 +63,15 @@ use crate::check::{CheckReport, Outcome};
 use crate::engine::{encode, CheckEngine, CompactMode, EngineOptions, IsolationLevel};
 use crate::solve::SolvePlan;
 use polysi_history::{
-    AxiomViolation, FactEvent, Facts, History, HistoryStream, Key, Op, RootInfo, SessionId,
-    ShardComponent, TxnId, TxnStatus, WrSource,
+    AxiomViolation, FactEvent, Facts, History, HistoryStream, IngestError, Key, Op, RootInfo,
+    SessionId, ShardComponent, TxnId, TxnStatus, WrSource,
 };
 use polysi_polygraph::{
     Constraint, ConstraintMode, Edge, KnownGraph, Label, Polygraph, PruneOptions, PruneResult,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The verdict of one checkpoint.
@@ -226,9 +228,26 @@ impl StreamingChecker {
         self.stream.push_transaction(session, ops, status)
     }
 
+    /// Fallible ingest boundary: push one complete transaction, or report
+    /// the delivery-contract violation as a typed [`IngestError`] without
+    /// touching the stream. Live delivery paths use this.
+    pub fn try_push_transaction(
+        &mut self,
+        session: SessionId,
+        ops: Vec<Op>,
+        status: TxnStatus,
+    ) -> Result<TxnId, IngestError> {
+        self.stream.try_push_transaction(session, ops, status)
+    }
+
     /// Seal a session (no further transactions on it).
     pub fn seal_session(&mut self, session: SessionId) {
         self.stream.seal_session(session)
+    }
+
+    /// Fallible seal (idempotent; errors only on an unknown session).
+    pub fn try_seal_session(&mut self, session: SessionId) -> Result<(), IngestError> {
+        self.stream.try_seal_session(session)
     }
 
     /// The underlying stream (snapshot access, counters).
@@ -244,14 +263,6 @@ impl StreamingChecker {
     /// The checker's isolation level.
     pub fn isolation(&self) -> IsolationLevel {
         self.isolation
-    }
-
-    fn prune_options(&self) -> PruneOptions {
-        crate::engine::prune_options_for(&self.opts, self.stream.facts().facts(), 1)
-    }
-
-    fn solve_plan(&self) -> SolvePlan {
-        crate::engine::solve_plan_for(&self.opts, 1)
     }
 
     /// Produce a verdict for the prefix ingested so far, re-checking only
@@ -346,33 +357,75 @@ impl StreamingChecker {
         }
         self.cursor = events.len();
 
-        let prune_opts = self.prune_options();
-        let solve_plan = self.solve_plan();
         let dirty = per_tag.len();
+        let workers = self.opts.checkpoint_threads.resolve(dirty);
+        let prune_opts =
+            crate::engine::prune_options_for(&self.opts, self.stream.facts().facts(), workers);
+        let solve_plan = crate::engine::solve_plan_for(&self.opts, workers);
+
+        // Collect the dirty components as independent jobs: each owns its
+        // cached state (if any) and its event slice. Every job runs — even
+        // after one rejects — so `rebuilt` and the cached states are
+        // identical for any worker count (the canonical rejection report
+        // below is a pure function of the snapshot either way).
+        struct DirtyJob {
+            tag: u64,
+            events: Vec<FactEvent>,
+            state: Option<ComponentState>,
+        }
+        let jobs: Vec<DirtyJob> = per_tag
+            .into_iter()
+            .map(|(tag, events)| DirtyJob { tag, events, state: self.comps.remove(&tag) })
+            .collect();
+        let run_job = |job: DirtyJob| -> (u64, ComponentState, bool, bool) {
+            match job.state {
+                Some(mut state) => {
+                    let ok = self.check_delta(&mut state, &job.events, &prune_opts, &solve_plan);
+                    (job.tag, state, ok, false)
+                }
+                None => {
+                    let info = self
+                        .stream
+                        .shards()
+                        .components()
+                        .find(|c| c.tag == job.tag)
+                        .expect("grouped tag is live")
+                        .clone();
+                    let (state, ok) = self.check_rebuild(&info, &prune_opts, &solve_plan);
+                    (job.tag, state, ok, true)
+                }
+            }
+        };
+        let results: Vec<(u64, ComponentState, bool, bool)> = if workers <= 1 {
+            jobs.into_iter().map(run_job).collect()
+        } else {
+            // Scoped-thread fan-out with atomic work stealing, mirroring
+            // the sharded batch engine's `check_shards`.
+            let slots: Vec<Mutex<Option<DirtyJob>>> =
+                jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            let next = AtomicUsize::new(0);
+            let out: Mutex<Vec<(u64, ComponentState, bool, bool)>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= slots.len() {
+                            break;
+                        }
+                        let job = slots[i].lock().unwrap().take().expect("each slot claimed once");
+                        let res = run_job(job);
+                        out.lock().unwrap().push(res);
+                    });
+                }
+            });
+            out.into_inner().unwrap()
+        };
         let mut rebuilt = 0usize;
         let mut rejected = false;
-        for (tag, events) in per_tag {
-            let accepted = if let Some(mut state) = self.comps.remove(&tag) {
-                let ok = self.check_delta(&mut state, &events, &prune_opts, &solve_plan);
-                self.comps.insert(tag, state);
-                ok
-            } else {
-                rebuilt += 1;
-                let info = self
-                    .stream
-                    .shards()
-                    .components()
-                    .find(|c| c.tag == tag)
-                    .expect("grouped tag is live")
-                    .clone();
-                let (state, ok) = self.check_rebuild(&info, &prune_opts, &solve_plan);
-                self.comps.insert(tag, state);
-                ok
-            };
-            if !accepted {
-                rejected = true;
-                break;
-            }
+        for (tag, state, ok, was_rebuilt) in results {
+            self.comps.insert(tag, state);
+            rebuilt += was_rebuilt as usize;
+            rejected |= !ok;
         }
 
         if rejected {

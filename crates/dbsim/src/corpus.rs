@@ -374,6 +374,55 @@ pub fn watermark_straddle_anomaly(base: u64) -> History {
     b.build()
 }
 
+/// Template: **duplicate-delivery lost update** — the at-least-once
+/// transport bug the live hub's sequence numbers exist to prevent,
+/// materialized as a history: a client's read-modify-write is delivered
+/// twice without dedup, so two sessions apply the *same* logical update
+/// against the same base version (each also writing its own processing
+/// receipt). Under SI one of the two must have seen the other's write;
+/// the checker reports the lost update.
+pub fn duplicate_delivery_lost_update(base: u64) -> History {
+    let (x, receipt) = (Key(base), Key(base + 1));
+    let mut b = HistoryBuilder::new();
+    b.session(); // upstream: the base version both copies will read
+    b.begin().write(x, Value(base + 1)).commit();
+    b.session(); // the delivery, applied
+    b.begin()
+        .read(x, Value(base + 1))
+        .write(x, Value(base + 2))
+        .write(receipt, Value(base + 100))
+        .commit();
+    b.session(); // the same delivery re-applied after a timeout (no dedup)
+    b.begin()
+        .read(x, Value(base + 1))
+        .write(x, Value(base + 3))
+        .write(receipt, Value(base + 101))
+        .commit();
+    b.build()
+}
+
+/// Template: **stalled-session long fork** — a client goes silent
+/// mid-stream: its delivered prefix ends at a write that forks against a
+/// concurrent writer (the tail that would have serialized them never
+/// arrives), and two observers see the two branches in opposite orders —
+/// the paper's Figure 3 long fork, with one fork arm an abandoned
+/// session.
+pub fn stalled_session_long_fork(base: u64) -> History {
+    let (x, y) = (Key(base), Key(base + 1));
+    let mut b = HistoryBuilder::new();
+    b.session(); // anchor: old versions of both keys
+    b.begin().write(x, Value(base + 10)).write(y, Value(base + 20)).commit();
+    b.session(); // the stalled client: reads its anchor, forks x, then silence
+    b.begin().read(x, Value(base + 10)).write(x, Value(base + 11)).commit();
+    b.session(); // concurrent writer on the other arm
+    b.begin().write(y, Value(base + 21)).commit();
+    b.session(); // observer 1: new x, old y
+    b.begin().read(x, Value(base + 11)).read(y, Value(base + 20)).commit();
+    b.session(); // observer 2: old x, new y — the fork closes
+    b.begin().read(x, Value(base + 10)).read(y, Value(base + 21)).commit();
+    b.build()
+}
+
 /// Template: causality violation across a long session-order write chain —
 /// a second session observes the chain's last write, then (later in its
 /// own session) reads the chain's first key as unwritten. The violating
@@ -535,7 +584,7 @@ type Template = fn(u64) -> History;
 /// The paper replays 2477 known anomalies; `generate_corpus(2477, seed)`
 /// produces the same volume here.
 pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
-    let templates: [(&str, Template); 18] = [
+    let templates: [(&str, Template); 20] = [
         ("template:lost-update", lost_update),
         ("template:long-fork", long_fork),
         ("template:causality-violation", causality_violation),
@@ -554,6 +603,8 @@ pub fn generate_corpus(count: usize, seed: u64) -> Vec<CorpusEntry> {
         ("template:monolithic-session", monolithic_session),
         ("template:settled-prefix-late-anomaly", settled_prefix_late_anomaly),
         ("template:watermark-straddle-anomaly", watermark_straddle_anomaly),
+        ("template:duplicate-delivery-lost-update", duplicate_delivery_lost_update),
+        ("template:stalled-session-long-fork", stalled_session_long_fork),
     ];
     let faults = [
         IsolationLevel::NoWriteConflictDetection,
@@ -643,14 +694,14 @@ mod tests {
     }
 
     #[test]
-    fn templates_cover_eighteen_anomaly_families() {
-        let corpus = generate_corpus(36, 1);
+    fn templates_cover_twenty_anomaly_families() {
+        let corpus = generate_corpus(40, 1);
         let names: std::collections::HashSet<_> = corpus
             .iter()
             .filter(|e| e.source.starts_with("template:"))
             .map(|e| e.source.clone())
             .collect();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 20);
     }
 
     /// The streaming templates' defining property: SI-clean without the

@@ -1,0 +1,404 @@
+//! Ingest fault injection: delivery scripts for the live checker.
+//!
+//! A [`FaultPlan`] turns a finished [`History`] into a deterministic
+//! *delivery script* — the sequence of per-session protocol messages
+//! ([`Delivery`]) plus checkpoint markers that a live driver feeds into
+//! the checker's ingest hub. The clean script interleaves the sessions
+//! with a seeded shuffle; the plan then perturbs it with the fault classes
+//! a real transport produces:
+//!
+//! * **duplicated delivery** (tolerable): a `Txn` or `Seal` message is
+//!   repeated later in the same checkpoint epoch — at-least-once
+//!   semantics; healed exactly by the hub's sequence numbers;
+//! * **bounded within-session reorder** (tolerable): two session-adjacent
+//!   `Txn` messages swap delivery order — healed by buffering, and never
+//!   across a checkpoint marker or a `Seal`, so every non-degraded
+//!   checkpoint sees exactly the clean per-session prefixes;
+//! * **stalled/abandoned session** (degraded): a client goes silent —
+//!   its tail is never delivered and no `Seal` arrives;
+//! * **client crash mid-commit** (structural): a `Torn` message carrying
+//!   a prefix of the operations, then silence;
+//! * **malformed operations** (structural): a transaction arrives with no
+//!   operations at all (forbidden by Definition 3).
+//!
+//! With only the tolerable classes enabled the ingested per-session
+//! prefixes at every checkpoint marker — and therefore every checkpoint
+//! digest — are identical to clean delivery; the structural classes
+//! surface as typed `IngestError`s. Property-tested by
+//! `crates/polysi/tests/live.rs`.
+
+use polysi_history::live::Delivery;
+use polysi_history::History;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One step of a delivery script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptStep {
+    /// Deliver `msg` on session `session` (an index into the hub's lanes,
+    /// in open order).
+    Deliver {
+        /// Session index.
+        session: u32,
+        /// The protocol message.
+        msg: Delivery,
+    },
+    /// Take a checkpoint here. Tolerable perturbations never cross a
+    /// marker, so at each marker a healed run has ingested exactly the
+    /// clean prefixes.
+    Checkpoint,
+}
+
+/// A deterministic ingest fault-injection plan (see the module docs).
+/// Probabilities are per-mille; `0` everywhere is clean delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the fault placement (independent of the interleave seed,
+    /// so a faulty script perturbs *the same* clean interleave).
+    pub seed: u64,
+    /// ‰ of deliveries repeated later in their epoch (tolerable).
+    pub duplicates: u16,
+    /// ‰ of session-adjacent delivery pairs swapped (tolerable).
+    pub reorders: u16,
+    /// Sessions that go silent before their tail (abandoned, no `Seal`).
+    pub stalled_sessions: u32,
+    /// Sessions that crash mid-commit (a `Torn` prefix, then silence).
+    pub torn_sessions: u32,
+    /// ‰ of transactions delivered with their operations stripped
+    /// (structural: empty transaction).
+    pub malformed: u16,
+}
+
+impl FaultPlan {
+    /// Clean delivery: no faults at all.
+    pub fn clean() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            duplicates: 0,
+            reorders: 0,
+            stalled_sessions: 0,
+            torn_sessions: 0,
+            malformed: 0,
+        }
+    }
+
+    /// Only the tolerable classes (duplicates + bounded reorder): a hub
+    /// heals these to checkpoint digests byte-identical to clean.
+    pub fn tolerable(seed: u64, duplicates: u16, reorders: u16) -> FaultPlan {
+        FaultPlan { seed, duplicates, reorders, ..FaultPlan::clean() }
+    }
+
+    /// Whether this plan can change what the checker ingests (anything
+    /// beyond duplicates and healed reorder).
+    pub fn is_tolerable(&self) -> bool {
+        self.stalled_sessions == 0 && self.torn_sessions == 0 && self.malformed == 0
+    }
+
+    /// Build the delivery script for `h`: the seeded clean interleave
+    /// (`interleave_seed`) with `checkpoints` evenly spaced markers, then
+    /// this plan's perturbations. `FaultPlan::clean()` returns the clean
+    /// script itself.
+    pub fn script(&self, h: &History, checkpoints: usize, interleave_seed: u64) -> Vec<ScriptStep> {
+        let mut steps = clean_script(h, checkpoints, interleave_seed);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x005E_EDFA_B17A_B1E5_u64);
+
+        // Structural/session-level faults first: they truncate sessions,
+        // and the tolerable perturbations below must apply to what is
+        // actually delivered.
+        let sessions = h.num_sessions() as u32;
+        let mut victims: Vec<u32> = (0..sessions).collect();
+        for i in (1..victims.len()).rev() {
+            victims.swap(i, rng.gen_range(0..=i));
+        }
+        let torn: Vec<u32> = victims.iter().copied().take(self.torn_sessions as usize).collect();
+        let stalled: Vec<u32> = victims
+            .iter()
+            .copied()
+            .skip(self.torn_sessions as usize)
+            .take(self.stalled_sessions as usize)
+            .collect();
+        for &s in &torn {
+            tear_session(&mut steps, s, &mut rng);
+        }
+        for &s in &stalled {
+            stall_session(&mut steps, s, &mut rng);
+        }
+        if self.malformed > 0 {
+            for step in steps.iter_mut() {
+                if let ScriptStep::Deliver { msg: Delivery::Txn { ops, .. }, .. } = step {
+                    if rng.gen_range(0..1000) < self.malformed as u32 {
+                        ops.clear();
+                    }
+                }
+            }
+        }
+
+        // Tolerable perturbations, epoch by epoch (never across a
+        // checkpoint marker).
+        let mut out: Vec<ScriptStep> = Vec::with_capacity(steps.len());
+        let mut epoch: Vec<ScriptStep> = Vec::new();
+        for step in steps {
+            if matches!(step, ScriptStep::Checkpoint) {
+                perturb_epoch(&mut epoch, self, &mut rng);
+                out.append(&mut epoch);
+                out.push(ScriptStep::Checkpoint);
+            } else {
+                epoch.push(step);
+            }
+        }
+        perturb_epoch(&mut epoch, self, &mut rng);
+        out.append(&mut epoch);
+        out
+    }
+}
+
+/// The clean delivery script: each session's transactions as
+/// sequence-numbered `Txn` messages followed by its `Seal`, interleaved
+/// across sessions by a seeded shuffle, with `checkpoints` markers evenly
+/// spaced over the delivered transactions (the driver's `finish` takes
+/// the final checkpoint, so no trailing marker is emitted).
+pub fn clean_script(h: &History, checkpoints: usize, interleave_seed: u64) -> Vec<ScriptStep> {
+    let mut rng = StdRng::seed_from_u64(interleave_seed);
+    let mut queues: Vec<std::vec::IntoIter<Delivery>> = h
+        .sessions()
+        .map(|s| {
+            let mut msgs: Vec<Delivery> = s
+                .txns
+                .iter()
+                .enumerate()
+                .map(|(i, t)| Delivery::Txn { seq: i as u64, ops: t.ops.clone(), status: t.status })
+                .collect();
+            msgs.push(Delivery::Seal { count: s.txns.len() as u64 });
+            msgs.into_iter()
+        })
+        .collect();
+    let total: usize = h.len();
+    let interval = total.div_ceil(checkpoints.max(1)).max(1);
+    let mut steps = Vec::with_capacity(total + queues.len() + checkpoints);
+    let mut delivered_txns = 0usize;
+    let mut open: Vec<u32> = (0..queues.len() as u32).collect();
+    while !open.is_empty() {
+        let pick = rng.gen_range(0..open.len());
+        let s = open[pick];
+        match queues[s as usize].next() {
+            Some(msg) => {
+                let is_txn = matches!(msg, Delivery::Txn { .. });
+                steps.push(ScriptStep::Deliver { session: s, msg });
+                if is_txn {
+                    delivered_txns += 1;
+                    if delivered_txns.is_multiple_of(interval) && delivered_txns < total {
+                        steps.push(ScriptStep::Checkpoint);
+                    }
+                }
+            }
+            None => {
+                open.swap_remove(pick);
+            }
+        }
+    }
+    steps
+}
+
+/// Crash session `s` mid-commit: keep a prefix of its deliveries, replace
+/// the next transaction with a `Torn` message carrying a prefix of its
+/// operations, and drop everything after (including the `Seal`).
+fn tear_session(steps: &mut Vec<ScriptStep>, s: u32, rng: &mut StdRng) {
+    let positions: Vec<usize> = steps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, st)| match st {
+            ScriptStep::Deliver { session, msg: Delivery::Txn { .. } } if *session == s => Some(i),
+            _ => None,
+        })
+        .collect();
+    if positions.is_empty() {
+        return;
+    }
+    let cut = rng.gen_range(0..positions.len());
+    let at = positions[cut];
+    if let ScriptStep::Deliver { msg: Delivery::Txn { seq, ops, .. }, .. } = &steps[at] {
+        let torn = Delivery::Torn { seq: *seq, ops: ops[..ops.len() / 2].to_vec() };
+        steps[at] = ScriptStep::Deliver { session: s, msg: torn };
+    }
+    // Everything on `s` after the crash point vanishes.
+    let mut i = steps.len();
+    while i > at + 1 {
+        i -= 1;
+        if matches!(&steps[i], ScriptStep::Deliver { session, .. } if *session == s) {
+            steps.remove(i);
+        }
+    }
+}
+
+/// Session `s` goes silent: its last transaction(s) and its `Seal` are
+/// never delivered.
+fn stall_session(steps: &mut Vec<ScriptStep>, s: u32, rng: &mut StdRng) {
+    let positions: Vec<usize> = steps
+        .iter()
+        .enumerate()
+        .filter_map(|(i, st)| match st {
+            ScriptStep::Deliver { session, .. } if *session == s => Some(i),
+            _ => None,
+        })
+        .collect();
+    if positions.is_empty() {
+        return;
+    }
+    // Keep a (possibly empty) prefix; the Seal is always in the dropped
+    // tail, so the session is never sealed.
+    let keep = rng.gen_range(0..positions.len());
+    for &i in positions[keep..].iter().rev() {
+        steps.remove(i);
+    }
+}
+
+/// Apply the tolerable perturbations inside one checkpoint epoch:
+/// session-adjacent swaps (healed reorder) then duplicate insertions.
+fn perturb_epoch(epoch: &mut Vec<ScriptStep>, plan: &FaultPlan, rng: &mut StdRng) {
+    if plan.reorders > 0 {
+        // Candidate pairs: consecutive same-session Txn deliveries (by
+        // position in the epoch). A swap delivers seq j+1 before seq j —
+        // a displacement of 1, healed by any window ≥ 1. Each step joins
+        // at most one swap.
+        let mut i = 0;
+        while i < epoch.len() {
+            let ScriptStep::Deliver { session, msg: Delivery::Txn { .. } } = &epoch[i] else {
+                i += 1;
+                continue;
+            };
+            let s = *session;
+            let Some(j) = epoch[i + 1..]
+                .iter()
+                .position(|st| matches!(st, ScriptStep::Deliver { session, .. } if *session == s))
+            else {
+                i += 1;
+                continue;
+            };
+            let j = i + 1 + j;
+            let partner_is_txn =
+                matches!(&epoch[j], ScriptStep::Deliver { msg: Delivery::Txn { .. }, .. });
+            if partner_is_txn && rng.gen_range(0..1000) < plan.reorders as u32 {
+                epoch.swap(i, j);
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    if plan.duplicates > 0 {
+        let mut dups: Vec<(usize, ScriptStep)> = Vec::new();
+        for (i, step) in epoch.iter().enumerate() {
+            if let ScriptStep::Deliver { .. } = step {
+                if rng.gen_range(0..1000) < plan.duplicates as u32 {
+                    dups.push((i, step.clone()));
+                }
+            }
+        }
+        // Re-deliver each copy at a seeded position strictly *after* its
+        // original — at-least-once semantics, never ahead-of-sequence (an
+        // early copy of a late seq could overflow the reorder window on a
+        // long session, which would be a structural fault, not a
+        // tolerable one). Back-to-front insertion keeps the remaining
+        // originals' positions valid.
+        for (pos, dup) in dups.into_iter().rev() {
+            let at = rng.gen_range(pos + 1..=epoch.len());
+            epoch.insert(at, dup);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate_corpus;
+
+    fn sample() -> History {
+        generate_corpus(30, 0xFA117)
+            .into_iter()
+            .find(|c| c.history.num_sessions() >= 3 && c.history.len() >= 8)
+            .expect("corpus has a multi-session case")
+            .history
+    }
+
+    #[test]
+    fn clean_script_delivers_every_txn_once_in_session_order() {
+        let h = sample();
+        let steps = clean_script(&h, 4, 42);
+        let mut per_session: Vec<u64> = vec![0; h.num_sessions()];
+        let mut seals = 0usize;
+        let mut markers = 0usize;
+        for step in &steps {
+            match step {
+                ScriptStep::Deliver { session, msg: Delivery::Txn { seq, .. } } => {
+                    assert_eq!(*seq, per_session[*session as usize], "contiguous seqs");
+                    per_session[*session as usize] += 1;
+                }
+                ScriptStep::Deliver { session, msg: Delivery::Seal { count } } => {
+                    assert_eq!(*count, per_session[*session as usize], "seal after the tail");
+                    seals += 1;
+                }
+                ScriptStep::Deliver { .. } => panic!("clean script has no torn deliveries"),
+                ScriptStep::Checkpoint => markers += 1,
+            }
+        }
+        assert_eq!(per_session.iter().sum::<u64>() as usize, h.len());
+        assert_eq!(seals, h.num_sessions());
+        assert!(markers < 4, "no trailing marker (finish covers the tail)");
+        // Same seed, same script; different seed, different interleave.
+        assert_eq!(steps, clean_script(&h, 4, 42));
+        assert_ne!(steps, clean_script(&h, 4, 43));
+    }
+
+    #[test]
+    fn tolerable_script_preserves_per_session_prefixes_at_markers() {
+        let h = sample();
+        let plan = FaultPlan::tolerable(7, 300, 300);
+        assert!(plan.is_tolerable());
+        let clean = clean_script(&h, 3, 9);
+        let faulty = plan.script(&h, 3, 9);
+        assert_ne!(clean, faulty, "the plan must actually perturb");
+        // At every checkpoint marker (and at the end), the set of distinct
+        // seqs delivered per session matches the clean script's.
+        let frontier = |steps: &[ScriptStep]| {
+            let mut marks: Vec<Vec<std::collections::BTreeSet<u64>>> = Vec::new();
+            let mut now: Vec<std::collections::BTreeSet<u64>> =
+                vec![Default::default(); h.num_sessions()];
+            for step in steps {
+                match step {
+                    ScriptStep::Deliver { session, msg: Delivery::Txn { seq, .. } } => {
+                        now[*session as usize].insert(*seq);
+                    }
+                    ScriptStep::Checkpoint => marks.push(now.clone()),
+                    _ => {}
+                }
+            }
+            marks.push(now);
+            marks
+        };
+        assert_eq!(frontier(&clean), frontier(&faulty));
+    }
+
+    #[test]
+    fn structural_plans_tear_and_stall_sessions() {
+        let h = sample();
+        let plan = FaultPlan {
+            seed: 11,
+            torn_sessions: 1,
+            stalled_sessions: 1,
+            malformed: 200,
+            ..FaultPlan::clean()
+        };
+        assert!(!plan.is_tolerable());
+        let steps = plan.script(&h, 2, 9);
+        let torn = steps
+            .iter()
+            .filter(|s| matches!(s, ScriptStep::Deliver { msg: Delivery::Torn { .. }, .. }))
+            .count();
+        assert_eq!(torn, 1, "exactly one torn delivery");
+        let seals = steps
+            .iter()
+            .filter(|s| matches!(s, ScriptStep::Deliver { msg: Delivery::Seal { .. }, .. }))
+            .count();
+        assert_eq!(seals, h.num_sessions() - 2, "torn and stalled sessions never seal");
+    }
+}

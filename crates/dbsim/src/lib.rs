@@ -18,12 +18,14 @@
 //! [`corpus`] generator standing in for the paper's 2477 known anomalies.
 
 pub mod corpus;
+pub mod faults;
 pub mod profiles;
 pub mod replay;
 mod sim;
 mod store;
 pub mod testkit;
 
+pub use faults::{clean_script, FaultPlan, ScriptStep};
 pub use profiles::{table2_profiles, DbProfile, ExpectedAnomaly};
 pub use replay::{is_operationally_si, replay_check_si, ReplayResult};
 pub use sim::{run, SimConfig, SimOutcome};

@@ -122,11 +122,13 @@ pub fn corpus_classes(source: &str) -> &'static [&'static str] {
         | "template:session-braid"
         | "template:monolithic-session"
         | "template:settled-prefix-late-anomaly"
-        | "template:watermark-straddle-anomaly" => &["lost update"],
+        | "template:watermark-straddle-anomaly"
+        | "template:duplicate-delivery-lost-update" => &["lost update"],
         "template:long-fork"
         | "template:sharded-long-fork"
         | "template:so-chain-long-fork"
-        | "template:late-arriving-anomaly" => &["long fork"],
+        | "template:late-arriving-anomaly"
+        | "template:stalled-session-long-fork" => &["long fork"],
         "template:causality-violation" | "template:so-cascade-causality" => {
             &["causality violation"]
         }

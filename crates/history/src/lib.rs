@@ -24,6 +24,7 @@ pub mod codec;
 mod facts;
 mod history;
 mod ids;
+pub mod live;
 mod op;
 pub mod shard;
 pub mod stats;
@@ -32,6 +33,7 @@ pub mod stream;
 pub use facts::{AxiomViolation, Facts, WrSource};
 pub use history::{History, HistoryBuilder, SessionView};
 pub use ids::{Key, SessionId, TxnId, Value};
+pub use live::{Delivery, IngestError};
 pub use op::{Op, TxnStatus};
 pub use shard::{ShardComponent, ShardFallback, ShardPlan};
 pub use stream::{FactEvent, HistoryStream, RootInfo, StreamFacts, StreamShards};

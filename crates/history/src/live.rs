@@ -1,0 +1,134 @@
+//! The live ingest protocol: sequence-numbered per-session deliveries and
+//! the typed errors of the delivery contract.
+//!
+//! A live client streams its session as [`Delivery`] messages. Every
+//! transaction carries the client's own per-session sequence number
+//! (0-based, contiguous), which is what lets the receiving hub *heal*
+//! at-least-once transports: duplicated deliveries are dropped exactly
+//! (a seq already ingested or already buffered), and bounded reorder is
+//! repaired by buffering ahead-of-sequence transactions until the gap
+//! fills. Faults the sequence numbers cannot heal — a torn transaction
+//! from a mid-commit client crash, a push after the session's `Seal`, a
+//! reorder beyond the hub's window, a seal whose declared count does not
+//! match what arrived — are *structural*: they surface as a typed
+//! [`IngestError`], never a panic and never a silent skip.
+
+use crate::ids::SessionId;
+use crate::op::{Op, TxnStatus};
+
+/// One message on a live session's delivery channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// A complete transaction, `seq` in the client's own session order.
+    Txn {
+        /// Per-session sequence number (0-based, contiguous).
+        seq: u64,
+        /// The transaction's operations in program order.
+        ops: Vec<Op>,
+        /// Commit status.
+        status: TxnStatus,
+    },
+    /// A torn transaction: the client crashed mid-commit and only a
+    /// prefix of the operations made it out. Structural — the session is
+    /// abandoned at `seq`.
+    Torn {
+        /// The sequence number the torn transaction would have had.
+        seq: u64,
+        /// The operations that made it out before the crash.
+        ops: Vec<Op>,
+    },
+    /// End of session: the client promises it sent `count` transactions
+    /// (seqs `0..count`). The hub seals the session once all have been
+    /// ingested.
+    Seal {
+        /// Number of transactions the client claims to have sent.
+        count: u64,
+    },
+}
+
+/// A violation of the delivery contract, surfaced at the ingest boundary.
+///
+/// The first three variants are exactly the conditions the batch
+/// [`HistoryStream`](crate::stream::HistoryStream) boundary used to
+/// enforce with `assert!`; the rest arise only under live
+/// sequence-numbered delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// A delivery addressed a session id that was never opened.
+    UnknownSession {
+        /// The unopened session id.
+        session: SessionId,
+    },
+    /// A new (non-duplicate) transaction arrived after the session sealed.
+    SealedSession {
+        /// The sealed session.
+        session: SessionId,
+    },
+    /// A transaction with no operations (forbidden by Definition 3).
+    EmptyTransaction {
+        /// The offending session.
+        session: SessionId,
+    },
+    /// A transaction arrived more than `window` sequence numbers ahead of
+    /// the next expected one — the transport reordered beyond what the
+    /// hub is configured to heal.
+    ReorderBeyondWindow {
+        /// The offending session.
+        session: SessionId,
+        /// The sequence number that arrived.
+        seq: u64,
+        /// The sequence number the hub expected next.
+        expected: u64,
+        /// The configured healing window.
+        window: u64,
+    },
+    /// A `Seal { count }` that disagrees with what actually arrived:
+    /// `delivered` transactions were ingested, and no buffered
+    /// transaction can close the gap.
+    SealMismatch {
+        /// The offending session.
+        session: SessionId,
+        /// The count the client declared.
+        declared: u64,
+        /// The transactions actually ingested.
+        delivered: u64,
+    },
+    /// A torn transaction: the client crashed mid-commit. The session is
+    /// abandoned at the preceding transaction.
+    TornTransaction {
+        /// The crashed session.
+        session: SessionId,
+        /// The sequence number of the torn transaction.
+        seq: u64,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::UnknownSession { session } => write!(f, "unknown session {session:?}"),
+            IngestError::SealedSession { session } => {
+                write!(f, "push to a sealed session {session:?}")
+            }
+            IngestError::EmptyTransaction { session } => write!(
+                f,
+                "empty transaction on {session:?}: transactions must be non-empty (Definition 3)"
+            ),
+            IngestError::ReorderBeyondWindow { session, seq, expected, window } => write!(
+                f,
+                "reorder beyond window on {session:?}: got seq {seq}, expected {expected} \
+                 (window {window})"
+            ),
+            IngestError::SealMismatch { session, declared, delivered } => write!(
+                f,
+                "seal mismatch on {session:?}: client declared {declared} txns, {delivered} \
+                 arrived"
+            ),
+            IngestError::TornTransaction { session, seq } => {
+                write!(f, "torn transaction on {session:?} at seq {seq}: client crashed mid-commit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}

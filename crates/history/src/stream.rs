@@ -36,6 +36,7 @@
 use crate::facts::{AxiomViolation, Facts, ReadFact, WrSource};
 use crate::history::{History, Transaction};
 use crate::ids::{Key, SessionId, TxnId, Value};
+use crate::live::IngestError;
 use crate::op::{Op, TxnStatus};
 use std::collections::{BTreeMap, HashMap};
 
@@ -599,15 +600,42 @@ impl HistoryStream {
     /// Append one complete transaction to `session`. Transactions arrive
     /// in session order within each session; arrival order across sessions
     /// is free. Returns the transaction's stable **arrival id**.
+    ///
+    /// Infallible wrapper over [`HistoryStream::try_push_transaction`] for
+    /// batch/file replay paths where a contract violation is a programming
+    /// error: panics with the [`IngestError`] message.
     pub fn push_transaction(
         &mut self,
         session: SessionId,
         ops: Vec<Op>,
         status: TxnStatus,
     ) -> TxnId {
-        assert!((session.0 as usize) < self.session_txns.len(), "unknown session {session:?}");
-        assert!(!self.sealed[session.0 as usize], "push to a sealed session {session:?}");
-        assert!(!ops.is_empty(), "transactions must be non-empty (Definition 3)");
+        match self.try_push_transaction(session, ops, status) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible ingest boundary: append one complete transaction to
+    /// `session`, or report the delivery-contract violation as a typed
+    /// [`IngestError`] (unknown session, push after seal, empty
+    /// transaction) without touching the stream. Live delivery paths use
+    /// this; nothing here panics.
+    pub fn try_push_transaction(
+        &mut self,
+        session: SessionId,
+        ops: Vec<Op>,
+        status: TxnStatus,
+    ) -> Result<TxnId, IngestError> {
+        if (session.0 as usize) >= self.session_txns.len() {
+            return Err(IngestError::UnknownSession { session });
+        }
+        if self.sealed[session.0 as usize] {
+            return Err(IngestError::SealedSession { session });
+        }
+        if ops.is_empty() {
+            return Err(IngestError::EmptyTransaction { session });
+        }
         let id = TxnId(self.txns.len() as u32);
         self.ops += ops.len();
         let index_in_session = self.session_txns[session.0 as usize].len() as u32;
@@ -623,14 +651,34 @@ impl HistoryStream {
         self.shards.info.get_mut(&root).expect("session root has info").txns.push(id);
         self.facts.push(id, &txn);
         self.txns.push(txn);
-        id
+        Ok(id)
     }
 
     /// Seal a session: no further transactions will arrive on it. Sealing
     /// is what lets watermark compaction ([`HistoryStream::compact`])
     /// consider the session's settled prefix droppable.
+    ///
+    /// Infallible wrapper over [`HistoryStream::try_seal_session`]; panics
+    /// on an unknown session.
     pub fn seal_session(&mut self, session: SessionId) {
-        self.sealed[session.0 as usize] = true;
+        if let Err(e) = self.try_seal_session(session) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible seal: mark that no further transactions will arrive on
+    /// `session`. Sealing an already-sealed session is idempotent (a
+    /// duplicated `Seal` delivery is a tolerable fault, not an error);
+    /// sealing a session that was never opened is an
+    /// [`IngestError::UnknownSession`].
+    pub fn try_seal_session(&mut self, session: SessionId) -> Result<(), IngestError> {
+        match self.sealed.get_mut(session.0 as usize) {
+            Some(s) => {
+                *s = true;
+                Ok(())
+            }
+            None => Err(IngestError::UnknownSession { session }),
+        }
     }
 
     /// Whether `session` has been sealed.

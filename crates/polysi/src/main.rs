@@ -9,6 +9,8 @@
 //! polysi check history.txt --shards auto    # shard by key connectivity
 //! polysi check history.txt --prune-threads 4  # parallel constraint sweep
 //! polysi check history.txt --solve-threads 4  # parallel solve stage
+//! polysi check history.txt --stream --checkpoint-threads 4  # parallel checkpoints
+//! polysi check history.txt --live            # concurrent ingest via bounded queues
 //! polysi check history.txt --dot out.dot
 //! polysi check history.txt --no-pruning
 //! polysi stats history.txt                  # workload statistics only
@@ -16,15 +18,18 @@
 //! ```
 
 use polysi::checker::engine::{
-    CheckEngine, CompactMode, EngineOptions, IsolationLevel, PruneThreads, Sharding, SolveThreads,
+    CheckEngine, CheckpointThreads, CompactMode, EngineOptions, IsolationLevel, PruneThreads,
+    Sharding, SolveThreads,
 };
-use polysi::checker::{check_si, dot, CheckOptions, Outcome, StreamVerdict, StreamingChecker};
+use polysi::checker::{
+    check_si, dot, CheckOptions, LiveConfig, LiveService, Outcome, StreamVerdict, StreamingChecker,
+};
 use polysi::history::{codec, stats::HistoryStats, History};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--checkpoints N] [--compact on|off|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--live] [--checkpoints N] [--checkpoint-threads N|auto]\n               [--compact on|off|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
     );
     ExitCode::from(2)
 }
@@ -152,6 +157,90 @@ fn stream_check(
     }
 }
 
+/// `polysi check --live`: replay the history through the concurrent live
+/// ingest service — one producer thread and one bounded queue per session,
+/// the drain thread checkpointing on a count cadence — and report the
+/// checkpoint trail (degraded ones flagged), any ingest faults, and the
+/// final verdict.
+fn live_check(
+    history: &History,
+    isolation: IsolationLevel,
+    opts: EngineOptions,
+    checkpoints: usize,
+    quiet: bool,
+) -> ExitCode {
+    let total = history.len();
+    let cfg = LiveConfig {
+        checkpoint_every: total.div_ceil(checkpoints.max(1)).max(1),
+        ..LiveConfig::default()
+    };
+    let (service, clients) = LiveService::spawn(isolation, opts, cfg, history.num_sessions());
+    let report = std::thread::scope(|scope| {
+        for (client, session) in clients.into_iter().zip(history.sessions()) {
+            let mut client = client;
+            scope.spawn(move || {
+                for txn in session.txns {
+                    client.push(txn.ops.clone(), txn.status);
+                }
+                client.seal();
+            });
+        }
+        service.finish()
+    });
+    if !quiet {
+        for cp in &report.checkpoints {
+            let verdict = match &cp.report.verdict {
+                StreamVerdict::Accepted => "ok".to_string(),
+                StreamVerdict::AxiomViolations { healable, .. } => {
+                    format!("axioms broken ({})", if *healable { "healable" } else { "terminal" })
+                }
+                StreamVerdict::Rejected { .. } => "VIOLATION".to_string(),
+            };
+            println!(
+                "  checkpoint {}: {}/{} txns, {} components ({} dirty, {} rebuilt), {}{}, {:?}",
+                cp.report.seq,
+                cp.report.txns,
+                total,
+                cp.report.components,
+                cp.report.dirty,
+                cp.report.rebuilt,
+                verdict,
+                if cp.degraded { " [degraded]" } else { "" },
+                cp.report.elapsed
+            );
+        }
+        let s = &report.stats;
+        println!(
+            "  ingest: {} delivered, {} ingested, {} duplicates, {} healed, {} sealed",
+            s.delivered, s.ingested, s.duplicates, s.healed, s.sealed
+        );
+    }
+    for (sid, err) in &report.faults {
+        println!("  ingest fault on session {}: {err}", sid.0);
+    }
+    match report.verdict() {
+        StreamVerdict::Accepted => {
+            println!("OK: history satisfies {} (live)", isolation.long_name());
+            ExitCode::SUCCESS
+        }
+        StreamVerdict::AxiomViolations { violations, .. } => {
+            println!("VIOLATION: non-cyclic axioms failed");
+            for v in violations.iter().take(if quiet { 1 } else { usize::MAX }) {
+                println!("  - {v}");
+            }
+            ExitCode::FAILURE
+        }
+        StreamVerdict::Rejected { anomaly, first_violation_op } => {
+            match anomaly {
+                Some(a) => println!("VIOLATION: {a}"),
+                None => println!("VIOLATION: non-cyclic axioms failed"),
+            }
+            println!("  detected by op {first_violation_op}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn load(path: &str) -> Result<History, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     codec::decode(&text).map_err(|e| format!("{path}: {e}"))
@@ -167,6 +256,7 @@ fn main() -> ExitCode {
             let mut dot_path: Option<String> = None;
             let mut quiet = false;
             let mut stream = false;
+            let mut live = false;
             let mut checkpoints = 8usize;
             let mut i = 2;
             while i < args.len() {
@@ -175,6 +265,24 @@ fn main() -> ExitCode {
                     "--plain" => opts.mode = polysi::polygraph::ConstraintMode::Plain,
                     "--quiet" => quiet = true,
                     "--stream" => stream = true,
+                    "--live" => live = true,
+                    "--checkpoint-threads" => {
+                        i += 1;
+                        opts.checkpoint_threads = match args.get(i).map(String::as_str) {
+                            Some("auto") => CheckpointThreads::Auto,
+                            Some(n) => match n.parse::<usize>() {
+                                Ok(n) if n >= 1 => CheckpointThreads::Fixed(n),
+                                _ => {
+                                    eprintln!("--checkpoint-threads takes N|auto, got {n:?}");
+                                    return usage();
+                                }
+                            },
+                            None => {
+                                eprintln!("--checkpoint-threads takes N|auto");
+                                return usage();
+                            }
+                        };
+                    }
                     "--checkpoints" => {
                         i += 1;
                         checkpoints = match args.get(i).and_then(|n| n.parse::<usize>().ok()) {
@@ -287,20 +395,26 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
-            if stream {
+            if stream || live {
                 if !opts.pruning || opts.mode != polysi::polygraph::ConstraintMode::Generalized {
-                    eprintln!("--stream requires pruning and generalized constraints");
+                    let mode = if live { "--live" } else { "--stream" };
+                    eprintln!("{mode} requires pruning and generalized constraints");
                     return usage();
                 }
                 if !quiet {
                     println!(
-                        "streaming check: {} txns, {} sessions, {} checkpoints",
+                        "{} check: {} txns, {} sessions, {} checkpoints",
+                        if live { "live" } else { "streaming" },
                         history.len(),
                         history.num_sessions(),
                         checkpoints
                     );
                 }
-                return stream_check(&history, isolation, opts, checkpoints, quiet);
+                return if live {
+                    live_check(&history, isolation, opts, checkpoints, quiet)
+                } else {
+                    stream_check(&history, isolation, opts, checkpoints, quiet)
+                };
             }
             // Wall-clock as observed here: `report.timings` sums per-shard
             // CPU time on sharded runs, which overstates elapsed time.

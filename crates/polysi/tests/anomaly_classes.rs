@@ -8,8 +8,8 @@ use polysi::dbsim::corpus::generate_corpus;
 #[test]
 fn corpus_templates_classified_as_named() {
     // Enough entries to include at least one instance of each of the
-    // eighteen templates (they alternate with fault-injected draws).
-    let corpus = generate_corpus(38, 5);
+    // twenty templates (they alternate with fault-injected draws).
+    let corpus = generate_corpus(40, 5);
     let mut seen = std::collections::HashSet::new();
     for entry in corpus {
         let Some(template) = entry.source.strip_prefix("template:") else {
@@ -27,13 +27,18 @@ fn corpus_templates_classified_as_named() {
                 | "session-braid"
                 | "monolithic-session"
                 | "settled-prefix-late-anomaly"
-                | "watermark-straddle-anomaly",
+                | "watermark-straddle-anomaly"
+                | "duplicate-delivery-lost-update",
                 Outcome::CyclicViolation(v),
             ) => {
                 assert_eq!(v.anomaly, Anomaly::LostUpdate)
             }
             (
-                "long-fork" | "sharded-long-fork" | "so-chain-long-fork" | "late-arriving-anomaly",
+                "long-fork"
+                | "sharded-long-fork"
+                | "so-chain-long-fork"
+                | "late-arriving-anomaly"
+                | "stalled-session-long-fork",
                 Outcome::CyclicViolation(v),
             ) => {
                 assert_eq!(v.anomaly, Anomaly::LongFork)
@@ -56,7 +61,7 @@ fn corpus_templates_classified_as_named() {
             (t, _) => panic!("template {t} produced the wrong outcome kind"),
         }
     }
-    assert_eq!(seen.len(), 18, "all eighteen templates exercised: {seen:?}");
+    assert_eq!(seen.len(), 20, "all twenty templates exercised: {seen:?}");
 }
 
 #[test]

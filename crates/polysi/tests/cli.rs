@@ -65,7 +65,7 @@ fn stats_prints_counts() {
 /// Each entry is (file, expected exit code, required stdout substring).
 #[test]
 fn fixture_corpus_has_stable_verdicts() {
-    let fixtures: [(&str, i32, &str); 19] = [
+    let fixtures: [(&str, i32, &str); 21] = [
         ("long_fork.txt", 1, "long fork"),
         ("lost_update.txt", 1, "lost update"),
         ("write_skew.txt", 0, "OK"),
@@ -85,6 +85,8 @@ fn fixture_corpus_has_stable_verdicts() {
         ("monolithic_session.txt", 1, "lost update"),
         ("settled_prefix_late_anomaly.txt", 1, "lost update"),
         ("watermark_straddle_anomaly.txt", 1, "lost update"),
+        ("duplicate_delivery_lost_update.txt", 1, "lost update"),
+        ("stalled_session_long_fork.txt", 1, "long fork"),
     ];
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
     for (file, expected_code, needle) in fixtures {
@@ -236,6 +238,54 @@ fn prune_threads_flag_validates() {
 }
 
 #[test]
+fn checkpoint_threads_flag_validates() {
+    let out = bin()
+        .args(["check", "/nonexistent", "--checkpoint-threads", "lots"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "bad --checkpoint-threads must be usage error");
+    let out =
+        bin().args(["check", "/nonexistent", "--checkpoint-threads", "0"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// `--live` replays the history through the concurrent ingest service:
+/// verdicts and exit codes match the batch run, the checkpoint trail and
+/// ingest counters are reported, and `--checkpoint-threads` never changes
+/// a verdict.
+#[test]
+fn live_flag_checks_through_the_ingest_service() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (file, code, needle) in [
+        ("duplicate_delivery_lost_update.txt", 1, "lost update"),
+        ("stalled_session_long_fork.txt", 1, "long fork"),
+        ("shard_disjoint_components.txt", 0, "OK"),
+    ] {
+        for threads in ["1", "4", "auto"] {
+            let out = bin()
+                .arg("check")
+                .arg(dir.join(file))
+                .args(["--live", "--checkpoint-threads", threads])
+                .output()
+                .expect("run live check");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert_eq!(out.status.code(), Some(code), "{file} --live/{threads}\n{stdout}");
+            assert!(stdout.contains(needle), "{file} --live/{threads}: {stdout}");
+            assert!(stdout.contains("ingest:"), "{file}: missing ingest counters\n{stdout}");
+            assert!(stdout.contains("checkpoint 1:"), "{file}: missing trail\n{stdout}");
+        }
+    }
+    // --live inherits --stream's composition rules.
+    let out = bin()
+        .arg("check")
+        .arg(dir.join("serializable.txt"))
+        .args(["--live", "--no-pruning"])
+        .output()
+        .expect("run live check");
+    assert_eq!(out.status.code(), Some(2), "--live --no-pruning must be a usage error");
+}
+
+#[test]
 fn solve_threads_flag_validates() {
     let out =
         bin().args(["check", "/nonexistent", "--solve-threads", "many"]).output().expect("run");
@@ -339,7 +389,7 @@ fn fixture_corpus_parses_and_has_stats() {
         assert!(out.status.success(), "{}", path.display());
         assert!(String::from_utf8_lossy(&out.stdout).contains("txns"));
     }
-    assert_eq!(count, 19, "fixture corpus changed size without updating the verdict table");
+    assert_eq!(count, 21, "fixture corpus changed size without updating the verdict table");
 }
 
 #[test]

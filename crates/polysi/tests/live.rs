@@ -1,0 +1,465 @@
+//! The live ingest service's delivery contract, property-tested:
+//!
+//! * **tolerable faults heal exactly** — duplicated deliveries and
+//!   bounded within-session reorder produce checkpoint digests
+//!   byte-identical to clean delivery, across random interleavings,
+//!   cadences, and fault seeds;
+//! * **structural faults degrade loudly** — torn transactions, pushes
+//!   after seal, empty transactions, reorder beyond the window, and seal
+//!   mismatches surface as typed `IngestError`s (zero panics, zero silent
+//!   skips) while every other session's verdict is unaffected;
+//! * **parallel dirty-component checkpointing is byte-identical** for
+//!   any `--checkpoint-threads` setting (the sweep: 1 / 4 / auto);
+//! * the concurrent [`LiveService`] (bounded queues, backpressure,
+//!   drain thread) reaches the same final verdict as a synchronous run.
+
+use polysi::checker::engine::{CheckpointThreads, EngineOptions, IsolationLevel, Sharding};
+use polysi::checker::live::Delivery;
+use polysi::checker::{
+    CheckReport, LiveChecker, LiveConfig, LiveReport, LiveService, Outcome, StreamingChecker,
+};
+use polysi::dbsim::faults::{clean_script, FaultPlan, ScriptStep};
+use polysi::dbsim::testkit::{conformance_corpus, ConformanceCase};
+use polysi::history::{History, IngestError, Key, Op, SessionId, TxnId, TxnStatus, Value};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn corpus() -> &'static [ConformanceCase] {
+    static CORPUS: std::sync::OnceLock<Vec<ConformanceCase>> = std::sync::OnceLock::new();
+    CORPUS.get_or_init(|| {
+        conformance_corpus(0x11FE, 1, 14).into_iter().filter(|c| !c.history.is_empty()).collect()
+    })
+}
+
+/// A stable digest of a batch report's verdict (the canonical rejection).
+fn report_digest(report: &CheckReport) -> String {
+    match &report.outcome {
+        Outcome::Si => "ok".into(),
+        Outcome::AxiomViolations(vs) => format!("axioms:{vs:?}"),
+        Outcome::CyclicViolation(v) => format!("cycle:{}:{:?}", v.anomaly, v.cycle),
+    }
+}
+
+/// A stable digest of one live checkpoint: the covered prefix size and
+/// the full verdict (violation lists included), plus the degraded flag.
+/// Timing (`elapsed`) and cache stats are deliberately excluded — they
+/// are performance metadata, not part of the contract.
+fn checkpoint_digest(cp: &polysi::checker::LiveCheckpoint) -> String {
+    format!(
+        "{}txn/{}op/{}cp/degraded={}:{:?}",
+        cp.report.txns, cp.report.ops, cp.report.seq, cp.degraded, cp.report.verdict
+    )
+}
+
+/// Drive a delivery script through a fresh hub (cadence off — the
+/// script's markers place the checkpoints). Returns the report and the
+/// canonical rejection digest, if the stream terminally rejected.
+fn run_script(
+    h: &History,
+    steps: &[ScriptStep],
+    opts: EngineOptions,
+    isolation: IsolationLevel,
+) -> (LiveReport, Option<String>) {
+    let cfg = LiveConfig { checkpoint_every: 0, reorder_window: 16, ..LiveConfig::default() };
+    let mut hub = LiveChecker::new(isolation, opts, cfg);
+    for _ in 0..h.num_sessions() {
+        hub.session();
+    }
+    for step in steps {
+        match step {
+            ScriptStep::Deliver { session, msg } => {
+                let _ = hub.deliver(SessionId(*session), msg.clone());
+            }
+            ScriptStep::Checkpoint => {
+                hub.checkpoint_now();
+            }
+        }
+    }
+    let report = hub.finish();
+    let witness = hub.checker().rejection().map(|r| report_digest(&r.report));
+    (report, witness)
+}
+
+/// Tolerable-fault digest equality on the whole corpus at a fixed seed —
+/// the deterministic anchor for the proptest below.
+#[test]
+fn tolerable_faults_heal_to_clean_digests_on_corpus() {
+    for case in corpus() {
+        let h = &case.history;
+        let opts = EngineOptions { interpret: false, ..Default::default() };
+        let clean = clean_script(h, 3, 7);
+        let faulty = FaultPlan::tolerable(13, 250, 250).script(h, 3, 7);
+        let (creport, cwitness) = run_script(h, &clean, opts, IsolationLevel::Si);
+        let (freport, fwitness) = run_script(h, &faulty, opts, IsolationLevel::Si);
+        assert!(creport.faults.is_empty(), "{}: clean delivery has no faults", case.name);
+        assert!(freport.faults.is_empty(), "{}: tolerable faults are healed", case.name);
+        let cd: Vec<String> = creport.checkpoints.iter().map(checkpoint_digest).collect();
+        let fd: Vec<String> = freport.checkpoints.iter().map(checkpoint_digest).collect();
+        assert_eq!(cd, fd, "{}: faulty checkpoints diverged from clean", case.name);
+        assert_eq!(cwitness, fwitness, "{}: canonical witness diverged", case.name);
+    }
+}
+
+// The same equality under proptest-chosen interleavings, cadences, and
+// fault seeds, both isolation levels.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn tolerable_faults_heal_across_interleavings_and_cadences(
+        case_idx in 0usize..1000,
+        interleave_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        checkpoints in 1usize..6,
+        dup in 0u16..400,
+        reorder in 0u16..400,
+        ser in any::<bool>(),
+    ) {
+        let cases = corpus();
+        let case = &cases[case_idx % cases.len()];
+        let h = &case.history;
+        let isolation = if ser { IsolationLevel::Ser } else { IsolationLevel::Si };
+        let opts = EngineOptions { interpret: false, ..Default::default() };
+        let clean = clean_script(h, checkpoints, interleave_seed);
+        let faulty =
+            FaultPlan::tolerable(fault_seed, dup, reorder).script(h, checkpoints, interleave_seed);
+        let (creport, cwitness) = run_script(h, &clean, opts, isolation);
+        let (freport, fwitness) = run_script(h, &faulty, opts, isolation);
+        prop_assert!(freport.faults.is_empty(), "tolerable faults must be healed");
+        let cd: Vec<String> = creport.checkpoints.iter().map(checkpoint_digest).collect();
+        let fd: Vec<String> = freport.checkpoints.iter().map(checkpoint_digest).collect();
+        prop_assert_eq!(cd, fd, "{}: faulty checkpoints diverged", &case.name);
+        prop_assert_eq!(cwitness, fwitness);
+        // Healing is visible in the stats whenever the plan actually
+        // perturbed something.
+        let clean_stats = creport.stats;
+        let fault_stats = freport.stats;
+        prop_assert_eq!(clean_stats.ingested, fault_stats.ingested);
+        prop_assert!(fault_stats.duplicates + fault_stats.healed
+            >= fault_stats.delivered.saturating_sub(clean_stats.delivered));
+    }
+}
+
+// Structural-fault sweep: torn clients, stalled sessions, and malformed
+// transactions produce typed errors and abandoned-session reports — and
+// never a panic — across proptest-chosen corpora and seeds.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn structural_faults_surface_as_typed_errors(
+        case_idx in 0usize..1000,
+        interleave_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        torn in 0u32..2,
+        stalled in 0u32..2,
+        malformed in 0u16..300,
+    ) {
+        let cases = corpus();
+        let case = &cases[case_idx % cases.len()];
+        let h = &case.history;
+        prop_assume!(h.num_sessions() >= 2 && h.len() >= 4);
+        let plan = FaultPlan {
+            seed: fault_seed,
+            torn_sessions: torn,
+            stalled_sessions: stalled,
+            malformed,
+            ..FaultPlan::clean()
+        };
+        let opts = EngineOptions { interpret: false, ..Default::default() };
+        let steps = plan.script(h, 2, interleave_seed);
+        let (report, _witness) = run_script(h, &steps, opts, IsolationLevel::Si);
+        // Every torn delivery in the script surfaced as a TornTransaction.
+        let torn_sent = steps
+            .iter()
+            .filter(|s| matches!(s, ScriptStep::Deliver { msg: Delivery::Torn { .. }, .. }))
+            .count();
+        let torn_seen = report
+            .faults
+            .iter()
+            .filter(|(_, e)| matches!(e, IngestError::TornTransaction { .. }))
+            .count();
+        prop_assert_eq!(torn_sent, torn_seen);
+        // Stalled sessions (delivered but never sealed) are reported
+        // abandoned; torn ones were closed at the crash, every healthy
+        // session sealed — so the abandoned list is exactly the stalled
+        // set.
+        prop_assert_eq!(report.abandoned.len(), stalled as usize);
+        // Malformed (empty) transactions are typed, not skipped silently.
+        let empty_sent = steps
+            .iter()
+            .filter(|s| matches!(s, ScriptStep::Deliver { msg: Delivery::Txn { ops, .. }, .. }
+                if ops.is_empty()))
+            .count();
+        let empty_seen = report
+            .faults
+            .iter()
+            .filter(|(_, e)| matches!(e, IngestError::EmptyTransaction { .. }))
+            .count();
+        prop_assert_eq!(empty_sent, empty_seen);
+    }
+}
+
+/// Each structural error variant, provoked directly at the hub boundary.
+#[test]
+fn hub_types_every_structural_fault() {
+    let opts = EngineOptions { interpret: false, ..Default::default() };
+    let cfg = LiveConfig { checkpoint_every: 0, reorder_window: 2, ..LiveConfig::default() };
+    let wop = |k: u64, v: u64| Op::Write { key: Key(k), value: Value(v) };
+    let commit = TxnStatus::Committed;
+
+    // Unknown session.
+    let mut hub = LiveChecker::new(IsolationLevel::Si, opts, cfg);
+    let err = hub.deliver(SessionId(9), Delivery::Seal { count: 0 });
+    assert!(matches!(err, Err(IngestError::UnknownSession { .. })), "{err:?}");
+
+    // Push after seal (a *new* seq; duplicates of old seqs stay fine).
+    let mut hub = LiveChecker::new(IsolationLevel::Si, opts, cfg);
+    let s = hub.session();
+    hub.deliver(s, Delivery::Txn { seq: 0, ops: vec![wop(1, 10)], status: commit }).unwrap();
+    hub.deliver(s, Delivery::Seal { count: 1 }).unwrap();
+    hub.deliver(s, Delivery::Txn { seq: 0, ops: vec![wop(1, 10)], status: commit })
+        .expect("duplicate of an ingested seq is tolerable even after seal");
+    let err = hub.deliver(s, Delivery::Txn { seq: 1, ops: vec![wop(1, 11)], status: commit });
+    assert!(matches!(err, Err(IngestError::SealedSession { .. })), "{err:?}");
+
+    // Empty transaction: typed, slot consumed, session continues.
+    let mut hub = LiveChecker::new(IsolationLevel::Si, opts, cfg);
+    let s = hub.session();
+    let err = hub.deliver(s, Delivery::Txn { seq: 0, ops: vec![], status: commit });
+    assert!(matches!(err, Err(IngestError::EmptyTransaction { .. })), "{err:?}");
+    hub.deliver(s, Delivery::Txn { seq: 1, ops: vec![wop(1, 10)], status: commit })
+        .expect("the session survives a malformed transaction");
+    hub.deliver(s, Delivery::Seal { count: 2 }).expect("seal counts the consumed slot");
+
+    // Reorder beyond the window.
+    let mut hub = LiveChecker::new(IsolationLevel::Si, opts, cfg);
+    let s = hub.session();
+    let err = hub.deliver(s, Delivery::Txn { seq: 5, ops: vec![wop(1, 10)], status: commit });
+    assert!(
+        matches!(err, Err(IngestError::ReorderBeyondWindow { expected: 0, seq: 5, .. })),
+        "{err:?}"
+    );
+
+    // Seal mismatch (declared more than delivered).
+    let mut hub = LiveChecker::new(IsolationLevel::Si, opts, cfg);
+    let s = hub.session();
+    hub.deliver(s, Delivery::Txn { seq: 0, ops: vec![wop(1, 10)], status: commit }).unwrap();
+    let err = hub.deliver(s, Delivery::Seal { count: 3 });
+    assert!(
+        matches!(err, Err(IngestError::SealMismatch { declared: 3, delivered: 1, .. })),
+        "{err:?}"
+    );
+
+    // Torn transaction: abandoned at the last good txn, other sessions
+    // unaffected.
+    let mut hub = LiveChecker::new(IsolationLevel::Si, opts, cfg);
+    let s1 = hub.session();
+    let s2 = hub.session();
+    hub.deliver(s1, Delivery::Txn { seq: 0, ops: vec![wop(1, 10)], status: commit }).unwrap();
+    let err = hub.deliver(s1, Delivery::Torn { seq: 1, ops: vec![wop(2, 20)] });
+    assert!(matches!(err, Err(IngestError::TornTransaction { seq: 1, .. })), "{err:?}");
+    hub.deliver(s2, Delivery::Txn { seq: 0, ops: vec![wop(3, 30)], status: commit })
+        .expect("other sessions continue past a crash");
+    hub.deliver(s2, Delivery::Seal { count: 1 }).unwrap();
+    let report = hub.finish();
+    assert_eq!(report.faults.len(), 1);
+    assert!(report.verdict().accepted(), "the surviving prefix is clean");
+}
+
+/// The stall watchdog: with the cadence due but a reorder gap open, the
+/// checkpoint is deferred up to the patience budget, then fires degraded
+/// (flagged, with the stalled session listed).
+#[test]
+fn stall_watchdog_defers_then_degrades() {
+    let opts = EngineOptions { interpret: false, ..Default::default() };
+    let cfg = LiveConfig {
+        checkpoint_every: 2,
+        reorder_window: 8,
+        stall_patience: 3,
+        ..LiveConfig::default()
+    };
+    let wop = |k: u64, v: u64| Op::Write { key: Key(k), value: Value(v) };
+    let commit = TxnStatus::Committed;
+    let mut hub = LiveChecker::new(IsolationLevel::Si, opts, cfg);
+    let s1 = hub.session();
+    let s2 = hub.session();
+    // s1's seq 0 is missing: seq 1 waits in the buffer.
+    hub.deliver(s1, Delivery::Txn { seq: 1, ops: vec![wop(1, 11)], status: commit }).unwrap();
+    // s2 keeps delivering; the cadence (every 2 ingests) comes due while
+    // s1's gap is open — deferred for `stall_patience` deliveries.
+    for i in 0..5u64 {
+        hub.deliver(s2, Delivery::Txn { seq: i, ops: vec![wop(10 + i, 100 + i)], status: commit })
+            .unwrap();
+    }
+    let degraded: Vec<_> = hub.checkpoints().iter().filter(|c| c.degraded).collect();
+    assert_eq!(degraded.len(), 1, "patience exhausted exactly once");
+    assert_eq!(degraded[0].stalled, vec![s1], "the wedged session is named");
+    // The gap filler arrives: healing resumes and the next checkpoint is
+    // clean again.
+    hub.deliver(s1, Delivery::Txn { seq: 0, ops: vec![wop(2, 21)], status: commit }).unwrap();
+    let report = hub.finish();
+    assert!(!report.checkpoints.last().unwrap().degraded);
+    assert_eq!(report.stats.healed, 1);
+    assert!(report.verdict().accepted());
+}
+
+/// Parallel dirty-component checkpointing: the full checkpoint report
+/// stream is byte-identical for `--checkpoint-threads` 1 / 4 / auto, on
+/// every corpus case, both isolation levels.
+#[test]
+fn parallel_checkpointing_is_byte_identical_across_thread_counts() {
+    for case in corpus() {
+        let h = &case.history;
+        for isolation in [IsolationLevel::Si, IsolationLevel::Ser] {
+            let run = |threads: CheckpointThreads| -> (Vec<String>, Option<String>) {
+                let opts = EngineOptions {
+                    interpret: false,
+                    sharding: Sharding::Auto,
+                    checkpoint_threads: threads,
+                    ..Default::default()
+                };
+                let mut checker = StreamingChecker::new(isolation, opts);
+                let sessions: Vec<SessionId> =
+                    (0..h.num_sessions()).map(|_| checker.session()).collect();
+                let mut digests = Vec::new();
+                // Round-robin replay, checkpoint every 4 transactions.
+                let per_session: Vec<Vec<TxnId>> = h
+                    .sessions()
+                    .map(|s| (0..s.txns.len() as u32).map(|i| TxnId(s.first.0 + i)).collect())
+                    .collect();
+                let mut cursors = vec![0usize; per_session.len()];
+                let mut pushed = 0usize;
+                loop {
+                    let mut progressed = false;
+                    for (si, txns) in per_session.iter().enumerate() {
+                        if cursors[si] < txns.len() {
+                            let t = h.txn(txns[cursors[si]]);
+                            checker.push_transaction(sessions[si], t.ops.clone(), t.status);
+                            cursors[si] += 1;
+                            pushed += 1;
+                            progressed = true;
+                            if pushed.is_multiple_of(4) {
+                                let cp = checker.checkpoint();
+                                digests.push(format!(
+                                    "{}:{}:{}:{}:{:?}",
+                                    cp.txns, cp.ops, cp.dirty, cp.rebuilt, cp.verdict
+                                ));
+                            }
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                let cp = checker.checkpoint();
+                digests.push(format!(
+                    "{}:{}:{}:{}:{:?}",
+                    cp.txns, cp.ops, cp.dirty, cp.rebuilt, cp.verdict
+                ));
+                let witness = checker.rejection().map(|r| report_digest(&r.report));
+                (digests, witness)
+            };
+            let seq = run(CheckpointThreads::Fixed(1));
+            for threads in [CheckpointThreads::Fixed(4), CheckpointThreads::Auto] {
+                let par = run(threads);
+                assert_eq!(
+                    seq, par,
+                    "{}/{:?}: {threads:?} diverged from sequential",
+                    case.name, isolation
+                );
+            }
+        }
+    }
+}
+
+/// The concurrent service: producers on scoped threads push through
+/// bounded queues (capacity 2 — real backpressure) while the drain thread
+/// checks; the final verdict digest equals a synchronous clean run's, and
+/// no faults are recorded.
+#[test]
+fn live_service_matches_synchronous_run_under_backpressure() {
+    let cases: Vec<&ConformanceCase> =
+        corpus().iter().filter(|c| c.history.num_sessions() >= 2).take(6).collect();
+    for case in cases {
+        let h = &case.history;
+        let opts = EngineOptions { interpret: false, ..Default::default() };
+        let cfg = LiveConfig {
+            checkpoint_every: 8,
+            queue_capacity: 2,
+            stall_timeout: Duration::from_millis(20),
+            ..LiveConfig::default()
+        };
+        let (service, clients) =
+            LiveService::spawn(IsolationLevel::Si, opts, cfg, h.num_sessions());
+        let sessions: Vec<Vec<TxnId>> = h
+            .sessions()
+            .map(|s| (0..s.txns.len() as u32).map(|i| TxnId(s.first.0 + i)).collect())
+            .collect();
+        std::thread::scope(|scope| {
+            for (mut client, txns) in clients.into_iter().zip(sessions) {
+                scope.spawn(move || {
+                    for id in txns {
+                        let t = h.txn(id);
+                        client.push(t.ops.clone(), t.status);
+                    }
+                    client.seal();
+                });
+            }
+        });
+        let live = service.finish();
+        assert!(live.faults.is_empty(), "{}: clean concurrent delivery", case.name);
+        assert!(live.abandoned.is_empty(), "{}: every session sealed", case.name);
+        assert_eq!(live.stats.ingested, h.len(), "{}: every txn ingested", case.name);
+
+        // Synchronous reference: same history, session-major replay, one
+        // final checkpoint. Final verdicts must agree (the canonical
+        // verdict is a function of the ingested set, not the interleave).
+        let mut sync = LiveChecker::new(
+            IsolationLevel::Si,
+            opts,
+            LiveConfig { checkpoint_every: 0, ..LiveConfig::default() },
+        );
+        let sids: Vec<SessionId> = (0..h.num_sessions()).map(|_| sync.session()).collect();
+        for (si, s) in h.sessions().enumerate() {
+            for (i, t) in s.txns.iter().enumerate() {
+                sync.deliver(
+                    sids[si],
+                    Delivery::Txn { seq: i as u64, ops: t.ops.clone(), status: t.status },
+                )
+                .unwrap();
+            }
+            sync.deliver(sids[si], Delivery::Seal { count: s.txns.len() as u64 }).unwrap();
+        }
+        let sync_report = sync.finish();
+        // The acceptance decision is interleave-independent; the rejection
+        // *classification* may legitimately differ (it is canonical per
+        // detecting prefix, and the concurrent run's cadence checkpoints
+        // land on different prefixes than the single final one).
+        assert_eq!(
+            live.verdict().accepted(),
+            sync_report.verdict().accepted(),
+            "{}: concurrent final verdict diverged",
+            case.name
+        );
+    }
+}
+
+/// The persisted fault-shaped fixtures byte-match their generating
+/// templates (set `POLYSI_WRITE_FIXTURES=1` to regenerate).
+#[test]
+fn fault_fixtures_match_their_templates() {
+    use polysi::dbsim::corpus::{duplicate_delivery_lost_update, stalled_session_long_fork};
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (file, h) in [
+        ("duplicate_delivery_lost_update.txt", duplicate_delivery_lost_update(0)),
+        ("stalled_session_long_fork.txt", stalled_session_long_fork(0)),
+    ] {
+        let want = polysi::history::codec::encode(&h);
+        let path = dir.join(file);
+        if std::env::var_os("POLYSI_WRITE_FIXTURES").is_some() {
+            std::fs::write(&path, &want).unwrap();
+        }
+        let got = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{file}: {e} (regenerate with POLYSI_WRITE_FIXTURES=1)"));
+        assert_eq!(got, want, "{file} drifted from its template");
+    }
+}
