@@ -1,0 +1,200 @@
+//! Ingest: loader throughput, text parser vs the binary columnar format.
+//!
+//! Builds a clean 3200-txn RMW corpus, replicates it 100× (`--quick`: 4×)
+//! into one large history, serializes it to both on-disk formats, and
+//! measures loading back from the file bytes:
+//!
+//! * `text_parse` — the line-oriented parser (`codec::decode`), one op
+//!   per line with a per-token integer parse;
+//! * `binary_scan` — the zero-copy ingest path: a `SegmentReader` per
+//!   session delivering every transaction as a borrowed slice of one
+//!   reusable op buffer (the same contract `read_into_stream` uses to
+//!   feed `HistoryStream::try_push_transaction_slice`), no per-op `Vec`
+//!   churn and no terminal materialization;
+//! * `binary_decode` — the columnar reader (`binfmt::decode`) into a
+//!   batch `History`;
+//! * `binary_stream` — `binfmt::read_into_stream` into a `HistoryStream`,
+//!   which additionally maintains the streaming fact tables (reported for
+//!   context; dominated by fact upkeep, not decoding).
+//!
+//! Asserted in-bin, not just reported: the loaders agree on the history,
+//! and the zero-copy binary ingest sustains ≥10× the text parser's txns/s
+//! at full scale (the ROADMAP acceptance bar; ≥6× under `--quick`, where
+//! the corpus is too small to amortize constant costs). Each loader gets
+//! one unmeasured warmup pass so page-cache and allocator warmup don't
+//! skew the ratio. Appends per-format rows with allocator peak-RSS
+//! columns to `bench_results/ingest.csv`.
+
+use polysi_bench::{csv_append, CountingAllocator};
+use polysi_history::{binfmt, codec, History, HistoryStream, Key, Op, TxnStatus, Value};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// Sessions per replica of the base corpus.
+const SESSIONS: usize = 8;
+/// Transactions per session (8 × 400 = the 3200-txn base corpus).
+const TXNS_PER_SESSION: usize = 400;
+
+/// One replica = the 3200-txn corpus over its own key/value range: each
+/// session owns a key and RMWs it (read the previous value, write a fresh
+/// one), so the history is clean and every value unique.
+fn build_corpus(replicas: usize) -> History {
+    let mut h = History::new();
+    for r in 0..replicas {
+        for s in 0..SESSIONS {
+            let key = Key(1 + (r * SESSIONS + s) as u64);
+            let base = (r * SESSIONS + s) as u64 * TXNS_PER_SESSION as u64;
+            let txns = (0..TXNS_PER_SESSION)
+                .map(|t| {
+                    let value = Value(1 + base + t as u64);
+                    let mut ops = Vec::with_capacity(2);
+                    if t > 0 {
+                        ops.push(Op::Read { key, value: Value(base + t as u64) });
+                    }
+                    ops.push(Op::Write { key, value });
+                    (ops, TxnStatus::Committed)
+                })
+                .collect();
+            h.push_session(txns);
+        }
+    }
+    h
+}
+
+/// Drive the zero-copy reader over every segment, handing each
+/// transaction to the consumer as a borrowed slice of one reusable
+/// buffer. Folds the ops into a checksum so the decode work cannot be
+/// optimized away. Returns `(txns, ops, fold)`.
+fn scan(bin: &[u8]) -> (usize, usize, u64) {
+    let r = binfmt::Reader::new(bin).expect("binary corpus opens");
+    let mut buf: Vec<Op> = Vec::new();
+    let (mut txns, mut ops, mut fold) = (0usize, 0usize, 0u64);
+    for s in 0..r.num_sessions() {
+        let mut seg = r.segment(s).expect("segment opens");
+        while let Some(status) = seg.next_txn(&mut buf).expect("segment decodes") {
+            txns += 1;
+            ops += buf.len();
+            fold = fold.wrapping_add(status as u64);
+            for op in &buf {
+                let (Op::Read { key, value } | Op::Write { key, value }) = *op;
+                fold = fold.wrapping_mul(31).wrapping_add(key.0 ^ value.0);
+            }
+        }
+    }
+    (txns, ops, fold)
+}
+
+struct Row {
+    format: &'static str,
+    txns: usize,
+    ops: usize,
+    bytes: usize,
+    elapsed: f64,
+    peak_mib: f64,
+}
+
+impl Row {
+    fn txns_per_sec(&self) -> f64 {
+        self.txns as f64 / self.elapsed
+    }
+}
+
+fn measure(format: &'static str, bytes: usize, mut load: impl FnMut() -> (usize, usize)) -> Row {
+    load(); // warmup: fault in the file bytes, warm the allocator
+    CountingAllocator::reset_peak();
+    let before = CountingAllocator::current();
+    let t0 = Instant::now();
+    let (txns, ops) = load();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let peak_mib = CountingAllocator::peak().saturating_sub(before) as f64 / (1024.0 * 1024.0);
+    let row = Row { format, txns, ops, bytes, elapsed, peak_mib };
+    println!(
+        "  {format:<14} {txns:>8} txns  {:>10.0} txns/s  {elapsed:>8.3} s  \
+         {peak_mib:>8.2} MiB peak  {bytes:>9} bytes",
+        row.txns_per_sec(),
+    );
+    row
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let replicas = if quick { 4 } else { 100 };
+    let corpus = build_corpus(replicas);
+    println!(
+        "# Ingest: {} txns ({} × 3200), {} ops, {} sessions",
+        corpus.len(),
+        replicas,
+        corpus.num_ops(),
+        corpus.num_sessions()
+    );
+
+    // Serialize both formats to real files and load back from disk bytes,
+    // exercising the same auto-detect path the CLI and benches use.
+    let dir = std::env::temp_dir().join("polysi-bench-ingest");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let text_path = dir.join("corpus.txt");
+    let bin_path = dir.join("corpus.pbh");
+    std::fs::write(&text_path, codec::encode(&corpus)).expect("write text corpus");
+    std::fs::write(&bin_path, binfmt::encode(&corpus)).expect("write binary corpus");
+    let text = std::fs::read(&text_path).expect("read text corpus");
+    let bin = std::fs::read(&bin_path).expect("read binary corpus");
+    assert!(!binfmt::is_binary(&text) && binfmt::is_binary(&bin), "format sniffing");
+
+    let text_row = measure("text_parse", text.len(), || {
+        let text = std::str::from_utf8(&text).expect("utf8");
+        let h = codec::decode(text).expect("text corpus parses");
+        (h.len(), h.num_ops())
+    });
+    let reference_fold = scan(&bin).2;
+    let scan_row = measure("binary_scan", bin.len(), || {
+        let (txns, ops, fold) = scan(&bin);
+        assert_eq!(fold, reference_fold, "scan folds must be deterministic");
+        (txns, ops)
+    });
+    let decode_row = measure("binary_decode", bin.len(), || {
+        let h = binfmt::decode(&bin).expect("binary corpus decodes");
+        assert_eq!(h, corpus, "binary decode must reproduce the corpus");
+        (h.len(), h.num_ops())
+    });
+    let stream_row = measure("binary_stream", bin.len(), || {
+        let mut stream = HistoryStream::new();
+        binfmt::read_into_stream(&bin, &mut stream).expect("binary corpus streams");
+        let (snapshot, _) = stream.snapshot();
+        assert_eq!(snapshot, corpus, "streamed ingest must reproduce the corpus");
+        (stream.len(), stream.num_ops())
+    });
+    assert_eq!(text_row.txns, corpus.len());
+    assert_eq!(scan_row.txns, corpus.len());
+    assert_eq!(scan_row.ops, corpus.num_ops());
+    assert_eq!(decode_row.txns, stream_row.txns);
+
+    let speedup = scan_row.txns_per_sec() / text_row.txns_per_sec();
+    let bar = if quick { 6.0 } else { 10.0 };
+    println!(
+        "  binary_scan is {speedup:.1}× text_parse, binary_decode {:.1}× \
+         ({:.1}% of the text size)",
+        decode_row.txns_per_sec() / text_row.txns_per_sec(),
+        100.0 * bin.len() as f64 / text.len() as f64
+    );
+    assert!(speedup >= bar, "binary ingest fell below the {bar}× acceptance bar: {speedup:.2}×");
+
+    let rows: Vec<String> = [&text_row, &scan_row, &decode_row, &stream_row]
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{:.4},{:.0},{:.3}",
+                r.format,
+                r.txns,
+                r.ops,
+                r.bytes,
+                r.elapsed,
+                r.txns_per_sec(),
+                r.peak_mib
+            )
+        })
+        .collect();
+    csv_append("ingest", "format,txns,ops,bytes,elapsed_seconds,txns_per_sec,peak_rss_mib", &rows);
+    println!("CSV appended to bench_results/ingest.csv");
+}

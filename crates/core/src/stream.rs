@@ -299,23 +299,25 @@ impl StreamingChecker {
 
         // Axiom state: batch-canonical reporting, graph work skipped (the
         // event cursor stays put, so a healed prefix replays the backlog).
-        // Fenced reads are streaming-only — the compacted snapshot no
+        // Watermark violations (fenced reads, duplicate writes of
+        // compacted values) are streaming-only — the compacted snapshot no
         // longer contains the dropped writers a batch analysis would need
         // to see them — so they are appended to the snapshot's list.
         if !self.stream.facts().axioms_ok() {
             let healable = self.stream.facts().axioms_can_heal();
-            let fence = self.stream.facts().fence_violations().to_vec();
+            let fence = self.stream.facts().watermark_violations().to_vec();
             let (prefix, _) = self.stream.snapshot();
             let mut violations = Facts::analyze(&prefix).violations;
             violations.extend(fence.iter().cloned());
             if !healable {
-                // Monotone and fenced violations never heal: canonicalize
-                // once and reject terminally, like a cyclic violation.
+                // Monotone and watermark violations never heal:
+                // canonicalize once and reject terminally, like a cyclic
+                // violation.
                 let mut report = CheckEngine::new(self.isolation, self.opts).check(&prefix);
                 if report.accepted() {
-                    // Fence-only breakage: the batch engine cannot reject
-                    // what the snapshot no longer shows; carry the fenced
-                    // reads as the report's outcome.
+                    // Watermark-only breakage: the batch engine cannot
+                    // reject what the snapshot no longer shows; carry the
+                    // watermark violations as the report's outcome.
                     debug_assert!(!fence.is_empty(), "unhealable axiom state must have a cause");
                     report.outcome = Outcome::AxiomViolations(violations);
                 } else if let Outcome::AxiomViolations(vs) = &mut report.outcome {

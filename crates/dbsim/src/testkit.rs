@@ -153,6 +153,25 @@ pub fn corpus_classes(source: &str) -> &'static [&'static str] {
     }
 }
 
+/// Write `history` into `dir` under both on-disk formats — `<name>.txt`
+/// (the line-oriented codec) and `<name>.pbh` (the binary columnar
+/// format) — and return the two paths, text first. The files decode to
+/// the same `History`, so either can seed a `polysi check` run; CLI
+/// fixture suites use this to cover both loaders from one corpus
+/// definition.
+pub fn emit_fixture(
+    dir: &std::path::Path,
+    name: &str,
+    history: &History,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let txt = dir.join(format!("{name}.txt"));
+    let pbh = dir.join(format!("{name}.pbh"));
+    std::fs::write(&txt, polysi_history::codec::encode(history))?;
+    std::fs::write(&pbh, polysi_history::binfmt::encode(history))?;
+    Ok((txt, pbh))
+}
+
 /// The general RH/RW/WH presets scaled down to conformance size: small
 /// enough for the dbcop search and (often) the brute-force oracle, with
 /// enough key contention that faulty levels actually fault.
@@ -279,6 +298,19 @@ mod tests {
                 assert!(!classes.is_empty(), "{} has no allowed classes", c.name);
             }
         }
+    }
+
+    #[test]
+    fn emitted_fixtures_agree_across_formats() {
+        let entry = generate_corpus(1, 0xF1C5).into_iter().next().expect("corpus entry");
+        let dir = std::env::temp_dir().join("polysi-dbsim-emit-fixture");
+        let (txt, pbh) = emit_fixture(&dir, "probe", &entry.history).expect("emit");
+        let text = std::fs::read_to_string(&txt).expect("read text");
+        let bin = std::fs::read(&pbh).expect("read binary");
+        assert!(polysi_history::binfmt::is_binary(&bin));
+        assert_eq!(polysi_history::codec::decode(&text).expect("text decodes"), entry.history);
+        assert_eq!(polysi_history::binfmt::decode(&bin).expect("binary decodes"), entry.history);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub enum AxiomViolation {
     /// fence; such a read could hide a real cycle through the dropped
     /// prefix, so it is refused as a terminal violation.
     FencedRead { txn: TxnId, key: Key },
+    /// A committed write below the compaction watermark: `txn` re-wrote a
+    /// `(key, value)` pair whose original writer was already compacted
+    /// away (streaming only — batch analysis reports this shape as a
+    /// [`AxiomViolation::DuplicateWrite`]). The dropped-value summary kept
+    /// across compaction (see `StreamFacts::dropped_values`) preserves the
+    /// UniqueValue evidence the writers themselves no longer carry.
+    CompactedDuplicateWrite { txn: TxnId, key: Key, value: Value },
 }
 
 impl fmt::Display for AxiomViolation {
@@ -80,6 +87,13 @@ impl fmt::Display for AxiomViolation {
                     f,
                     "fenced read: {txn} read the initial version of key {key} \
                      below the compaction watermark"
+                )
+            }
+            AxiomViolation::CompactedDuplicateWrite { txn, key, value } => {
+                write!(
+                    f,
+                    "UniqueValue broken: {txn} re-wrote value {value} to key {key}, \
+                     first written below the compaction watermark"
                 )
             }
         }

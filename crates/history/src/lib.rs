@@ -17,9 +17,11 @@
 //! write-read (`WR`) relation that it makes possible.
 //!
 //! Histories can be built programmatically with [`HistoryBuilder`], loaded
-//! from and saved to a line-oriented text format ([`codec`]), and summarized
-//! with [`stats::HistoryStats`].
+//! from and saved to a line-oriented text format ([`codec`]) or a compact
+//! columnar binary format ([`binfmt`], `.pbh`), and summarized with
+//! [`stats::HistoryStats`].
 
+pub mod binfmt;
 pub mod codec;
 mod facts;
 mod history;

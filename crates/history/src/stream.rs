@@ -38,7 +38,7 @@ use crate::history::{History, Transaction};
 use crate::ids::{Key, SessionId, TxnId, Value};
 use crate::live::IngestError;
 use crate::op::{Op, TxnStatus};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One entry of the incremental graph-delta log: everything a checker
 /// needs to extend component polygraphs between two checkpoints. Events
@@ -116,11 +116,21 @@ pub struct StreamFacts {
     /// dropped writers, so it is refused as a terminal
     /// [`AxiomViolation::FencedRead`] rather than silently under-checked.
     fenced: HashMap<Key, u32>,
-    /// Fenced reads seen so far. Like monotone violations these never
+    /// Committed values compacted away, per key. Compaction removes the
+    /// `final_writer` entries the duplicate-write axiom consults, so a
+    /// later committed re-write of a dropped `(key, value)` pair would be
+    /// registered as if the value were fresh; this summary preserves the
+    /// uniqueness evidence, and such a re-write is refused as a terminal
+    /// [`AxiomViolation::CompactedDuplicateWrite`] — exactly where an
+    /// uncompacted run reports a `DuplicateWrite`.
+    dropped_values: HashMap<Key, HashSet<Value>>,
+    /// Watermark violations seen so far: fenced reads and duplicate
+    /// writes of compacted values. Like monotone violations these never
     /// heal; unlike them they are streaming-only (a batch analysis of the
-    /// compacted snapshot cannot know about dropped writers), so they are
-    /// reported from here rather than from a snapshot re-analysis.
-    fence_violations: Vec<AxiomViolation>,
+    /// compacted snapshot cannot know about dropped writers or values), so
+    /// they are reported from here rather than from a snapshot
+    /// re-analysis.
+    watermark_violations: Vec<AxiomViolation>,
     events: Vec<FactEvent>,
 }
 
@@ -141,7 +151,8 @@ impl StreamFacts {
             unresolved_count: 0,
             monotone_violations: 0,
             fenced: HashMap::new(),
-            fence_violations: Vec::new(),
+            dropped_values: HashMap::new(),
+            watermark_violations: Vec::new(),
             events: Vec::new(),
         }
     }
@@ -163,25 +174,36 @@ impl StreamFacts {
     pub fn axioms_ok(&self) -> bool {
         self.monotone_violations == 0
             && self.unresolved_count == 0
-            && self.fence_violations.is_empty()
+            && self.watermark_violations.is_empty()
     }
 
     /// Whether the axioms can still heal: no *monotone* violation and no
-    /// fenced read has occurred (any breakage is unresolved reads only).
+    /// watermark violation has occurred (any breakage is unresolved reads
+    /// only).
     pub fn axioms_can_heal(&self) -> bool {
-        self.monotone_violations == 0 && self.fence_violations.is_empty()
+        self.monotone_violations == 0 && self.watermark_violations.is_empty()
     }
 
-    /// Terminal fenced reads (see [`AxiomViolation::FencedRead`]): reads
-    /// of the initial version of a key below the compaction watermark.
-    pub fn fence_violations(&self) -> &[AxiomViolation] {
-        &self.fence_violations
+    /// Terminal watermark violations: reads of the initial version of a
+    /// key below the compaction watermark
+    /// ([`AxiomViolation::FencedRead`]) and committed re-writes of
+    /// compacted-away values
+    /// ([`AxiomViolation::CompactedDuplicateWrite`]).
+    pub fn watermark_violations(&self) -> &[AxiomViolation] {
+        &self.watermark_violations
     }
 
     /// Keys fenced by compaction (at least one dropped writer), with the
     /// dropped-writer count.
     pub fn fenced_keys(&self) -> &HashMap<Key, u32> {
         &self.fenced
+    }
+
+    /// Committed values dropped by compaction, per key — the uniqueness
+    /// evidence the duplicate-write axiom consults after the writers
+    /// themselves are gone.
+    pub fn dropped_values(&self) -> &HashMap<Key, HashSet<Value>> {
+        &self.dropped_values
     }
 
     /// The append-only graph-delta log (see [`FactEvent`]).
@@ -237,6 +259,18 @@ impl StreamFacts {
         // analysis (which completes pass 1 before resolving).
         if committed {
             for (&key, &value) in &written {
+                if self.dropped_values.get(&key).is_some_and(|vs| vs.contains(&value)) {
+                    // The first writer of this value was compacted away;
+                    // its `final_writer` entry is gone, but the value is
+                    // still taken. Registering the re-write would silently
+                    // diverge from an uncompacted run's DuplicateWrite.
+                    self.watermark_violations.push(AxiomViolation::CompactedDuplicateWrite {
+                        txn: id,
+                        key,
+                        value,
+                    });
+                    continue;
+                }
                 match self.final_writer.entry((key, value)) {
                     std::collections::hash_map::Entry::Occupied(_) => {
                         self.monotone_violations += 1; // DuplicateWrite
@@ -254,6 +288,12 @@ impl StreamFacts {
         // Heal older reads that were waiting on these writes.
         if committed {
             for (&key, &value) in &written {
+                if self.dropped_values.get(&key).is_some_and(|vs| vs.contains(&value)) {
+                    // A re-write of a dropped value was refused above and
+                    // must not heal readers waiting on that value: they
+                    // stay unresolved, as a read of dropped state should.
+                    continue;
+                }
                 let Some(waiting) = self.unresolved.remove(&(key, value)) else { continue };
                 // A duplicate committed write never reaches here (its
                 // final_writer entry predates it, so the first writer
@@ -284,7 +324,7 @@ impl StreamFacts {
                         // The anti-dependency edges to the key's dropped
                         // writers cannot be produced any more — refuse
                         // loudly instead of under-checking.
-                        self.fence_violations.push(AxiomViolation::FencedRead { txn: id, key });
+                        self.watermark_violations.push(AxiomViolation::FencedRead { txn: id, key });
                     }
                     self.facts.init_readers.entry(key).or_default().push(id);
                     self.events.push(FactEvent::InitRead { key, reader: id });
@@ -354,11 +394,13 @@ impl StreamFacts {
             self.rebuild_reads(TxnId(r as u32));
         }
 
-        self.final_writer.retain(|_, w| {
+        let dropped_values = &mut self.dropped_values;
+        self.final_writer.retain(|&(key, value), w| {
             if live(*w) {
                 *w = remap(*w);
                 true
             } else {
+                dropped_values.entry(key).or_default().insert(value);
                 false
             }
         });
@@ -641,8 +683,43 @@ impl HistoryStream {
         let index_in_session = self.session_txns[session.0 as usize].len() as u32;
         self.session_txns[session.0 as usize].push(id);
         let txn = Transaction { session, index_in_session, ops, status };
-        // Shards: union the session with every touched key.
-        let snode = self.shards.session_node[session.0 as usize];
+        self.push_prepared(txn, id);
+        Ok(id)
+    }
+
+    /// Borrowed-slice variant of [`HistoryStream::try_push_transaction`]:
+    /// the zero-copy ingest entry point for decoders that reuse one op
+    /// buffer across transactions (see [`crate::binfmt`]). Validates the
+    /// delivery contract first, then copies the slice exactly once (a
+    /// single memcpy — `Op` is `Copy`) into the owned transaction.
+    pub fn try_push_transaction_slice(
+        &mut self,
+        session: SessionId,
+        ops: &[Op],
+        status: TxnStatus,
+    ) -> Result<TxnId, IngestError> {
+        if (session.0 as usize) >= self.session_txns.len() {
+            return Err(IngestError::UnknownSession { session });
+        }
+        if self.sealed[session.0 as usize] {
+            return Err(IngestError::SealedSession { session });
+        }
+        if ops.is_empty() {
+            return Err(IngestError::EmptyTransaction { session });
+        }
+        let id = TxnId(self.txns.len() as u32);
+        self.ops += ops.len();
+        let index_in_session = self.session_txns[session.0 as usize].len() as u32;
+        self.session_txns[session.0 as usize].push(id);
+        let txn = Transaction { session, index_in_session, ops: ops.to_vec(), status };
+        self.push_prepared(txn, id);
+        Ok(id)
+    }
+
+    /// Shared tail of the two push paths: union the session with every
+    /// touched key in the shard structure, ingest the facts, store.
+    fn push_prepared(&mut self, txn: Transaction, id: TxnId) {
+        let snode = self.shards.session_node[txn.session.0 as usize];
         for op in &txn.ops {
             let knode = self.shards.ensure_key(op.key());
             self.shards.union(snode, knode);
@@ -651,7 +728,6 @@ impl HistoryStream {
         self.shards.info.get_mut(&root).expect("session root has info").txns.push(id);
         self.facts.push(id, &txn);
         self.txns.push(txn);
-        Ok(id)
     }
 
     /// Seal a session: no further transactions will arrive on it. Sealing
@@ -747,11 +823,14 @@ impl HistoryStream {
     ///   compaction debug-asserts the read/write half).
     ///
     /// Under that contract the compacted stream behaves exactly like a
-    /// fresh stream of the surviving suffix, with two loud exceptions at
+    /// fresh stream of the surviving suffix, with three loud exceptions at
     /// the fence: later reads of a *dropped value* stay unresolved forever
     /// (the axioms keep failing, as they should — the value no longer has a
-    /// writer), and later *initial-value* reads of a key with dropped
-    /// writers are refused as terminal [`AxiomViolation::FencedRead`]s.
+    /// writer), later *initial-value* reads of a key with dropped writers
+    /// are refused as terminal [`AxiomViolation::FencedRead`]s, and later
+    /// committed re-*writes* of a dropped value are refused as terminal
+    /// [`AxiomViolation::CompactedDuplicateWrite`]s (see
+    /// [`StreamFacts::dropped_values`]).
     pub fn compact(&mut self, drop: &[bool]) -> Vec<u32> {
         assert_eq!(drop.len(), self.txns.len(), "drop mask must cover the live transactions");
         let mut map = vec![u32::MAX; self.txns.len()];
@@ -1071,9 +1150,48 @@ mod tests {
         assert!(!s.facts().axioms_ok());
         assert!(!s.facts().axioms_can_heal());
         assert_eq!(
-            s.facts().fence_violations(),
+            s.facts().watermark_violations(),
             &[AxiomViolation::FencedRead { txn: TxnId(2), key: k(1) }]
         );
+    }
+
+    /// A later committed re-write of a *dropped value* is refused via the
+    /// dropped-value summary — the stream-level half of closing the PR 7
+    /// duplicate-write gap (an uncompacted run reports `DuplicateWrite`
+    /// here; a compacted one must not silently accept).
+    #[test]
+    fn rewrites_of_dropped_values_are_terminal() {
+        let mut s = HistoryStream::new();
+        let s0 = s.session();
+        let s1 = s.session();
+        s.push_transaction(s0, vec![w(k(1), v(1))], TxnStatus::Committed);
+        s.push_transaction(s0, vec![w(k(1), v(2))], TxnStatus::Committed);
+        s.seal_session(s0);
+        s.compact(&[true, false]);
+        assert_eq!(s.facts().dropped_values()[&k(1)].len(), 1);
+        // Re-writing the *surviving* value's key with a fresh value is fine.
+        s.push_transaction(s1, vec![w(k(1), v(3))], TxnStatus::Committed);
+        assert!(s.facts().axioms_ok());
+        // A read of the dropped value waits (unresolvable, but healable
+        // as far as the stream knows)...
+        s.push_transaction(s1, vec![r(k(1), v(1))], TxnStatus::Committed);
+        assert!(!s.facts().axioms_ok());
+        assert!(s.facts().axioms_can_heal());
+        // ...then the re-write of the dropped value is refused for good,
+        // and must not pose as the value's writer: the waiting read stays
+        // unresolved rather than resolving to the refused re-write.
+        s.push_transaction(s1, vec![w(k(1), v(1))], TxnStatus::Committed);
+        assert!(!s.facts().axioms_ok());
+        assert!(!s.facts().axioms_can_heal());
+        assert_eq!(
+            s.facts().watermark_violations(),
+            &[AxiomViolation::CompactedDuplicateWrite { txn: TxnId(3), key: k(1), value: v(1) }]
+        );
+        assert!(!s
+            .facts()
+            .events()
+            .iter()
+            .any(|e| matches!(e, FactEvent::Wr { writer: TxnId(3), .. })));
     }
 
     /// A later read of a *dropped value* stays unresolved forever — loud

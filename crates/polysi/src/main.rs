@@ -1,10 +1,12 @@
-//! The `polysi` command-line checker: read a history in the text format
-//! (see `polysi_history::codec`) and report the isolation verdict, the
-//! anomaly class, and optionally the interpreted counterexample as
-//! Graphviz DOT.
+//! The `polysi` command-line checker: read a history — the line-oriented
+//! text format (see `polysi_history::codec`) or the binary columnar
+//! `.pbh` format (see `polysi_history::binfmt`), auto-detected by
+//! content — and report the isolation verdict, the anomaly class, and
+//! optionally the interpreted counterexample as Graphviz DOT.
 //!
 //! ```sh
 //! polysi check history.txt                  # SI verdict + anomaly + cycle
+//! polysi check history.pbh                  # same, from the binary format
 //! polysi check history.txt --isolation ser  # serializability instead of SI
 //! polysi check history.txt --shards auto    # shard by key connectivity
 //! polysi check history.txt --prune-threads 4  # parallel constraint sweep
@@ -14,6 +16,7 @@
 //! polysi check history.txt --dot out.dot
 //! polysi check history.txt --no-pruning
 //! polysi stats history.txt                  # workload statistics only
+//! polysi convert history.txt history.pbh    # text -> binary (and back)
 //! polysi demo                               # run the built-in long-fork demo
 //! ```
 
@@ -24,12 +27,12 @@ use polysi::checker::engine::{
 use polysi::checker::{
     check_si, dot, CheckOptions, LiveConfig, LiveService, Outcome, StreamVerdict, StreamingChecker,
 };
-use polysi::history::{codec, stats::HistoryStats, History};
+use polysi::history::{binfmt, codec, stats::HistoryStats, History};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--live] [--checkpoints N] [--checkpoint-threads N|auto]\n               [--compact on|off|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt>\n  polysi demo"
+        "usage:\n  polysi check <history.txt|.pbh> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--live] [--checkpoints N] [--checkpoint-threads N|auto]\n               [--compact on|off|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt|.pbh>\n  polysi convert <in.txt|.pbh> <out.pbh|.txt>   (input auto-detected; output\n               format by extension: .pbh binary, anything else text)\n  polysi demo"
     );
     ExitCode::from(2)
 }
@@ -241,8 +244,15 @@ fn live_check(
     }
 }
 
+/// Load a history, auto-detecting the format by content: the `.pbh`
+/// magic selects the binary columnar reader, anything else parses as the
+/// line-oriented text format.
 fn load(path: &str) -> Result<History, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if binfmt::is_binary(&bytes) {
+        return binfmt::decode(&bytes).map_err(|e| format!("{path}: {e}"));
+    }
+    let text = String::from_utf8(bytes).map_err(|e| format!("{path}: {e}"))?;
     codec::decode(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -486,6 +496,35 @@ fn main() -> ExitCode {
                     ExitCode::from(2)
                 }
             }
+        }
+        Some("convert") => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else { return usage() };
+            let history = match load(input) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let binary = output.ends_with(".pbh");
+            let bytes = if binary {
+                binfmt::encode(&history)
+            } else {
+                codec::encode(&history).into_bytes()
+            };
+            if let Err(e) = std::fs::write(output, &bytes) {
+                eprintln!("error: {output}: {e}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "converted {input} -> {output} ({}): {} sessions, {} txns, {} ops, {} bytes",
+                if binary { "binary" } else { "text" },
+                history.num_sessions(),
+                history.len(),
+                history.num_ops(),
+                bytes.len()
+            );
+            ExitCode::SUCCESS
         }
         Some("demo") => {
             use polysi::history::{HistoryBuilder, Key, Value};

@@ -399,3 +399,69 @@ fn bad_usage_exits_2() {
     let out = bin().arg("check").arg("/nonexistent/file").output().expect("run");
     assert_eq!(out.status.code(), Some(2));
 }
+
+/// `convert` moves histories between the text and binary formats in both
+/// directions, and the round trip is stable: txt → pbh → txt → pbh
+/// reproduces the binary bytes and the same parsed history.
+#[test]
+fn convert_round_trips_between_formats() {
+    let dir = std::env::temp_dir().join("polysi-cli-test-convert");
+    std::fs::create_dir_all(&dir).unwrap();
+    let txt = dir.join("h.txt");
+    std::fs::write(&txt, "session\nbegin\nw 1 10\ncommit\nbegin\nr 1 10\nw 2 20\ncommit\n")
+        .unwrap();
+    let pbh = dir.join("h.pbh");
+    let txt2 = dir.join("h2.txt");
+    let pbh2 = dir.join("h2.pbh");
+    for (from, to, kind) in
+        [(&txt, &pbh, "binary"), (&pbh, &txt2, "text"), (&txt2, &pbh2, "binary")]
+    {
+        let out = bin().arg("convert").arg(from).arg(to).output().expect("run convert");
+        assert!(out.status.success(), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(&format!("({kind})")), "{stdout}");
+    }
+    let bin1 = std::fs::read(&pbh).unwrap();
+    let bin2 = std::fs::read(&pbh2).unwrap();
+    assert!(polysi::history::binfmt::is_binary(&bin1));
+    assert_eq!(bin1, bin2, "convert round trip must be byte-stable");
+    let original = polysi::history::codec::decode(&std::fs::read_to_string(&txt).unwrap()).unwrap();
+    assert_eq!(polysi::history::binfmt::decode(&bin1).unwrap(), original);
+    // Converting onto a bad output path fails loudly.
+    let out = bin().arg("convert").arg(&txt).arg("/nonexistent/dir/h.pbh").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// `check` (batch and `--stream`) auto-detects `.pbh` inputs: converted
+/// fixtures keep their exit codes and verdict lines, and corrupted binary
+/// bytes are a usage error (exit 2), not a panic.
+#[test]
+fn check_auto_detects_binary_histories() {
+    let dir = std::env::temp_dir().join("polysi-cli-test-pbh");
+    std::fs::create_dir_all(&dir).unwrap();
+    let fixtures = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    for (file, expected_code, needle) in [
+        ("lost_update.txt", 1, "lost update"),
+        ("serializable.txt", 0, "OK"),
+        ("checkpoint_flip.txt", 1, "lost update"),
+    ] {
+        let pbh = dir.join(file).with_extension("pbh");
+        let out =
+            bin().arg("convert").arg(fixtures.join(file)).arg(&pbh).output().expect("convert");
+        assert!(out.status.success(), "{file}: convert failed");
+        for mode in [&[][..], &["--stream"][..]] {
+            let out = bin().arg("check").arg(&pbh).args(mode).output().expect("run check on .pbh");
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            assert_eq!(out.status.code(), Some(expected_code), "{file} {mode:?}\n{stdout}");
+            assert!(stdout.contains(needle), "{file} {mode:?}: missing {needle:?}\n{stdout}");
+        }
+    }
+    // Corruption: flip a byte in a segment — typed load error, exit 2.
+    let pbh = dir.join("corrupt.pbh");
+    let mut bytes = std::fs::read(dir.join("lost_update.pbh")).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&pbh, bytes).unwrap();
+    let out = bin().arg("check").arg(&pbh).output().expect("run check on corrupt .pbh");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -37,6 +37,10 @@ fn axiom_class(v: &polysi::history::AxiomViolation) -> &'static str {
         A::UnknownValueRead { .. } => "unknown-value read",
         A::WroteInitValue { .. } => "wrote-init-value",
         A::FencedRead { .. } => "fenced read",
+        // Same class as `DuplicateWrite` on purpose: a compacting run that
+        // catches a duplicate via the dropped-value summary must digest
+        // identically to the uncompacted run that still has the writer.
+        A::CompactedDuplicateWrite { .. } => "unique-value violation",
     }
 }
 
@@ -75,7 +79,7 @@ fn digest(cp: &polysi::checker::CheckpointReport, checker: &StreamingChecker) ->
 }
 
 fn fence_engaged(checker: &StreamingChecker) -> bool {
-    !checker.stream().facts().fence_violations().is_empty()
+    !checker.stream().facts().watermark_violations().is_empty()
 }
 
 /// Replay `h` along `order` into checkers for every `CompactMode`,
@@ -137,7 +141,7 @@ fn assert_compaction_invisible(
                 // silently accepted, and never via a spurious cycle.
                 let facts = checker.stream().facts();
                 assert!(
-                    !facts.fenced_keys().is_empty() || !facts.fence_violations().is_empty(),
+                    !facts.fenced_keys().is_empty() || !facts.watermark_violations().is_empty(),
                     "{label}/{mode}: verdict diverged without any fenced key: {d} vs {d_off}"
                 );
                 assert!(

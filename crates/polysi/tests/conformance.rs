@@ -64,6 +64,7 @@ fn observed_classes(outcome: &Outcome) -> Vec<&'static str> {
                 AxiomViolation::UnknownValueRead { .. } => "unknown-value read",
                 AxiomViolation::WroteInitValue { .. } => "wrote-init-value",
                 AxiomViolation::FencedRead { .. } => "fenced read",
+                AxiomViolation::CompactedDuplicateWrite { .. } => "unique-value violation",
             })
             .collect(),
     }

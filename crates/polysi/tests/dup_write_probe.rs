@@ -1,12 +1,14 @@
-//! Probe: duplicate write of a compacted-away value is silently accepted.
+//! Probe: duplicate write of a compacted-away value must reject under
+//! compaction exactly as without it.
 //!
-//! Known gap in watermark compaction (see ROADMAP, PR 7 follow-ons):
-//! compaction drops settled writers, and with them the value evidence the
-//! duplicate-write axiom needs — `CompactMode::Off` rejects the re-write
-//! of `(key 1, value 1)` below, `On` accepts it. The fence guards *reads*
-//! of dropped state, not re-*writes* of dropped values; closing this needs
-//! a per-key dropped-value summary. Ignored until then, kept as the
-//! regression marker for the fix.
+//! This was the known gap of the PR 7 watermark GC: compaction dropped
+//! settled writers, and with them the value evidence the duplicate-write
+//! axiom needs — `CompactMode::Off` rejected the re-write of `(key 1,
+//! value 1)` below while `On` silently accepted it. Closed by the per-key
+//! dropped-value summary (`StreamFacts::dropped_values`): a committed
+//! re-write of a compacted value is now a terminal
+//! `AxiomViolation::CompactedDuplicateWrite`, so both modes agree at
+//! every checkpoint.
 use polysi::checker::engine::{CompactMode, EngineOptions, IsolationLevel};
 use polysi::checker::StreamingChecker;
 use polysi::history::{Key, Op, TxnStatus, Value};
@@ -38,7 +40,6 @@ fn run(mode: CompactMode) -> Vec<bool> {
 }
 
 #[test]
-#[ignore = "known gap: compaction drops duplicate-write evidence (ROADMAP PR 7 follow-on)"]
 fn dup_write_probe() {
     let off = run(CompactMode::Off);
     let on = run(CompactMode::On);
