@@ -25,8 +25,9 @@
 //! skew the ratio. Appends per-format rows with allocator peak-RSS
 //! columns to `bench_results/ingest.csv`.
 
-use polysi_bench::{csv_append, CountingAllocator};
+use polysi_bench::{CountingAllocator, CsvSink};
 use polysi_history::{binfmt, codec, History, HistoryStream, Key, Op, TxnStatus, Value};
+use polysi_obs::Metrics;
 use std::time::Instant;
 
 #[global_allocator]
@@ -180,21 +181,21 @@ fn main() {
     );
     assert!(speedup >= bar, "binary ingest fell below the {bar}× acceptance bar: {speedup:.2}×");
 
-    let rows: Vec<String> = [&text_row, &scan_row, &decode_row, &stream_row]
-        .iter()
-        .map(|r| {
-            format!(
-                "{},{},{},{},{:.4},{:.0},{:.3}",
-                r.format,
-                r.txns,
-                r.ops,
-                r.bytes,
-                r.elapsed,
-                r.txns_per_sec(),
-                r.peak_mib
-            )
-        })
-        .collect();
-    csv_append("ingest", "format,txns,ops,bytes,elapsed_seconds,txns_per_sec,peak_rss_mib", &rows);
-    println!("CSV appended to bench_results/ingest.csv");
+    let metrics = Metrics::default();
+    metrics.gauge("alloc.peak_bytes").set_max(CountingAllocator::peak() as u64);
+    println!("{}", metrics.snapshot().to_table());
+    let mut csv =
+        CsvSink::new("ingest", "format,txns,ops,bytes,elapsed_seconds,txns_per_sec,peak_rss_mib");
+    for r in [&text_row, &scan_row, &decode_row, &stream_row] {
+        csv.row([
+            r.format.to_string(),
+            r.txns.to_string(),
+            r.ops.to_string(),
+            r.bytes.to_string(),
+            format!("{:.4}", r.elapsed),
+            format!("{:.0}", r.txns_per_sec()),
+            format!("{:.3}", r.peak_mib),
+        ]);
+    }
+    csv.finish();
 }

@@ -15,7 +15,7 @@
 //!
 //! `--quick` shrinks the workload and the thread sweep for CI smoke runs.
 
-use polysi_bench::{csv_append, CountingAllocator};
+use polysi_bench::{CountingAllocator, CsvSink};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
 use polysi_history::{Facts, History, HistoryBuilder, Key, Value};
 use polysi_polygraph::{ConstraintMode, OracleKind, Polygraph, PruneOptions, PruneResult};
@@ -66,7 +66,10 @@ fn main() {
         "{:<16} {:>7} {:>9} {:<12} {:<7} {:>7} {:>10} {:>9} {:>9}",
         "workload", "txns", "cons", "mode", "oracle", "threads", "secs", "vs-reb", "vs-seq"
     );
-    let mut rows = Vec::new();
+    let mut csv = CsvSink::new(
+        "prune",
+        "workload,txns,constraints,mode,oracle,threads,seconds,speedup_vs_rebuild,speedup_vs_seq,accepted",
+    );
     let mut workloads: Vec<(&str, History)> = Vec::new();
     for (name, components) in [("general", 1usize), ("multi_component", 4)] {
         let base = GeneralParams {
@@ -136,10 +139,18 @@ fn main() {
                 "{name:<16} {:>7} {cons:>9} {mode:<12} {oracle:<7} {nthreads:>7} {secs:>10.3} {vs_rebuild:>8.2}x {vs_seq:>8.2}x",
                 h.len()
             );
-            rows.push(format!(
-                "{name},{},{cons},{mode},{oracle},{nthreads},{secs:.6},{vs_rebuild:.3},{vs_seq:.3},{ok}",
-                h.len()
-            ));
+            csv.row([
+                name.to_string(),
+                h.len().to_string(),
+                cons.to_string(),
+                mode.to_string(),
+                oracle.to_string(),
+                nthreads.to_string(),
+                format!("{secs:.6}"),
+                format!("{vs_rebuild:.3}"),
+                format!("{vs_seq:.3}"),
+                ok.to_string(),
+            ]);
         }
     }
 
@@ -167,9 +178,18 @@ fn main() {
             "{name:<16} {mono_txns:>7} {cons:>9} {:<12} {:<7} {:>7} {chains_secs:>10.3} {:>8.2}x {:>8.2}x",
             "batched", "chains", 1, 1.0, 1.0
         );
-        rows.push(format!(
-            "{name},{mono_txns},{cons},batched,chains,1,{chains_secs:.6},1.000,1.000,{ok}"
-        ));
+        csv.row([
+            name.to_string(),
+            mono_txns.to_string(),
+            cons.to_string(),
+            "batched".to_string(),
+            "chains".to_string(),
+            "1".to_string(),
+            format!("{chains_secs:.6}"),
+            "1.000".to_string(),
+            "1.000".to_string(),
+            ok.to_string(),
+        ]);
 
         let dense_predicted = (2 * mono_txns) * (2 * mono_txns) / 8;
         let budget = 10 * chains_peak;
@@ -186,11 +206,18 @@ fn main() {
                 "{name:<16} {mono_txns:>7} {cons:>9} {:<12} {:<7} {:>7} {dense_secs:>10.3} {:>8.2}x {:>8.2}x",
                 "batched", "dense", 1, 1.0 / vs, 1.0 / vs
             );
-            rows.push(format!(
-                "{name},{mono_txns},{cons},batched,dense,1,{dense_secs:.6},{:.3},{:.3},{d_ok}",
-                1.0 / vs,
-                1.0 / vs
-            ));
+            csv.row([
+                name.to_string(),
+                mono_txns.to_string(),
+                cons.to_string(),
+                "batched".to_string(),
+                "dense".to_string(),
+                "1".to_string(),
+                format!("{dense_secs:.6}"),
+                format!("{:.3}", 1.0 / vs),
+                format!("{:.3}", 1.0 / vs),
+                d_ok.to_string(),
+            ]);
         } else {
             println!(
                 "{name:<16} {mono_txns:>7} {cons:>9} {:<12} {:<7} {:>7} {:>10}",
@@ -204,10 +231,6 @@ fn main() {
             );
         }
     }
-    csv_append(
-        "prune",
-        "workload,txns,constraints,mode,oracle,threads,seconds,speedup_vs_rebuild,speedup_vs_seq,accepted",
-        &rows,
-    );
-    println!("\nCSV appended to bench_results/prune.csv");
+    println!();
+    csv.finish();
 }

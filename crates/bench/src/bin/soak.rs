@@ -23,10 +23,11 @@
 //!
 //! Appends a summary row to `bench_results/soak.csv`.
 
-use polysi_bench::{csv_append, CountingAllocator};
+use polysi_bench::{CountingAllocator, CsvSink};
 use polysi_checker::engine::{check, CompactMode, EngineOptions, IsolationLevel};
 use polysi_checker::{StreamVerdict, StreamingChecker};
 use polysi_history::{Key, Op, TxnStatus, Value};
+use polysi_obs::Metrics;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -165,13 +166,25 @@ fn main() {
         live_bytes as f64 / (1024.0 * 1024.0),
         max_live_txns
     );
-    csv_append(
+    let metrics = Metrics::default();
+    metrics.gauge("alloc.peak_bytes").set_max(CountingAllocator::peak() as u64);
+    metrics.gauge("alloc.live_bytes").set_max(live_bytes as u64);
+    println!("{}", metrics.snapshot().to_table());
+    let mut csv = CsvSink::new(
         "soak",
         "txns,waves,wave_txns,keys,compact,elapsed_seconds,peak_rss_mib,live_bytes,max_live_txns,compacted",
-        &[format!(
-            "{total},{waves},{WAVE_TXNS},{},on,{elapsed:.3},{peak_rss_mib:.3},{live_bytes},{max_live_txns},{compacted_total}",
-            SLOTS * KEYS_PER_SLOT
-        )],
     );
-    println!("CSV appended to bench_results/soak.csv");
+    csv.row([
+        total.to_string(),
+        waves.to_string(),
+        WAVE_TXNS.to_string(),
+        (SLOTS * KEYS_PER_SLOT).to_string(),
+        "on".to_string(),
+        format!("{elapsed:.3}"),
+        format!("{peak_rss_mib:.3}"),
+        live_bytes.to_string(),
+        max_live_txns.to_string(),
+        compacted_total.to_string(),
+    ]);
+    csv.finish();
 }

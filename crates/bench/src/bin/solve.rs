@@ -15,7 +15,7 @@
 //!
 //! `--quick` shrinks the workloads and the thread sweep for CI smoke runs.
 
-use polysi_bench::{csv_append, CountingAllocator};
+use polysi_bench::{CountingAllocator, CsvSink};
 use polysi_checker::solve::{encode_polygraph, run_solve, SolveMode, SolvePlan, SolveStats};
 use polysi_dbsim::corpus::{overlapping_clique, write_skew_lattice};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
@@ -114,7 +114,10 @@ fn main() {
         "{:<16} {:>4} {:>6} {:>5} {:<10} {:>7} {:>11} {:>8} {:>8} {:>7}",
         "workload", "iso", "txns", "sel", "mode", "threads", "secs", "vs-seq", "confl", "verdict"
     );
-    let mut rows = Vec::new();
+    let mut csv = CsvSink::new(
+        "solve",
+        "workload,isolation,txns,selectors,mode,threads,seconds,speedup_vs_seq,accepted,conflicts,winner",
+    );
     for inst in &instances {
         let (seq_secs, seq_sat, seq_stats) =
             timed(inst, &SolvePlan { mode: SolveMode::Sequential, threads: 1 }, reps);
@@ -145,21 +148,21 @@ fn main() {
                  {vs_seq:>7.2}x {:>8} {verdict:>7}",
                 inst.name, inst.isolation, inst.txns, inst.selectors, stats.solver.conflicts
             );
-            rows.push(format!(
-                "{},{},{},{},{mode_name},{nthreads},{secs:.6},{vs_seq:.3},{sat},{},{}",
-                inst.name,
-                inst.isolation,
-                inst.txns,
-                inst.selectors,
-                stats.solver.conflicts,
+            csv.row([
+                inst.name.to_string(),
+                inst.isolation.to_string(),
+                inst.txns.to_string(),
+                inst.selectors.to_string(),
+                mode_name.to_string(),
+                nthreads.to_string(),
+                format!("{secs:.6}"),
+                format!("{vs_seq:.3}"),
+                sat.to_string(),
+                stats.solver.conflicts.to_string(),
                 stats.winner.map(|w| w.to_string()).unwrap_or_default(),
-            ));
+            ]);
         }
     }
-    csv_append(
-        "solve",
-        "workload,isolation,txns,selectors,mode,threads,seconds,speedup_vs_seq,accepted,conflicts,winner",
-        &rows,
-    );
-    println!("\nCSV appended to bench_results/solve.csv");
+    println!();
+    csv.finish();
 }

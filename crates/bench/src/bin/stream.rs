@@ -20,11 +20,12 @@
 //!
 //! `--quick` shrinks the workload for CI smoke runs.
 
-use polysi_bench::{csv_append, CountingAllocator};
+use polysi_bench::{CountingAllocator, CsvSink};
 use polysi_checker::engine::{check, EngineOptions, IsolationLevel};
 use polysi_checker::{LiveConfig, LiveService, OracleKind, StreamVerdict, StreamingChecker};
 use polysi_dbsim::{run, IsolationLevel as SimLevel, SimConfig};
 use polysi_history::{History, HistoryStream};
+use polysi_obs::{Metrics, Obs, Tracer};
 use polysi_workloads::{multi_component, GeneralParams};
 use std::time::Instant;
 
@@ -88,7 +89,11 @@ fn live_bench(quick: bool) {
         "{:<16} {:>7} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "workload", "cpts", "secs", "txns/s", "p50-ms", "p99-ms", "max-ms", "degraded"
     );
-    let mut rows = Vec::new();
+    let metrics = Metrics::default();
+    let mut csv = CsvSink::new(
+        "stream_live",
+        "workload,txns,checkpoints,wall_seconds,txns_per_sec,p50_ms,p99_ms,max_ms,degraded",
+    );
     for (name, components) in [("general", 1usize), ("multi_component", 4)] {
         let base = GeneralParams {
             sessions: (total_sessions / components).max(1),
@@ -109,6 +114,7 @@ fn live_bench(quick: bool) {
                 checkpoint_every: h.len().div_ceil(cadence).max(1),
                 ..LiveConfig::default()
             };
+            CountingAllocator::reset_peak();
             let t = Instant::now();
             let (service, clients) =
                 LiveService::spawn(IsolationLevel::Si, opts, cfg, h.num_sessions());
@@ -130,28 +136,85 @@ fn live_bench(quick: bool) {
                 matches!(report.verdict(), StreamVerdict::Accepted),
                 "{name}: live check rejected a clean history"
             );
-            let mut lats: Vec<f64> =
-                report.checkpoints.iter().map(|c| c.report.elapsed.as_secs_f64() * 1e3).collect();
-            lats.sort_by(f64::total_cmp);
-            let pct = |q: f64| lats[((lats.len() - 1) as f64 * q).round() as usize];
-            let (p50, p99, max) = (pct(0.50), pct(0.99), lats[lats.len() - 1]);
+            // Checkpoint-latency percentiles via the shared observability
+            // histogram (the same shape `--report json` embeds), replacing
+            // the old hand-sorted percentile math.
+            let lat = metrics.histogram_us(&format!("checkpoint.latency_us.{name}.{cadence}"));
+            for c in &report.checkpoints {
+                lat.observe_duration(c.report.elapsed);
+            }
+            let ms = |us: u64| us as f64 / 1e3;
+            let (p50, p99, max) = (ms(lat.quantile(0.50)), ms(lat.quantile(0.99)), ms(lat.max()));
+            metrics.gauge("alloc.peak_bytes").set_max(CountingAllocator::peak() as u64);
             let throughput = report.stats.ingested as f64 / wall;
             let degraded = report.checkpoints.iter().filter(|c| c.degraded).count();
             println!(
                 "{name:<16} {cadence:>7} {wall:>10.3} {throughput:>10.0} {p50:>9.2} {p99:>9.2} {max:>9.2} {degraded:>9}"
             );
-            rows.push(format!(
-                "{name},{},{cadence},{wall:.6},{throughput:.0},{p50:.4},{p99:.4},{max:.4},{degraded}",
-                h.len()
-            ));
+            csv.row([
+                name.to_string(),
+                h.len().to_string(),
+                cadence.to_string(),
+                format!("{wall:.6}"),
+                format!("{throughput:.0}"),
+                format!("{p50:.4}"),
+                format!("{p99:.4}"),
+                format!("{max:.4}"),
+                degraded.to_string(),
+            ]);
         }
     }
-    csv_append(
-        "stream_live",
-        "workload,txns,checkpoints,wall_seconds,txns_per_sec,p50_ms,p99_ms,max_ms,degraded",
-        &rows,
+    println!("\n{}", metrics.snapshot().to_table());
+    csv.finish();
+}
+
+/// The zero-cost-when-disabled guard: replay the same stream with spans
+/// recorded to count what a traced run emits, time one million disabled
+/// `Tracer::span` calls, and assert that paying that per-call cost for
+/// every span the run would have emitted stays within 2% of the measured
+/// (untraced) wall time. Regressing the disabled fast path fails the bin
+/// (CI runs it via `--quick`).
+fn assert_disabled_tracer_overhead(
+    h: &History,
+    order: &[polysi_history::TxnId],
+    stops: &[usize],
+    opts: EngineOptions,
+    stream_secs: f64,
+) {
+    let obs = Obs::enabled();
+    let mut checker = StreamingChecker::new(IsolationLevel::Si, opts).with_obs(obs.clone());
+    let sessions: Vec<_> = (0..h.num_sessions()).map(|_| checker.session()).collect();
+    let mut next_stop = 0usize;
+    for (i, &id) in order.iter().enumerate() {
+        let txn = h.txn(id);
+        checker.push_transaction(sessions[txn.session.0 as usize], txn.ops.clone(), txn.status);
+        if next_stop < stops.len() && i + 1 == stops[next_stop] {
+            next_stop += 1;
+            checker.checkpoint();
+        }
+    }
+    let events = obs.tracer.events().len();
+    assert!(events > 0, "traced replay must record spans");
+
+    let tracer = Tracer::disabled();
+    const PROBES: u32 = 1_000_000;
+    let t = Instant::now();
+    for _ in 0..PROBES {
+        let guard = tracer.span("overhead.probe");
+        std::hint::black_box(&guard);
+    }
+    let per_event = t.elapsed().as_secs_f64() / (2.0 * PROBES as f64);
+    let overhead = per_event * events as f64;
+    let pct = 100.0 * overhead / stream_secs;
+    println!(
+        "  tracer guard: {events} span events x {:.1} ns disabled cost = {pct:.4}% of \
+         {stream_secs:.3}s untraced run",
+        per_event * 2.0 * 1e9
     );
-    println!("\nCSV appended to bench_results/stream_live.csv");
+    assert!(
+        overhead <= 0.02 * stream_secs,
+        "disabled tracer overhead {pct:.3}% exceeds the 2% budget"
+    );
 }
 
 fn main() {
@@ -178,7 +241,12 @@ fn main() {
         "peak-mib",
         "live-bytes"
     );
-    let mut rows = Vec::new();
+    let metrics = Metrics::default();
+    let mut csv = CsvSink::new(
+        "stream",
+        "workload,txns,checkpoints,oracle,stream_seconds,batch_seconds,amortized_speedup,peak_rss_mib,live_bytes",
+    );
+    let mut overhead_guarded = false;
     for (name, components) in [("general", 1usize), ("multi_component", 4)] {
         let base = GeneralParams {
             sessions: (total_sessions / components).max(1),
@@ -231,7 +299,13 @@ fn main() {
                 let stream_secs = t.elapsed().as_secs_f64();
                 let peak_rss_mib = CountingAllocator::peak() as f64 / (1024.0 * 1024.0);
                 let live_bytes = CountingAllocator::current().saturating_sub(live_before);
+                metrics.gauge("alloc.peak_bytes").set_max(CountingAllocator::peak() as u64);
                 drop(checker);
+
+                if !overhead_guarded {
+                    overhead_guarded = true;
+                    assert_disabled_tracer_overhead(&h, &order, &stops, opts, stream_secs);
+                }
 
                 // Batch-from-scratch on the same prefixes (prefix snapshots
                 // materialized outside the timer).
@@ -268,18 +342,20 @@ fn main() {
                 "{name:<16} {cadence:>7} {:<7} {stream_secs:>12.3} {batch_secs:>12.3} {amortized:>11.2}x {stream_accepts:>9} {peak_rss_mib:>9.2} {live_bytes:>11}",
                 oracle.name()
             );
-                rows.push(format!(
-                    "{name},{},{cadence},{},{stream_secs:.6},{batch_secs:.6},{amortized:.3},{peak_rss_mib:.3},{live_bytes}",
-                    h.len(),
-                    oracle.name()
-                ));
+                csv.row([
+                    name.to_string(),
+                    h.len().to_string(),
+                    cadence.to_string(),
+                    oracle.name().to_string(),
+                    format!("{stream_secs:.6}"),
+                    format!("{batch_secs:.6}"),
+                    format!("{amortized:.3}"),
+                    format!("{peak_rss_mib:.3}"),
+                    live_bytes.to_string(),
+                ]);
             }
         }
     }
-    csv_append(
-        "stream",
-        "workload,txns,checkpoints,oracle,stream_seconds,batch_seconds,amortized_speedup,peak_rss_mib,live_bytes",
-        &rows,
-    );
-    println!("\nCSV appended to bench_results/stream.csv");
+    println!("\n{}", metrics.snapshot().to_table());
+    csv.finish();
 }

@@ -14,4 +14,6 @@ pub mod runner;
 pub mod sweeps;
 
 pub use alloc_counter::CountingAllocator;
-pub use runner::{csv_append, measure, scale, scaled, Checker, Measurement, Timeout};
+pub use runner::{
+    csv_append, csv_field, measure, scale, scaled, Checker, CsvSink, Measurement, Timeout,
+};

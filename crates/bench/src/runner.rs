@@ -134,6 +134,74 @@ pub fn scaled(n: usize) -> usize {
     ((n as f64 * scale()).round() as usize).max(1)
 }
 
+/// Escape one CSV field per RFC 4180: quote it when it contains a comma,
+/// quote, or newline, doubling embedded quotes. Plain fields pass through.
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A CSV accumulator for one `bench_results/<name>.csv` file: rows are
+/// built from individual fields (escaped via [`csv_field`], counted
+/// against the header), then appended in one [`CsvSink::finish`] call.
+/// Replaces the per-bin `rows.push(format!(...))` + `csv_append` pattern.
+pub struct CsvSink {
+    name: String,
+    header: &'static str,
+    columns: usize,
+    rows: Vec<String>,
+}
+
+impl CsvSink {
+    /// A sink for `bench_results/<name>.csv` with the given header line.
+    pub fn new(name: &str, header: &'static str) -> Self {
+        CsvSink {
+            name: name.to_string(),
+            header,
+            columns: header.split(',').count(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; panics if the field count disagrees with the header
+    /// (a malformed row would silently corrupt every downstream plot).
+    pub fn row<I, S>(&mut self, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let fields: Vec<String> = fields.into_iter().map(|f| csv_field(f.as_ref())).collect();
+        assert_eq!(
+            fields.len(),
+            self.columns,
+            "{}.csv: row has {} fields, header has {}",
+            self.name,
+            fields.len(),
+            self.columns
+        );
+        self.rows.push(fields.join(","));
+    }
+
+    /// Rows accumulated so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append the rows to `bench_results/<name>.csv` and announce the path.
+    pub fn finish(self) {
+        csv_append(&self.name, self.header, &self.rows);
+        println!("CSV appended to bench_results/{}.csv", self.name);
+    }
+}
+
 /// Append CSV rows to `bench_results/<name>.csv` (creating header + dirs).
 pub fn csv_append(name: &str, header: &str, rows: &[String]) {
     let dir = std::path::Path::new("bench_results");
@@ -195,5 +263,25 @@ mod tests {
     fn checker_names_match_legends() {
         assert_eq!(Checker::Dbcop.name(), "dbcop");
         assert_eq!(Checker::CobraSi.name(), "CobraSI w/o GPU");
+    }
+
+    #[test]
+    fn csv_fields_escape_per_rfc4180() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn csv_sink_checks_field_counts() {
+        let mut sink = CsvSink::new("test_sink", "a,b,c");
+        sink.row(["1", "with,comma", "3"]);
+        assert_eq!(sink.len(), 1);
+        assert!(!sink.is_empty());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sink.row(["too", "few"]);
+        }));
+        assert!(result.is_err(), "short row must be rejected");
     }
 }

@@ -113,6 +113,18 @@ pub enum Outcome {
     CyclicViolation(Violation),
 }
 
+impl Outcome {
+    /// Stable machine-readable kind, used by span attributes and the
+    /// `--report json` schema: `ok` / `axiom_violation` / `cyclic_violation`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Outcome::Si => "ok",
+            Outcome::AxiomViolations(_) => "axiom_violation",
+            Outcome::CyclicViolation(_) => "cyclic_violation",
+        }
+    }
+}
+
 /// A cyclic isolation violation.
 pub struct Violation {
     /// The violating cycle: typed dependency edges. Under SI no two `RW`

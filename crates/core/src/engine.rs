@@ -43,6 +43,7 @@ use crate::interpret::interpret;
 use crate::solve::{merge_solver_stats, run_solve, SolvePlan, SolveStats};
 pub use crate::solve::{SolveMode, SolveThreads};
 use polysi_history::{Facts, History, ShardComponent, ShardFallback, ShardPlan, TxnId};
+use polysi_obs::{kv, Obs};
 use polysi_polygraph::{
     ConstraintMode, Edge, KnownGraph, KnownGraphResult, Label, OracleKind, Polygraph, PruneOptions,
     PruneResult, PruneStats, Semantics,
@@ -340,6 +341,7 @@ pub fn check(h: &History, isolation: IsolationLevel, opts: &EngineOptions) -> Ch
 pub struct CheckEngine {
     isolation: IsolationLevel,
     opts: EngineOptions,
+    obs: Obs,
 }
 
 /// What one pipeline unit (the whole history, or one shard) produced.
@@ -356,7 +358,20 @@ struct UnitReport {
 impl CheckEngine {
     /// An engine for `isolation` with the given knobs.
     pub fn new(isolation: IsolationLevel, opts: EngineOptions) -> Self {
-        CheckEngine { isolation, opts }
+        CheckEngine { isolation, opts, obs: Obs::default() }
+    }
+
+    /// Attach observability handles (span tracer + metrics registry). The
+    /// default engine carries a disabled tracer and a private registry, so
+    /// this is opt-in for the CLI / tests / benches that scrape them.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The engine's observability handles.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The engine's isolation level.
@@ -366,6 +381,17 @@ impl CheckEngine {
 
     /// Run the staged pipeline on a history.
     pub fn check(&self, h: &History) -> CheckReport {
+        let mut span = self
+            .obs
+            .tracer
+            .span_kv("check", kv! { isolation: self.isolation.name(), txns: h.len() });
+        let report = self.check_inner(h);
+        span.attr("verdict", report.outcome.kind());
+        self.record_metrics(h, &report);
+        report
+    }
+
+    fn check_inner(&self, h: &History) -> CheckReport {
         let mut timings = StageTimings::default();
         let t0 = Instant::now();
 
@@ -373,7 +399,10 @@ impl CheckEngine {
         // aborted write read in another session) may span what would
         // otherwise be distinct shards. Its time is folded into
         // `constructing`, as in the original pipeline.
-        let facts = Facts::analyze(h);
+        let facts = {
+            let _span = self.obs.tracer.span("axioms");
+            Facts::analyze(h)
+        };
         let axioms_time = t0.elapsed();
         if !facts.axioms_ok() {
             timings.constructing = axioms_time;
@@ -461,6 +490,10 @@ impl CheckEngine {
                     if i >= ncomp {
                         break;
                     }
+                    let _span = self
+                        .obs
+                        .tracer
+                        .span_kv("shard", kv! { component: i, txns: plan.components[i].len() });
                     let unit = self.check_unit(
                         h,
                         facts,
@@ -547,9 +580,12 @@ impl CheckEngine {
 
         // Stage::Construct.
         let t = Instant::now();
-        let mut g = match comp {
-            None => Polygraph::from_history_with(h, facts, self.opts.mode, semantics),
-            Some(c) => Polygraph::from_component(h, facts, self.opts.mode, semantics, c),
+        let mut g = {
+            let _span = self.obs.tracer.span("construct");
+            match comp {
+                None => Polygraph::from_history_with(h, facts, self.opts.mode, semantics),
+                Some(c) => Polygraph::from_component(h, facts, self.opts.mode, semantics, c),
+            }
         };
         timings.constructing = t.elapsed();
 
@@ -558,7 +594,13 @@ impl CheckEngine {
         let mut oracle = None;
         if self.opts.pruning {
             let t = Instant::now();
-            let (pr, orc) = g.prune_with_oracle(&prune_opts);
+            let (pr, orc) = {
+                let mut span =
+                    self.obs.tracer.span_kv("prune", kv! { constraints: g.constraints.len() });
+                let r = g.prune_with_oracle_traced(&prune_opts, &self.obs.tracer);
+                span.attr("remaining", g.constraints.len());
+                r
+            };
             timings.pruning = t.elapsed();
             match pr {
                 PruneResult::Pruned(stats) => {
@@ -582,13 +624,17 @@ impl CheckEngine {
         // maintained (it reflects every resolved edge) instead of paying a
         // second from-scratch closure build.
         let t = Instant::now();
-        let (solver, encode_stats) =
-            encode(&g, self.opts.phase_seeding, oracle.as_deref(), self.opts.reach_oracle);
+        let (mut solver, encode_stats) = {
+            let _span = self.obs.tracer.span("encode");
+            encode(&g, self.opts.phase_seeding, oracle.as_deref(), self.opts.reach_oracle)
+        };
+        solver.set_tracer(self.obs.tracer.clone());
         timings.encoding = t.elapsed();
 
         // Stage::Solve. Cube ranking wants the history's transaction
         // degrees in this unit's (possibly shard-local) id space.
         let t = Instant::now();
+        let _solve_span = self.obs.tracer.span_kv("solve", kv! { vars: encode_stats.vars });
         let degrees: Vec<u32> = match comp {
             None => (0..h.len() as u32).map(|i| facts.txn_degree(TxnId(i)) as u32).collect(),
             Some(c) => c.txns.iter().map(|&t| facts.txn_degree(t) as u32).collect(),
@@ -605,6 +651,47 @@ impl CheckEngine {
             solver_stats,
             solve_stats: Some(solve_stats),
         }
+    }
+
+    /// Fold a finished report into the metrics registry. Plain counters
+    /// carry only scheduling-independent totals (the digest contract);
+    /// solver runtime counters go under `runtime.*` and stage latencies
+    /// into histograms.
+    fn record_metrics(&self, h: &History, report: &CheckReport) {
+        let m = &self.obs.metrics;
+        m.counter("check.runs").inc();
+        m.counter("check.txns").add(h.len() as u64);
+        match &report.outcome {
+            Outcome::Si => {}
+            Outcome::AxiomViolations(v) => m.counter("check.axiom_violations").add(v.len() as u64),
+            Outcome::CyclicViolation(_) => m.counter("check.cyclic_violations").inc(),
+        }
+        if let Some(p) = &report.prune_stats {
+            m.counter("prune.constraints_before").add(p.constraints_before as u64);
+            m.counter("prune.constraints_after").add(p.constraints_after as u64);
+            m.counter("prune.closure_updates").add(p.closure_updates as u64);
+            m.counter("prune.incremental_edges").add(p.incremental_edges as u64);
+            m.counter("prune.graph_builds").add(p.graph_builds as u64);
+        }
+        let e = &report.encode_stats;
+        m.counter("encode.vars").add(e.vars as u64);
+        m.counter("encode.clauses").add(e.clauses as u64);
+        m.counter("encode.known_edges").add(e.known_edges as u64);
+        m.counter("encode.symbolic_edges").add(e.symbolic_edges as u64);
+        if let Some(s) = &report.solver_stats {
+            m.counter("runtime.solver.decisions").add(s.decisions);
+            m.counter("runtime.solver.propagations").add(s.propagations);
+            m.counter("runtime.solver.conflicts").add(s.conflicts);
+            m.counter("runtime.solver.theory_conflicts").add(s.theory_conflicts);
+            m.counter("runtime.solver.learned_clauses").add(s.learned_clauses);
+            m.counter("runtime.solver.restarts").add(s.restarts);
+        }
+        let t = &report.timings;
+        m.histogram_us("check.total_us").observe_duration(t.total());
+        m.histogram_us("check.construct_us").observe_duration(t.constructing);
+        m.histogram_us("check.prune_us").observe_duration(t.pruning);
+        m.histogram_us("check.encode_us").observe_duration(t.encoding);
+        m.histogram_us("check.solve_us").observe_duration(t.solving);
     }
 }
 

@@ -49,6 +49,7 @@ pub mod interpret;
 pub mod list;
 pub mod live;
 pub mod oracle;
+pub mod report;
 pub mod solve;
 pub mod stream;
 

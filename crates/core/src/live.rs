@@ -48,6 +48,7 @@ use crate::engine::{EngineOptions, IsolationLevel};
 use crate::stream::{CheckpointReport, StreamVerdict, StreamingChecker};
 pub use polysi_history::live::{Delivery, IngestError};
 use polysi_history::{Op, SessionId, TxnStatus};
+use polysi_obs::{kv, Obs};
 use std::collections::BTreeMap;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError};
 use std::time::{Duration, Instant};
@@ -154,6 +155,7 @@ struct Lane {
 pub struct LiveChecker {
     cfg: LiveConfig,
     checker: StreamingChecker,
+    obs: Obs,
     lanes: Vec<Lane>,
     /// Transactions ingested since the last checkpoint.
     since_cp: usize,
@@ -171,6 +173,7 @@ impl LiveChecker {
         LiveChecker {
             cfg,
             checker: StreamingChecker::new(isolation, opts),
+            obs: Obs::default(),
             lanes: Vec::new(),
             since_cp: 0,
             overdue: 0,
@@ -178,6 +181,19 @@ impl LiveChecker {
             faults: Vec::new(),
             stats: LiveStats::default(),
         }
+    }
+
+    /// Attach an observability bundle: spans and metrics flow through the
+    /// hub into the underlying [`StreamingChecker`].
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.checker = self.checker.with_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The observability bundle attached to this hub.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Open a new session lane; returns its id.
@@ -207,10 +223,22 @@ impl LiveChecker {
     /// as documented on [`IngestError`]) and returned. Never panics.
     pub fn deliver(&mut self, session: SessionId, msg: Delivery) -> Result<(), IngestError> {
         self.stats.delivered += 1;
+        let before = self.stats;
+        let faults_before = self.faults.len();
         let result = self.deliver_inner(session, msg);
         if let Err(e) = &result {
             self.faults.push((session, e.clone()));
         }
+        for (sid, fault) in &self.faults[faults_before..] {
+            self.obs.tracer.instant("ingest.fault", kv! { session: sid.0, kind: fault.kind() });
+            self.obs.metrics.counter("ingest.faults").inc();
+        }
+        let m = &self.obs.metrics;
+        m.counter("ingest.delivered").inc();
+        m.counter("ingest.ingested").add((self.stats.ingested - before.ingested) as u64);
+        m.counter("ingest.duplicates").add((self.stats.duplicates - before.duplicates) as u64);
+        m.counter("ingest.healed").add((self.stats.healed - before.healed) as u64);
+        m.counter("ingest.sealed").add((self.stats.sealed - before.sealed) as u64);
         self.auto_checkpoint();
         result
     }
@@ -440,7 +468,19 @@ impl LiveService {
         cfg: LiveConfig,
         sessions: usize,
     ) -> (LiveService, Vec<LiveClient>) {
-        let mut hub = LiveChecker::new(isolation, opts, cfg);
+        Self::spawn_with_obs(isolation, opts, cfg, sessions, Obs::default())
+    }
+
+    /// [`LiveService::spawn`] with an observability bundle attached to the
+    /// hub (spans and metrics are recorded from the drain thread).
+    pub fn spawn_with_obs(
+        isolation: IsolationLevel,
+        opts: EngineOptions,
+        cfg: LiveConfig,
+        sessions: usize,
+        obs: Obs,
+    ) -> (LiveService, Vec<LiveClient>) {
+        let mut hub = LiveChecker::new(isolation, opts, cfg).with_obs(obs);
         let mut clients = Vec::with_capacity(sessions);
         let mut rxs: Vec<(SessionId, Receiver<Delivery>)> = Vec::with_capacity(sessions);
         for _ in 0..sessions {

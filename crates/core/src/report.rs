@@ -1,0 +1,455 @@
+//! Machine-readable (JSON) report emission for every pipeline mode.
+//!
+//! Each writer produces a single self-describing JSON object whose first
+//! field is a `schema` tag with an explicit version:
+//!
+//! | schema             | producer                                   |
+//! |--------------------|--------------------------------------------|
+//! | `polysi.check.v1`  | batch check ([`check_report_json`])        |
+//! | `polysi.stream.v1` | streaming check ([`stream_report_json`])   |
+//! | `polysi.live.v1`   | live ingest run ([`live_report_json`])     |
+//! | `polysi.stats.v1`  | history statistics ([`stats_json`])        |
+//!
+//! The schemas are **append-only**: new optional fields may be added
+//! within a version; removing or re-typing a field bumps it. All
+//! durations are integer microseconds with a `_us` suffix; absent
+//! sub-reports (e.g. solver counters on an axiom rejection) are `null`,
+//! never omitted. The output is strict JSON — it round-trips through
+//! [`polysi_obs::json::parse`], which the CLI tests rely on.
+//!
+//! See the README "Observability" section for a worked example.
+
+use crate::check::{CheckReport, Outcome, Violation};
+use crate::engine::{IsolationLevel, ShardStats};
+use crate::live::LiveReport;
+use crate::solve::SolveStats;
+use crate::stream::{CheckpointReport, StreamRejection, StreamVerdict};
+use polysi_history::stats::HistoryStats;
+use polysi_history::{AxiomViolation, ShardFallback};
+use polysi_obs::json::JsonWriter;
+use polysi_obs::MetricsSnapshot;
+use polysi_polygraph::{Edge, PruneStats};
+use polysi_solver::SolverStats;
+use std::time::Duration;
+
+fn us(d: Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+fn write_axiom_violations(w: &mut JsonWriter, violations: &[AxiomViolation]) {
+    w.begin_array();
+    for v in violations {
+        w.begin_object();
+        w.field_str("kind", v.kind());
+        w.field_str("message", &v.to_string());
+        w.end_object();
+    }
+    w.end_array();
+}
+
+fn write_cycle(w: &mut JsonWriter, cycle: &[Edge]) {
+    w.begin_array();
+    for e in cycle {
+        w.begin_object();
+        w.field_u64("from", e.from.0 as u64);
+        w.field_u64("to", e.to.0 as u64);
+        w.field_str("label", &e.label.to_string());
+        w.end_object();
+    }
+    w.end_array();
+}
+
+fn write_prune_stats(w: &mut JsonWriter, p: &PruneStats) {
+    w.begin_object();
+    w.field_u64("iterations", p.iterations as u64);
+    w.field_u64("constraints_before", p.constraints_before as u64);
+    w.field_u64("constraints_after", p.constraints_after as u64);
+    w.field_u64("unknown_deps_before", p.unknown_deps_before as u64);
+    w.field_u64("unknown_deps_after", p.unknown_deps_after as u64);
+    w.field_u64("graph_builds", p.graph_builds as u64);
+    w.field_u64("closure_updates", p.closure_updates as u64);
+    w.field_u64("incremental_edges", p.incremental_edges as u64);
+    w.end_object();
+}
+
+fn write_solver_stats(w: &mut JsonWriter, s: &SolverStats) {
+    w.begin_object();
+    w.field_u64("decisions", s.decisions);
+    w.field_u64("propagations", s.propagations);
+    w.field_u64("conflicts", s.conflicts);
+    w.field_u64("theory_conflicts", s.theory_conflicts);
+    w.field_u64("learned_clauses", s.learned_clauses);
+    w.field_u64("restarts", s.restarts);
+    w.end_object();
+}
+
+fn write_solve_stats(w: &mut JsonWriter, s: &SolveStats) {
+    w.begin_object();
+    w.field_str("mode", s.mode.name());
+    w.field_u64("threads", s.threads as u64);
+    w.field_u64("units", s.units as u64);
+    w.field_u64("split_selectors", s.split_selectors as u64);
+    match s.winner {
+        Some(i) => {
+            w.field_u64("winner", i as u64);
+        }
+        None => {
+            w.field_null("winner");
+        }
+    }
+    w.field_u64("sat_units", s.sat_units as u64);
+    w.field_u64("unsat_units", s.unsat_units as u64);
+    w.field_u64("cancelled_units", s.cancelled_units as u64);
+    w.end_object();
+}
+
+fn write_shard_stats(w: &mut JsonWriter, s: &ShardStats) {
+    w.begin_object();
+    w.field_u64("components", s.components as u64);
+    w.field_u64("key_components", s.key_components as u64);
+    w.field_u64("largest", s.largest as u64);
+    match s.fallback {
+        Some(ShardFallback::SingleComponent) => {
+            w.field_str("fallback", "single_component");
+        }
+        Some(ShardFallback::CrossShardSessions) => {
+            w.field_str("fallback", "cross_shard_sessions");
+        }
+        None => {
+            w.field_null("fallback");
+        }
+    }
+    w.end_object();
+}
+
+fn write_metrics(w: &mut JsonWriter, metrics: Option<&MetricsSnapshot>) {
+    w.key("metrics");
+    match metrics {
+        Some(snap) => snap.write_json(w),
+        None => {
+            w.null();
+        }
+    }
+}
+
+/// Write the body of a `polysi.check.v1` report (everything after the
+/// opening brace and schema tag is shared with the nested rejection
+/// report of the stream schema).
+fn write_check_body(w: &mut JsonWriter, report: &CheckReport, isolation: IsolationLevel) {
+    w.field_str("isolation", isolation.name());
+    w.field_str("verdict", report.outcome.kind());
+    w.field_bool("accepted", report.accepted());
+    match &report.outcome {
+        Outcome::Si => {
+            w.field_null("anomaly");
+            w.key("axiom_violations");
+            w.begin_array();
+            w.end_array();
+            w.field_null("cycle");
+        }
+        Outcome::AxiomViolations(violations) => {
+            w.field_null("anomaly");
+            w.key("axiom_violations");
+            write_axiom_violations(w, violations);
+            w.field_null("cycle");
+        }
+        Outcome::CyclicViolation(Violation { cycle, anomaly, .. }) => {
+            w.field_str("anomaly", anomaly.name());
+            w.key("axiom_violations");
+            w.begin_array();
+            w.end_array();
+            w.key("cycle");
+            write_cycle(w, cycle);
+        }
+    }
+    w.key("timings");
+    w.begin_object();
+    w.field_u64("construct_us", us(report.timings.constructing));
+    w.field_u64("prune_us", us(report.timings.pruning));
+    w.field_u64("encode_us", us(report.timings.encoding));
+    w.field_u64("solve_us", us(report.timings.solving));
+    w.field_u64("total_us", us(report.timings.total()));
+    w.end_object();
+    w.key("prune");
+    match &report.prune_stats {
+        Some(p) => write_prune_stats(w, p),
+        None => {
+            w.null();
+        }
+    }
+    w.key("encode");
+    w.begin_object();
+    w.field_u64("vars", report.encode_stats.vars as u64);
+    w.field_u64("clauses", report.encode_stats.clauses as u64);
+    w.field_u64("known_edges", report.encode_stats.known_edges as u64);
+    w.field_u64("symbolic_edges", report.encode_stats.symbolic_edges as u64);
+    w.end_object();
+    w.key("solver");
+    match &report.solver_stats {
+        Some(s) => write_solver_stats(w, s),
+        None => {
+            w.null();
+        }
+    }
+    w.key("solve");
+    match &report.solve_stats {
+        Some(s) => write_solve_stats(w, s),
+        None => {
+            w.null();
+        }
+    }
+    w.key("shards");
+    match &report.shard_stats {
+        Some(s) => write_shard_stats(w, s),
+        None => {
+            w.null();
+        }
+    }
+    w.field_str("reach_oracle", report.reach_oracle.name());
+}
+
+/// The batch check report as a `polysi.check.v1` JSON document.
+///
+/// `wall` is the end-to-end wall-clock of the run (load + check);
+/// `metrics` embeds a registry snapshot when observability was on.
+pub fn check_report_json(
+    report: &CheckReport,
+    isolation: IsolationLevel,
+    wall: Duration,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "polysi.check.v1");
+    write_check_body(&mut w, report, isolation);
+    w.field_u64("wall_us", us(wall));
+    write_metrics(&mut w, metrics);
+    w.end_object();
+    w.finish()
+}
+
+fn write_stream_verdict(w: &mut JsonWriter, v: &StreamVerdict) {
+    w.begin_object();
+    w.field_str("kind", v.kind());
+    match v {
+        StreamVerdict::Accepted => {}
+        StreamVerdict::AxiomViolations { violations, healable } => {
+            w.field_bool("healable", *healable);
+            w.key("violations");
+            write_axiom_violations(w, violations);
+        }
+        StreamVerdict::Rejected { anomaly, first_violation_op } => {
+            match anomaly {
+                Some(a) => {
+                    w.field_str("anomaly", a.name());
+                }
+                None => {
+                    w.field_null("anomaly");
+                }
+            }
+            w.field_u64("first_violation_op", *first_violation_op as u64);
+        }
+    }
+    w.end_object();
+}
+
+fn write_checkpoint(w: &mut JsonWriter, cp: &CheckpointReport) {
+    w.begin_object();
+    w.field_u64("seq", cp.seq as u64);
+    w.field_u64("txns", cp.txns as u64);
+    w.field_u64("live_txns", cp.live_txns as u64);
+    w.field_u64("compacted", cp.compacted as u64);
+    w.field_u64("ops", cp.ops as u64);
+    w.field_u64("components", cp.components as u64);
+    w.field_u64("dirty", cp.dirty as u64);
+    w.field_u64("rebuilt", cp.rebuilt as u64);
+    w.field_u64("elapsed_us", us(cp.elapsed));
+    w.key("verdict");
+    write_stream_verdict(w, &cp.verdict);
+    w.end_object();
+}
+
+fn write_rejection(w: &mut JsonWriter, rej: Option<&StreamRejection>, isolation: IsolationLevel) {
+    w.key("rejection");
+    match rej {
+        Some(r) => {
+            w.begin_object();
+            w.field_u64("checkpoint", r.checkpoint as u64);
+            w.field_u64("op_index", r.op_index as u64);
+            w.field_u64("txn_count", r.txn_count as u64);
+            w.key("report");
+            w.begin_object();
+            write_check_body(w, &r.report, isolation);
+            w.end_object();
+            w.end_object();
+        }
+        None => {
+            w.null();
+        }
+    }
+}
+
+/// A streaming run as a `polysi.stream.v1` JSON document: the checkpoint
+/// trail, the final verdict, and (on terminal rejection) the canonical
+/// batch report on the rejecting prefix.
+pub fn stream_report_json(
+    checkpoints: &[CheckpointReport],
+    rejection: Option<&StreamRejection>,
+    isolation: IsolationLevel,
+    wall: Duration,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "polysi.stream.v1");
+    w.field_str("isolation", isolation.name());
+    w.key("checkpoints");
+    w.begin_array();
+    for cp in checkpoints {
+        write_checkpoint(&mut w, cp);
+    }
+    w.end_array();
+    w.key("final");
+    match checkpoints.last() {
+        Some(cp) => write_stream_verdict(&mut w, &cp.verdict),
+        None => {
+            w.null();
+        }
+    }
+    write_rejection(&mut w, rejection, isolation);
+    w.field_u64("wall_us", us(wall));
+    write_metrics(&mut w, metrics);
+    w.end_object();
+    w.finish()
+}
+
+/// A live ingest run as a `polysi.live.v1` JSON document: the stream
+/// schema's checkpoint trail plus degradation flags, ingest counters, and
+/// the typed fault log.
+pub fn live_report_json(
+    live: &LiveReport,
+    rejection: Option<&StreamRejection>,
+    isolation: IsolationLevel,
+    wall: Duration,
+    metrics: Option<&MetricsSnapshot>,
+) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "polysi.live.v1");
+    w.field_str("isolation", isolation.name());
+    w.key("checkpoints");
+    w.begin_array();
+    for cp in &live.checkpoints {
+        w.begin_object();
+        w.field_bool("degraded", cp.degraded);
+        w.key("stalled_sessions");
+        w.begin_array();
+        for sid in &cp.stalled {
+            w.u64(sid.0 as u64);
+        }
+        w.end_array();
+        w.key("checkpoint");
+        write_checkpoint(&mut w, &cp.report);
+        w.end_object();
+    }
+    w.end_array();
+    w.key("final");
+    match live.checkpoints.last() {
+        Some(cp) => write_stream_verdict(&mut w, &cp.report.verdict),
+        None => {
+            w.null();
+        }
+    }
+    w.key("ingest");
+    w.begin_object();
+    w.field_u64("delivered", live.stats.delivered as u64);
+    w.field_u64("ingested", live.stats.ingested as u64);
+    w.field_u64("duplicates", live.stats.duplicates as u64);
+    w.field_u64("healed", live.stats.healed as u64);
+    w.field_u64("sealed", live.stats.sealed as u64);
+    w.end_object();
+    w.key("faults");
+    w.begin_array();
+    for (sid, fault) in &live.faults {
+        w.begin_object();
+        w.field_u64("session", sid.0 as u64);
+        w.field_str("kind", fault.kind());
+        w.field_str("message", &fault.to_string());
+        w.end_object();
+    }
+    w.end_array();
+    w.key("abandoned_sessions");
+    w.begin_array();
+    for sid in &live.abandoned {
+        w.u64(sid.0 as u64);
+    }
+    w.end_array();
+    write_rejection(&mut w, rejection, isolation);
+    w.field_u64("wall_us", us(wall));
+    write_metrics(&mut w, metrics);
+    w.end_object();
+    w.finish()
+}
+
+/// History statistics as a `polysi.stats.v1` JSON document.
+pub fn stats_json(stats: &HistoryStats) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("schema", "polysi.stats.v1");
+    w.field_u64("sessions", stats.sessions as u64);
+    w.field_u64("txns", stats.txns as u64);
+    w.field_u64("committed", stats.committed as u64);
+    w.field_u64("ops", stats.ops as u64);
+    w.field_u64("reads", stats.reads as u64);
+    w.field_u64("writes", stats.writes as u64);
+    w.field_u64("keys", stats.keys as u64);
+    w.field_u64("wr_edges", stats.wr_edges as u64);
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{CheckEngine, EngineOptions};
+    use polysi_history::HistoryBuilder;
+    use polysi_obs::json::{parse, Value};
+    use polysi_obs::Obs;
+
+    fn tiny_history() -> polysi_history::History {
+        let mut b = HistoryBuilder::new();
+        b.session();
+        use polysi_history::{Key, Value};
+        b.begin().write(Key(0), Value(1)).read(Key(0), Value(1)).commit();
+        b.build()
+    }
+
+    #[test]
+    fn check_report_round_trips() {
+        let h = tiny_history();
+        let engine =
+            CheckEngine::new(IsolationLevel::Si, EngineOptions::default()).with_obs(Obs::enabled());
+        let report = engine.check(&h);
+        let json = check_report_json(
+            &report,
+            IsolationLevel::Si,
+            Duration::from_millis(1),
+            Some(&engine.obs().metrics.snapshot()),
+        );
+        let v = parse(&json).expect("report must be valid JSON");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("polysi.check.v1"));
+        assert_eq!(v.get("verdict").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("accepted").and_then(Value::as_bool), Some(true));
+        assert!(v.get("timings").and_then(|t| t.get("total_us")).is_some());
+        assert!(v.get("metrics").and_then(|m| m.get("counters")).is_some());
+    }
+
+    #[test]
+    fn stats_round_trips() {
+        let h = tiny_history();
+        let json = stats_json(&HistoryStats::of(&h));
+        let v = parse(&json).expect("stats must be valid JSON");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some("polysi.stats.v1"));
+        assert_eq!(v.get("txns").and_then(Value::as_u64), Some(1));
+    }
+}

@@ -102,6 +102,18 @@ pub enum SolveModeUsed {
     Mixed,
 }
 
+impl SolveModeUsed {
+    /// Stable lowercase name (CSV columns, JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            SolveModeUsed::Sequential => "sequential",
+            SolveModeUsed::Cube => "cube",
+            SolveModeUsed::Portfolio => "portfolio",
+            SolveModeUsed::Mixed => "mixed",
+        }
+    }
+}
+
 /// Counters of one Solve-stage run (merged across shards like the other
 /// stage stats: counts add, the winner survives only if unambiguous).
 #[derive(Clone, Copy, Debug)]

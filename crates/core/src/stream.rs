@@ -66,8 +66,10 @@ use polysi_history::{
     AxiomViolation, FactEvent, Facts, History, HistoryStream, IngestError, Key, Op, RootInfo,
     SessionId, ShardComponent, TxnId, TxnStatus, WrSource,
 };
+use polysi_obs::{kv, Obs};
 use polysi_polygraph::{
     Constraint, ConstraintMode, Edge, KnownGraph, Label, Polygraph, PruneOptions, PruneResult,
+    PruneStats,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,6 +106,16 @@ impl StreamVerdict {
     /// Whether the checkpoint accepted the prefix.
     pub fn accepted(&self) -> bool {
         matches!(self, StreamVerdict::Accepted)
+    }
+
+    /// Stable machine-readable kind, used by span attributes and the
+    /// `--report json` schema: `accepted` / `axiom_violations` / `rejected`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StreamVerdict::Accepted => "accepted",
+            StreamVerdict::AxiomViolations { .. } => "axiom_violations",
+            StreamVerdict::Rejected { .. } => "rejected",
+        }
     }
 }
 
@@ -189,6 +201,10 @@ pub struct StreamingChecker {
     cursor: usize,
     checkpoints: usize,
     rejection: Option<StreamRejection>,
+    obs: Obs,
+    /// `(txns, ops)` totals already folded into the metrics counters, so
+    /// per-checkpoint deltas can be recorded from cumulative report fields.
+    counted: (usize, usize),
 }
 
 impl StreamingChecker {
@@ -208,7 +224,23 @@ impl StreamingChecker {
             cursor: 0,
             checkpoints: 0,
             rejection: None,
+            obs: Obs::default(),
+            counted: (0, 0),
         }
+    }
+
+    /// Attach observability handles (span tracer + metrics registry); the
+    /// stream's compactor shares the tracer so `history.compact` spans land
+    /// on the same timeline.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.stream.set_tracer(obs.tracer.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The checker's observability handles.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Open a new session.
@@ -268,6 +300,27 @@ impl StreamingChecker {
     /// Produce a verdict for the prefix ingested so far, re-checking only
     /// the components dirtied since the previous checkpoint.
     pub fn checkpoint(&mut self) -> CheckpointReport {
+        let report = {
+            let mut span = self.obs.tracer.span_kv("checkpoint", kv! { seq: self.checkpoints + 1 });
+            let report = self.checkpoint_inner();
+            span.attr("verdict", report.verdict.kind());
+            span.attr("dirty", report.dirty);
+            span.attr("rebuilt", report.rebuilt);
+            report
+        };
+        let m = &self.obs.metrics;
+        m.counter("stream.checkpoints").inc();
+        m.counter("stream.txns").add((report.txns - self.counted.0) as u64);
+        m.counter("stream.ops").add((report.ops - self.counted.1) as u64);
+        self.counted = (report.txns, report.ops);
+        m.counter("stream.dirty_components").add(report.dirty as u64);
+        m.counter("stream.rebuilt_components").add(report.rebuilt as u64);
+        m.counter("compact.dropped_txns").add(report.compacted as u64);
+        m.histogram_us("checkpoint.latency_us").observe_duration(report.elapsed);
+        report
+    }
+
+    fn checkpoint_inner(&mut self) -> CheckpointReport {
         let t0 = Instant::now();
         self.checkpoints += 1;
         let seq = self.checkpoints;
@@ -380,7 +433,11 @@ impl StreamingChecker {
             .map(|(tag, events)| DirtyJob { tag, events, state: self.comps.remove(&tag) })
             .collect();
         let run_job = |job: DirtyJob| -> (u64, ComponentState, bool, bool) {
-            match job.state {
+            let mut span = self
+                .obs
+                .tracer
+                .span_kv("component", kv! { tag: job.tag, events: job.events.len() });
+            let (tag, state, ok, was_rebuilt) = match job.state {
                 Some(mut state) => {
                     let ok = self.check_delta(&mut state, &job.events, &prune_opts, &solve_plan);
                     (job.tag, state, ok, false)
@@ -396,7 +453,10 @@ impl StreamingChecker {
                     let (state, ok) = self.check_rebuild(&info, &prune_opts, &solve_plan);
                     (job.tag, state, ok, true)
                 }
-            }
+            };
+            span.attr("rebuilt", was_rebuilt);
+            span.attr("ok", ok);
+            (tag, state, ok, was_rebuilt)
         };
         let results: Vec<(u64, ComponentState, bool, bool)> = if workers <= 1 {
             jobs.into_iter().map(run_job).collect()
@@ -460,7 +520,12 @@ impl StreamingChecker {
 
         // Watermark GC: the settled prefix of every fully sealed component
         // can be dropped now that the prefix is accepted.
-        let compacted = self.maybe_compact();
+        let compacted = {
+            let mut span = self.obs.tracer.span("compact");
+            let compacted = self.maybe_compact();
+            span.attr("dropped", compacted);
+            compacted
+        };
         let mut report = base(StreamVerdict::Accepted, dirty, rebuilt, t0);
         report.live_txns = self.stream.len();
         report.compacted = compacted;
@@ -655,16 +720,29 @@ impl StreamingChecker {
         let writer_seen =
             comp.keys.iter().map(|&k| (k, facts.writers.get(&k).map_or(0, Vec::len))).collect();
         let known_set = poly.known.iter().copied().collect();
-        let (result, oracle) = poly.prune_with_oracle(prune_opts);
+        let (result, oracle) = poly.prune_with_oracle_traced(prune_opts, &self.obs.tracer);
         let mut state =
             ComponentState { txns: comp.txns, poly, oracle: None, known_set, writer_seen };
         match result {
             PruneResult::Violation(_) => (state, false),
-            PruneResult::Pruned(_) => {
+            PruneResult::Pruned(stats) => {
+                self.record_prune(&stats);
                 let ok = self.encode_and_solve(&mut state, oracle, solve_plan);
                 (state, ok)
             }
         }
+    }
+
+    /// Fold one component's prune counters into the metrics registry
+    /// (same names as the batch engine — per-component work is identical
+    /// for any checkpoint worker count, so the totals stay deterministic).
+    fn record_prune(&self, p: &PruneStats) {
+        let m = &self.obs.metrics;
+        m.counter("prune.constraints_before").add(p.constraints_before as u64);
+        m.counter("prune.constraints_after").add(p.constraints_after as u64);
+        m.counter("prune.closure_updates").add(p.closure_updates as u64);
+        m.counter("prune.incremental_edges").add(p.incremental_edges as u64);
+        m.counter("prune.graph_builds").add(p.graph_builds as u64);
     }
 
     /// Delta path: extend the cached polygraph and oracle with the
@@ -844,10 +922,14 @@ impl StreamingChecker {
         }
         state.poly.constraints.extend(new_constraints);
 
-        let (result, oracle) = state.poly.prune_resume(oracle, &touched, prune_opts);
+        let (result, oracle) =
+            state.poly.prune_resume_traced(oracle, &touched, prune_opts, &self.obs.tracer);
         match result {
             PruneResult::Violation(_) => false,
-            PruneResult::Pruned(_) => self.encode_and_solve(state, oracle, solve_plan),
+            PruneResult::Pruned(stats) => {
+                self.record_prune(&stats);
+                self.encode_and_solve(state, oracle, solve_plan)
+            }
         }
     }
 
@@ -859,8 +941,14 @@ impl StreamingChecker {
         solve_plan: &SolvePlan,
     ) -> bool {
         let facts = self.stream.facts().facts();
-        let (solver, _) =
+        let (mut solver, estats) =
             encode(&state.poly, self.opts.phase_seeding, oracle.as_deref(), self.opts.reach_oracle);
+        solver.set_tracer(self.obs.tracer.clone());
+        let m = &self.obs.metrics;
+        m.counter("encode.vars").add(estats.vars as u64);
+        m.counter("encode.clauses").add(estats.clauses as u64);
+        m.counter("encode.known_edges").add(estats.known_edges as u64);
+        m.counter("encode.symbolic_edges").add(estats.symbolic_edges as u64);
         let degrees: Vec<u32> = state.txns.iter().map(|&t| facts.txn_degree(t) as u32).collect();
         let (sat, _) = crate::solve::run_solve(&state.poly, solver, Some(&degrees), solve_plan);
         state.oracle = oracle;

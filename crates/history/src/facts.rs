@@ -100,6 +100,23 @@ impl fmt::Display for AxiomViolation {
     }
 }
 
+impl AxiomViolation {
+    /// A stable machine-readable tag for this violation kind (used in JSON
+    /// reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AxiomViolation::Int { .. } => "int",
+            AxiomViolation::AbortedRead { .. } => "aborted_read",
+            AxiomViolation::IntermediateRead { .. } => "intermediate_read",
+            AxiomViolation::DuplicateWrite { .. } => "duplicate_write",
+            AxiomViolation::UnknownValueRead { .. } => "unknown_value_read",
+            AxiomViolation::WroteInitValue { .. } => "wrote_init_value",
+            AxiomViolation::FencedRead { .. } => "fenced_read",
+            AxiomViolation::CompactedDuplicateWrite { .. } => "compacted_duplicate_write",
+        }
+    }
+}
+
 /// An external read: `(key, value, source)`.
 pub type ReadFact = (Key, Value, WrSource);
 

@@ -103,6 +103,21 @@ pub enum IngestError {
     },
 }
 
+impl IngestError {
+    /// A stable machine-readable tag for this fault kind (used in span
+    /// attributes and JSON reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            IngestError::UnknownSession { .. } => "unknown_session",
+            IngestError::SealedSession { .. } => "sealed_session",
+            IngestError::EmptyTransaction { .. } => "empty_transaction",
+            IngestError::ReorderBeyondWindow { .. } => "reorder_beyond_window",
+            IngestError::SealMismatch { .. } => "seal_mismatch",
+            IngestError::TornTransaction { .. } => "torn_transaction",
+        }
+    }
+}
+
 impl std::fmt::Display for IngestError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -607,6 +607,10 @@ pub struct HistoryStream {
     compacted_txns: usize,
     facts: StreamFacts,
     shards: StreamShards,
+    /// Span tracer ([`polysi_obs`]); disabled by default. The streaming
+    /// checker shares its tracer here so compaction shows up on the same
+    /// timeline as the checkpoints that trigger it.
+    tracer: polysi_obs::Tracer,
 }
 
 impl Default for HistoryStream {
@@ -626,7 +630,13 @@ impl HistoryStream {
             compacted_txns: 0,
             facts: StreamFacts::new(),
             shards: StreamShards::new(),
+            tracer: polysi_obs::Tracer::default(),
         }
+    }
+
+    /// Record compaction spans into `tracer` (disabled by default).
+    pub fn set_tracer(&mut self, tracer: polysi_obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Open a new session; returns its id. Sessions must be opened before
@@ -833,6 +843,8 @@ impl HistoryStream {
     /// [`StreamFacts::dropped_values`]).
     pub fn compact(&mut self, drop: &[bool]) -> Vec<u32> {
         assert_eq!(drop.len(), self.txns.len(), "drop mask must cover the live transactions");
+        let mut span =
+            self.tracer.span_kv("history.compact", polysi_obs::kv! { txns: self.txns.len() });
         let mut map = vec![u32::MAX; self.txns.len()];
         let mut next = 0u32;
         for (i, &d) in drop.iter().enumerate() {
@@ -848,6 +860,7 @@ impl HistoryStream {
             }
         }
         let dropped = self.txns.len() - next as usize;
+        span.attr("dropped", dropped);
         if dropped == 0 {
             return map;
         }

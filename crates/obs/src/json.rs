@@ -1,0 +1,523 @@
+//! A hand-rolled JSON writer and a minimal well-formedness parser.
+//!
+//! The workspace builds offline with no serde, so machine-readable reports
+//! are emitted through [`JsonWriter`] (string escaping, comma bookkeeping,
+//! finite-float policy) and validated in tests/CI through [`parse`] /
+//! [`validate`], a strict recursive-descent reader that materializes a small
+//! [`Value`] tree for schema-key assertions.
+
+use std::fmt::Write as _;
+
+/// Streaming JSON writer. Handles comma insertion and string escaping;
+/// callers supply structure via `begin_*`/`end_*` and `key`.
+///
+/// Non-finite floats serialize as `null` (JSON has no NaN/Inf).
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: `true` once a value has been written
+    /// (so the next value needs a leading comma).
+    stack: Vec<bool>,
+    /// A key was just written; the next value must not emit a comma.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(used) = self.stack.last_mut() {
+            if *used {
+                self.out.push(',');
+            }
+            *used = true;
+        }
+    }
+
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.pre_value();
+        escape_into(&mut self.out, key);
+        self.out.push(':');
+        self.pending_key = true;
+        self
+    }
+
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.pre_value();
+        escape_into(&mut self.out, v);
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.pre_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    pub fn null(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push_str("null");
+        self
+    }
+
+    // Convenience field helpers (key + value in one call).
+    pub fn field_str(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key).string(v)
+    }
+
+    pub fn field_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key).u64(v)
+    }
+
+    pub fn field_f64(&mut self, key: &str, v: f64) -> &mut Self {
+        self.key(key).f64(v)
+    }
+
+    pub fn field_bool(&mut self, key: &str, v: bool) -> &mut Self {
+        self.key(key).bool(v)
+    }
+
+    pub fn field_null(&mut self, key: &str) -> &mut Self {
+        self.key(key).null()
+    }
+
+    /// Consume the writer, returning the JSON text. Debug-asserts that every
+    /// opened container was closed.
+    pub fn finish(self) -> String {
+        debug_assert!(self.stack.is_empty(), "unclosed JSON container");
+        debug_assert!(!self.pending_key, "dangling JSON key");
+        self.out
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string.
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed JSON value — just enough structure for tests and CI to assert
+/// schema keys; numbers are kept as `f64` (fine for counts < 2^53).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document. Strict: one top-level value, no trailing
+/// garbage, no comments, no trailing commas.
+pub fn parse(s: &str) -> Result<Value, String> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { s, bytes, pos: 0, depth: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Check well-formedness without keeping the tree.
+pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
+}
+
+struct Parser<'a> {
+    s: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+const MAX_DEPTH: usize = 256;
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err("nesting too deep".into());
+        }
+        let v = match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {:?} at byte {}", other.map(|b| b as char), self.pos)),
+        };
+        self.depth -= 1;
+        v
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.s[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex =
+                                self.s.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            self.pos += 4;
+                            // Surrogate pairs are rejected rather than decoded:
+                            // our writer never emits them (it escapes only
+                            // control chars), and strictness here is a feature.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| "surrogate \\u escape".to_string())?;
+                            out.push(c);
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ if b < 0x20 => return Err("raw control char in string".into()),
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let ch = self.s[start..].chars().next().ok_or("bad utf8")?;
+                    self.pos = start + ch.len_utf8();
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Parser| {
+            let s = p.pos;
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+            p.pos > s
+        };
+        // Integer part: "0" alone, or a nonzero-leading digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                digits(self);
+            }
+            _ => return Err(format!("bad number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("bad fraction at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("bad exponent at byte {start}"));
+            }
+        }
+        let text = &self.s[start..self.pos];
+        text.parse::<f64>().map(Value::Num).map_err(|_| format!("bad number {text:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_roundtrips_through_parser() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("name", "a \"quoted\"\nline\t\\")
+            .field_u64("count", 42)
+            .field_f64("ratio", 0.5)
+            .field_bool("ok", true)
+            .field_null("missing")
+            .key("items")
+            .begin_array()
+            .u64(1)
+            .string("two")
+            .begin_object()
+            .field_u64("x", 3)
+            .end_object()
+            .end_array()
+            .end_object();
+        let text = w.finish();
+        let v = parse(&text).expect("well-formed");
+        assert_eq!(v.get("name").unwrap().as_str().unwrap(), "a \"quoted\"\nline\t\\");
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("missing"), Some(&Value::Null));
+        let items = v.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].get("x").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn parser_rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "01",
+            "1.",
+            "1e",
+            "\"\\q\"",
+            "nulll",
+            "{\"a\":1} x",
+            "\"unterminated",
+            "tru",
+        ] {
+            assert!(validate(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_edge_cases() {
+        assert_eq!(parse("-0.5e+2").unwrap().as_f64(), Some(-50.0));
+        assert_eq!(parse("\"\\u00e9\"").unwrap().as_str(), Some("é"));
+        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
+        assert_eq!(parse(" { } ").unwrap(), Value::Obj(vec![]));
+        // Unicode passthrough.
+        let mut out = String::new();
+        escape_into(&mut out, "héllo ∆");
+        assert_eq!(parse(&out).unwrap().as_str(), Some("héllo ∆"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_object().field_f64("nan", f64::NAN).field_f64("inf", f64::INFINITY).end_object();
+        let text = w.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("nan"), Some(&Value::Null));
+        assert_eq!(v.get("inf"), Some(&Value::Null));
+    }
+}

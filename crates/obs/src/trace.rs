@@ -1,0 +1,86 @@
+//! Chrome trace-event export: serialize a [`Tracer`]'s event log to the
+//! JSON format understood by `chrome://tracing` and Perfetto
+//! (<https://ui.perfetto.dev>): `{"traceEvents": [{"name", "ph", "ts", ...}]}`
+//! with `ph` ∈ {`B`, `E`, `i`} and microsecond timestamps.
+
+use crate::json::JsonWriter;
+use crate::span::{AttrValue, SpanEvent, SpanPhase, Tracer};
+
+/// Serialize recorded events as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(tracer: &Tracer) -> String {
+    chrome_trace_from_events(&tracer.events())
+}
+
+/// Serialize an explicit event log as Chrome trace-event JSON.
+pub fn chrome_trace_from_events(events: &[SpanEvent]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("displayTimeUnit", "ms");
+    w.key("traceEvents").begin_array();
+    for ev in events {
+        let ph = match ev.phase {
+            SpanPhase::Begin => "B",
+            SpanPhase::End => "E",
+            SpanPhase::Instant => "i",
+        };
+        w.begin_object()
+            .field_str("name", ev.name)
+            .field_str("cat", "polysi")
+            .field_str("ph", ph)
+            .field_u64("ts", ev.ts_us)
+            .field_u64("pid", 1)
+            .field_u64("tid", u64::from(ev.tid));
+        if ev.phase == SpanPhase::Instant {
+            // Thread-scoped instant marker.
+            w.field_str("s", "t");
+        }
+        if !ev.attrs.is_empty() {
+            w.key("args").begin_object();
+            for (key, value) in &ev.attrs {
+                match value {
+                    AttrValue::U64(v) => w.field_u64(key, *v),
+                    AttrValue::I64(v) => w.key(key).i64(*v),
+                    AttrValue::F64(v) => w.field_f64(key, *v),
+                    AttrValue::Bool(v) => w.field_bool(key, *v),
+                    AttrValue::Str(v) => w.field_str(key, v),
+                };
+            }
+            w.end_object();
+        }
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+    use crate::kv;
+
+    #[test]
+    fn export_parses_and_carries_phases() {
+        let t = Tracer::enabled();
+        {
+            let _a = t.span_kv("outer", kv! { n: 1_u64, label: "x" });
+            t.instant("fault", kv! { session: 3_u64 });
+            let _b = t.span("inner");
+        }
+        let text = chrome_trace_json(&t);
+        let v = parse(&text).expect("valid chrome trace json");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // outer B, fault i, inner B, inner E, outer E
+        assert_eq!(events.len(), 5);
+        let phases: Vec<_> =
+            events.iter().map(|e| e.get("ph").unwrap().as_str().unwrap().to_string()).collect();
+        assert_eq!(phases, vec!["B", "i", "B", "E", "E"]);
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("outer"));
+        assert_eq!(events[0].get("args").unwrap().get("n").unwrap().as_u64(), Some(1));
+        assert_eq!(events[1].get("s").unwrap().as_str(), Some("t"));
+        // Timestamps are monotonic within the log.
+        let ts: Vec<u64> = events.iter().map(|e| e.get("ts").unwrap().as_u64().unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

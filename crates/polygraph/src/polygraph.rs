@@ -314,6 +314,16 @@ impl Polygraph {
         &mut self,
         opts: &PruneOptions,
     ) -> (PruneResult, Option<Box<KnownGraph>>) {
+        self.prune_with_oracle_traced(opts, &polysi_obs::Tracer::disabled())
+    }
+
+    /// [`Polygraph::prune_with_oracle`] recording one `prune.pass` span per
+    /// fixpoint pass into `tracer`.
+    pub fn prune_with_oracle_traced(
+        &mut self,
+        opts: &PruneOptions,
+        tracer: &polysi_obs::Tracer,
+    ) -> (PruneResult, Option<Box<KnownGraph>>) {
         let stats = PruneStats {
             constraints_before: self.constraints.len(),
             unknown_deps_before: self.unknown_deps(),
@@ -325,7 +335,7 @@ impl Polygraph {
             KnownGraphResult::Acyclic(g) => g,
             KnownGraphResult::Cyclic(cycle) => return (PruneResult::Violation(cycle), None),
         };
-        self.prune_loop(kg, opts, stats, t_first, None)
+        self.prune_loop(kg, opts, stats, t_first, None, tracer)
     }
 
     /// Resume pruning with a *warm* oracle — the streaming checker's delta
@@ -342,13 +352,25 @@ impl Polygraph {
         seed: &[bool],
         opts: &PruneOptions,
     ) -> (PruneResult, Option<Box<KnownGraph>>) {
+        self.prune_resume_traced(kg, seed, opts, &polysi_obs::Tracer::disabled())
+    }
+
+    /// [`Polygraph::prune_resume`] recording one `prune.pass` span per
+    /// fixpoint pass into `tracer`.
+    pub fn prune_resume_traced(
+        &mut self,
+        kg: Box<KnownGraph>,
+        seed: &[bool],
+        opts: &PruneOptions,
+        tracer: &polysi_obs::Tracer,
+    ) -> (PruneResult, Option<Box<KnownGraph>>) {
         debug_assert_eq!(seed.len(), self.n, "seed must cover the vertex space");
         let stats = PruneStats {
             constraints_before: self.constraints.len(),
             unknown_deps_before: self.unknown_deps(),
             ..Default::default()
         };
-        self.prune_loop(kg, opts, stats, Instant::now(), Some(seed))
+        self.prune_loop(kg, opts, stats, Instant::now(), Some(seed), tracer)
     }
 
     /// The shared pass loop behind [`Polygraph::prune_with_oracle`]
@@ -361,6 +383,7 @@ impl Polygraph {
         mut stats: PruneStats,
         t_first: Instant,
         seed: Option<&[bool]>,
+        tracer: &polysi_obs::Tracer,
     ) -> (PruneResult, Option<Box<KnownGraph>>) {
         let semantics = self.semantics;
         // Transactions incident to edges resolved in the previous pass;
@@ -389,6 +412,10 @@ impl Polygraph {
                         .map(|(i, _)| i as u32),
                 );
             }
+            let mut pass_span = tracer.span_kv(
+                "prune.pass",
+                polysi_obs::kv! { pass: stats.iterations, worklist: work.len() },
+            );
             let outcomes = sweep(&kg, &self.constraints, &work, semantics, opts);
             touched_now.iter_mut().for_each(|t| *t = false);
             let mut resolved = vec![false; self.constraints.len()];
@@ -422,6 +449,7 @@ impl Polygraph {
                     }
                 }
             }
+            pass_span.attr("resolved", resolved.iter().filter(|&&r| r).count());
             // Batched mode: one closure propagation for the whole apply
             // phase, from the frontier of everything just staged.
             kg.flush_closure();

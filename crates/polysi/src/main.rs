@@ -24,17 +24,29 @@ use polysi::checker::engine::{
     CheckEngine, CheckpointThreads, CompactMode, EngineOptions, IsolationLevel, PruneThreads,
     Sharding, SolveThreads,
 };
+use polysi::checker::report::{
+    check_report_json, live_report_json, stats_json, stream_report_json,
+};
 use polysi::checker::{
     check_si, dot, CheckOptions, LiveConfig, LiveService, Outcome, StreamVerdict, StreamingChecker,
 };
 use polysi::history::{binfmt, codec, stats::HistoryStats, History};
+use polysi_obs::{trace::chrome_trace_json, Obs, Tracer};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  polysi check <history.txt|.pbh> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--live] [--checkpoints N] [--checkpoint-threads N|auto]\n               [--compact on|off|auto]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt|.pbh>\n  polysi convert <in.txt|.pbh> <out.pbh|.txt>   (input auto-detected; output\n               format by extension: .pbh binary, anything else text)\n  polysi demo"
+        "usage:\n  polysi check <history.txt|.pbh> [--isolation si|ser] [--shards auto|off]\n               [--prune-threads N|auto] [--solve-threads N|auto]\n               [--reach-oracle auto|dense|chains]\n               [--stream] [--live] [--checkpoints N] [--checkpoint-threads N|auto]\n               [--compact on|off|auto]\n               [--report json] [--trace-out <trace.json>]\n               [--dot <out.dot>] [--no-pruning] [--plain] [--quiet]\n  polysi stats <history.txt|.pbh> [--report json]\n  polysi convert <in.txt|.pbh> <out.pbh|.txt>   (input auto-detected; output\n               format by extension: .pbh binary, anything else text)\n  polysi demo"
     );
     ExitCode::from(2)
+}
+
+/// Write the Chrome trace-event export of a run's spans (load it at
+/// `chrome://tracing` or <https://ui.perfetto.dev>).
+fn write_trace(path: &str, tracer: &Tracer) {
+    if let Err(e) = std::fs::write(path, chrome_trace_json(tracer)) {
+        eprintln!("error writing {path}: {e}");
+    }
 }
 
 /// `polysi check --stream`: replay the history as a session-ordered
@@ -47,8 +59,11 @@ fn stream_check(
     opts: EngineOptions,
     checkpoints: usize,
     quiet: bool,
+    obs: &Obs,
+    report_json: bool,
 ) -> ExitCode {
-    let mut checker = StreamingChecker::new(isolation, opts);
+    let t0 = std::time::Instant::now();
+    let mut checker = StreamingChecker::new(isolation, opts).with_obs(obs.clone());
     let sessions: Vec<_> = (0..history.num_sessions()).map(|_| checker.session()).collect();
     // Per-session (first txn id, length): the replay indexes the history
     // directly and clones each transaction's ops once, at push time.
@@ -73,6 +88,7 @@ fn stream_check(
             );
         }
     };
+    let mut trail: Vec<polysi::checker::CheckpointReport> = Vec::new();
     let mut last_verdict = StreamVerdict::Accepted;
     'replay: loop {
         let mut progressed = false;
@@ -94,8 +110,9 @@ fn stream_check(
             if since_checkpoint >= interval && pushed < total {
                 since_checkpoint = 0;
                 let cp = checker.checkpoint();
-                report(&cp, quiet);
+                report(&cp, quiet || report_json);
                 last_verdict = cp.verdict.clone();
+                trail.push(cp);
                 if matches!(last_verdict, StreamVerdict::Rejected { .. }) {
                     break 'replay;
                 }
@@ -107,8 +124,20 @@ fn stream_check(
     }
     if !matches!(last_verdict, StreamVerdict::Rejected { .. }) {
         let cp = checker.checkpoint();
-        report(&cp, quiet);
-        last_verdict = cp.verdict;
+        report(&cp, quiet || report_json);
+        last_verdict = cp.verdict.clone();
+        trail.push(cp);
+    }
+    if report_json {
+        let json = stream_report_json(
+            &trail,
+            checker.rejection(),
+            isolation,
+            t0.elapsed(),
+            Some(&obs.metrics.snapshot()),
+        );
+        println!("{json}");
+        return if last_verdict.accepted() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
     }
     match last_verdict {
         StreamVerdict::Accepted => {
@@ -171,13 +200,17 @@ fn live_check(
     opts: EngineOptions,
     checkpoints: usize,
     quiet: bool,
+    obs: &Obs,
+    report_json: bool,
 ) -> ExitCode {
+    let t0 = std::time::Instant::now();
     let total = history.len();
     let cfg = LiveConfig {
         checkpoint_every: total.div_ceil(checkpoints.max(1)).max(1),
         ..LiveConfig::default()
     };
-    let (service, clients) = LiveService::spawn(isolation, opts, cfg, history.num_sessions());
+    let (service, clients) =
+        LiveService::spawn_with_obs(isolation, opts, cfg, history.num_sessions(), obs.clone());
     let report = std::thread::scope(|scope| {
         for (client, session) in clients.into_iter().zip(history.sessions()) {
             let mut client = client;
@@ -190,6 +223,12 @@ fn live_check(
         }
         service.finish()
     });
+    if report_json {
+        let json =
+            live_report_json(&report, None, isolation, t0.elapsed(), Some(&obs.metrics.snapshot()));
+        println!("{json}");
+        return if report.verdict().accepted() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+    }
     if !quiet {
         for cp in &report.checkpoints {
             let verdict = match &cp.report.verdict {
@@ -264,6 +303,8 @@ fn main() -> ExitCode {
             let mut opts = EngineOptions { sharding: Sharding::Off, ..Default::default() };
             let mut isolation = IsolationLevel::Si;
             let mut dot_path: Option<String> = None;
+            let mut trace_out: Option<String> = None;
+            let mut report_json = false;
             let mut quiet = false;
             let mut stream = false;
             let mut live = false;
@@ -272,6 +313,24 @@ fn main() -> ExitCode {
             while i < args.len() {
                 match args[i].as_str() {
                     "--no-pruning" => opts.pruning = false,
+                    "--report" => {
+                        i += 1;
+                        match args.get(i).map(String::as_str) {
+                            Some("json") => report_json = true,
+                            other => {
+                                eprintln!("--report takes json, got {other:?}");
+                                return usage();
+                            }
+                        }
+                    }
+                    "--trace-out" => {
+                        i += 1;
+                        trace_out = args.get(i).cloned();
+                        if trace_out.is_none() {
+                            eprintln!("--trace-out takes a path");
+                            return usage();
+                        }
+                    }
                     "--plain" => opts.mode = polysi::polygraph::ConstraintMode::Plain,
                     "--quiet" => quiet = true,
                     "--stream" => stream = true,
@@ -405,13 +464,16 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            // Spans are recorded only when a trace sink was requested
+            // (disabled tracing stays zero-cost); metrics are always live.
+            let obs = if trace_out.is_some() { Obs::enabled() } else { Obs::default() };
             if stream || live {
                 if !opts.pruning || opts.mode != polysi::polygraph::ConstraintMode::Generalized {
                     let mode = if live { "--live" } else { "--stream" };
                     eprintln!("{mode} requires pruning and generalized constraints");
                     return usage();
                 }
-                if !quiet {
+                if !quiet && !report_json {
                     println!(
                         "{} check: {} txns, {} sessions, {} checkpoints",
                         if live { "live" } else { "streaming" },
@@ -420,17 +482,30 @@ fn main() -> ExitCode {
                         checkpoints
                     );
                 }
-                return if live {
-                    live_check(&history, isolation, opts, checkpoints, quiet)
+                let code = if live {
+                    live_check(&history, isolation, opts, checkpoints, quiet, &obs, report_json)
                 } else {
-                    stream_check(&history, isolation, opts, checkpoints, quiet)
+                    stream_check(&history, isolation, opts, checkpoints, quiet, &obs, report_json)
                 };
+                if let Some(path) = &trace_out {
+                    write_trace(path, &obs.tracer);
+                }
+                return code;
             }
             // Wall-clock as observed here: `report.timings` sums per-shard
             // CPU time on sharded runs, which overstates elapsed time.
             let t0 = std::time::Instant::now();
-            let report = CheckEngine::new(isolation, opts).check(&history);
+            let report = CheckEngine::new(isolation, opts).with_obs(obs.clone()).check(&history);
             let elapsed = t0.elapsed();
+            if let Some(path) = &trace_out {
+                write_trace(path, &obs.tracer);
+            }
+            if report_json {
+                let json =
+                    check_report_json(&report, isolation, elapsed, Some(&obs.metrics.snapshot()));
+                println!("{json}");
+                return if report.accepted() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
             let shard_line = report.shard_stats.map(|s| match s.fallback {
                 None => {
                     format!("sharded into {} components (largest {} txns)", s.components, s.largest)
@@ -486,9 +561,19 @@ fn main() -> ExitCode {
         }
         Some("stats") => {
             let Some(path) = args.get(1) else { return usage() };
+            let report_json = match args.get(2..).unwrap_or_default() {
+                [] => false,
+                [flag, value] if flag == "--report" && value == "json" => true,
+                _ => return usage(),
+            };
             match load(path) {
                 Ok(h) => {
-                    println!("{}", HistoryStats::of(&h));
+                    let stats = HistoryStats::of(&h);
+                    if report_json {
+                        println!("{}", stats_json(&stats));
+                    } else {
+                        println!("{stats}");
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

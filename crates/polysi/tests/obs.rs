@@ -1,0 +1,309 @@
+//! Observability contract tests: deterministic metrics, well-nested span
+//! trees, and machine-readable reports.
+//!
+//! * **Counter determinism** — plain (non-`runtime.*`) counter totals are
+//!   a function of the history and options, not of scheduling:
+//!   [`polysi_obs::Metrics::counter_digest`] must be byte-identical at 1,
+//!   4, and auto threads for the prune, solve, and checkpoint worker
+//!   pools, across the conformance corpus.
+//! * **Span coverage** — a traced batch check on the solver-stress
+//!   fixture produces one well-nested `check` root covering ≥95% of the
+//!   measured wall time, with the pipeline stages as ordered children.
+//! * **Report schema** — the CLI's `--report json` output (batch, stream,
+//!   live, stats) round-trips through the in-repo strict JSON parser and
+//!   carries the documented top-level keys; `--trace-out` emits valid
+//!   Chrome trace-event JSON.
+
+use polysi::checker::engine::{
+    CheckEngine, CheckpointThreads, EngineOptions, IsolationLevel, PruneThreads, Sharding,
+    SolveThreads,
+};
+use polysi::checker::StreamingChecker;
+use polysi::dbsim::testkit::conformance_corpus;
+use polysi::history::History;
+use polysi_obs::json::{parse, Value};
+use polysi_obs::span::span_forest;
+use polysi_obs::Obs;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_polysi"))
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(path).expect("fixture exists")
+}
+
+fn fixture_history(name: &str) -> History {
+    polysi::history::codec::decode(&fixture(name)).expect("fixture parses")
+}
+
+fn fixture_path(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Batch-check `h` with the given worker-pool sizes and return the
+/// registry's deterministic counter digest.
+fn batch_digest(h: &History, prune: PruneThreads, solve: SolveThreads) -> u64 {
+    let opts = EngineOptions {
+        sharding: Sharding::Auto,
+        prune_threads: prune,
+        solve_threads: solve,
+        ..Default::default()
+    };
+    let obs = Obs::default();
+    CheckEngine::new(IsolationLevel::Si, opts).with_obs(obs.clone()).check(h);
+    obs.metrics.counter_digest()
+}
+
+/// Stream `h` in thirds with the given checkpoint pool and return the
+/// registry's counter digest.
+fn stream_digest(h: &History, threads: CheckpointThreads) -> u64 {
+    let opts = EngineOptions { checkpoint_threads: threads, ..Default::default() };
+    let obs = Obs::default();
+    let mut checker = StreamingChecker::new(IsolationLevel::Si, opts).with_obs(obs.clone());
+    let sessions: Vec<_> = (0..h.num_sessions()).map(|_| checker.session()).collect();
+    let stop = (h.len() / 3).max(1);
+    let mut since = 0usize;
+    for s in h.sessions() {
+        for txn in s.txns {
+            checker.push_transaction(sessions[txn.session.0 as usize], txn.ops.clone(), txn.status);
+            since += 1;
+            if since >= stop {
+                since = 0;
+                checker.checkpoint();
+            }
+        }
+    }
+    checker.checkpoint();
+    obs.metrics.counter_digest()
+}
+
+#[test]
+fn counter_digest_is_thread_count_invariant() {
+    let corpus = conformance_corpus(0x00D1_6E57, 1, 6);
+    assert!(corpus.len() >= 10, "corpus too small: {}", corpus.len());
+    for case in &corpus {
+        let base = batch_digest(&case.history, PruneThreads::Fixed(1), SolveThreads::Fixed(1));
+        for (prune, solve) in [
+            (PruneThreads::Fixed(4), SolveThreads::Fixed(1)),
+            (PruneThreads::Fixed(1), SolveThreads::Fixed(4)),
+            (PruneThreads::Auto, SolveThreads::Auto),
+        ] {
+            let digest = batch_digest(&case.history, prune, solve);
+            assert_eq!(
+                digest, base,
+                "{}: counter digest diverged at {prune:?}/{solve:?}",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_counter_digest_is_checkpoint_pool_invariant() {
+    for name in ["session_braid.txt", "serializable.txt", "shard_disjoint_components.txt"] {
+        let h = fixture_history(name);
+        let base = stream_digest(&h, CheckpointThreads::Fixed(1));
+        for threads in [CheckpointThreads::Fixed(4), CheckpointThreads::Auto] {
+            assert_eq!(
+                stream_digest(&h, threads),
+                base,
+                "{name}: streaming digest diverged at {threads:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spans_cover_the_check_and_nest_the_stages() {
+    let h = fixture_history("solver_stress_clique.txt");
+    // Scheduler noise outside the engine can only *inflate* the measured
+    // wall (the run is a few hundred µs), so take the best of a few
+    // attempts before judging coverage.
+    let mut best = None;
+    for attempt in 0..5 {
+        let obs = Obs::enabled();
+        let opts = EngineOptions { sharding: Sharding::Off, ..Default::default() };
+        let t0 = std::time::Instant::now();
+        CheckEngine::new(IsolationLevel::Si, opts.clone()).with_obs(obs.clone()).check(&h);
+        let wall_us = t0.elapsed().as_micros() as u64;
+        let covered = {
+            let forest = span_forest(&obs.tracer.events()).expect("span log is well-nested");
+            let root = forest.iter().find(|n| n.name == "check").expect("check root");
+            root.duration_us() * 100 >= wall_us.saturating_mul(95)
+        };
+        best = Some((obs, wall_us));
+        if covered || attempt == 4 {
+            break;
+        }
+    }
+    let (obs, wall_us) = best.unwrap();
+
+    let forest = span_forest(&obs.tracer.events()).expect("span log is well-nested");
+    let roots: Vec<_> = forest.iter().filter(|n| n.name == "check").collect();
+    assert_eq!(roots.len(), 1, "exactly one check root span");
+    let root = roots[0];
+    assert!(
+        root.duration_us() * 100 >= wall_us.saturating_mul(95),
+        "check span covers {}us of {}us wall (<95%)",
+        root.duration_us(),
+        wall_us
+    );
+
+    // The pipeline stages appear as children of the root, in order.
+    let stage_names: Vec<&str> = root
+        .children
+        .iter()
+        .map(|c| c.name)
+        .filter(|n| ["axioms", "construct", "prune", "encode", "solve"].contains(n))
+        .collect();
+    assert_eq!(
+        stage_names,
+        ["axioms", "construct", "prune", "encode", "solve"],
+        "stages must run once each, in pipeline order"
+    );
+    // Stage intervals sit inside the root (well-nested by construction,
+    // but assert the containment the trace viewer depends on).
+    for c in &root.children {
+        assert!(c.start_us >= root.start_us && c.end_us <= root.end_us, "{} escapes root", c.name);
+    }
+}
+
+#[test]
+fn cli_check_report_json_round_trips() {
+    let out = bin()
+        .arg("check")
+        .arg(fixture_path("solver_stress_clique.txt"))
+        .args(["--report", "json"])
+        .output()
+        .expect("run check");
+    assert!(out.status.success());
+    let v = parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some("polysi.check.v1"));
+    for key in [
+        "isolation",
+        "verdict",
+        "accepted",
+        "anomaly",
+        "axiom_violations",
+        "cycle",
+        "timings",
+        "prune",
+        "encode",
+        "solver",
+        "solve",
+        "shards",
+        "reach_oracle",
+        "wall_us",
+        "metrics",
+    ] {
+        assert!(v.get(key).is_some(), "missing key {key}");
+    }
+    assert_eq!(v.get("accepted").and_then(Value::as_bool), Some(true));
+}
+
+#[test]
+fn cli_check_report_json_carries_the_violation() {
+    let out = bin()
+        .arg("check")
+        .arg(fixture_path("long_fork.txt"))
+        .args(["--report", "json"])
+        .output()
+        .expect("run check");
+    assert_eq!(out.status.code(), Some(1));
+    let v = parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(v.get("verdict").and_then(Value::as_str), Some("cyclic_violation"));
+    assert_eq!(v.get("anomaly").and_then(Value::as_str), Some("long fork"));
+    let cycle = v.get("cycle").and_then(Value::as_array).expect("cycle array");
+    assert!(!cycle.is_empty());
+    assert!(cycle[0].get("label").and_then(Value::as_str).is_some());
+}
+
+#[test]
+fn cli_stream_and_live_report_json_round_trip() {
+    for (mode, schema) in [("--stream", "polysi.stream.v1"), ("--live", "polysi.live.v1")] {
+        let out = bin()
+            .arg("check")
+            .arg(fixture_path("serializable.txt"))
+            .arg(mode)
+            .args(["--report", "json"])
+            .output()
+            .expect("run check");
+        assert!(out.status.success(), "{mode} failed");
+        let v = parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+        assert_eq!(v.get("schema").and_then(Value::as_str), Some(schema), "{mode}");
+        let cps = v.get("checkpoints").and_then(Value::as_array).expect("checkpoints");
+        assert!(!cps.is_empty(), "{mode}: no checkpoints");
+        assert!(v.get("final").is_some() && v.get("metrics").is_some());
+        if mode == "--live" {
+            let ingest = v.get("ingest").expect("ingest counters");
+            assert!(ingest.get("ingested").and_then(Value::as_u64).unwrap() > 0);
+            assert_eq!(v.get("faults").and_then(Value::as_array).map(<[_]>::len), Some(0));
+        }
+    }
+}
+
+#[test]
+fn cli_stats_report_json_round_trips() {
+    let out = bin()
+        .arg("stats")
+        .arg(fixture_path("long_fork.txt"))
+        .args(["--report", "json"])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let v = parse(&String::from_utf8(out.stdout).unwrap()).expect("valid JSON");
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some("polysi.stats.v1"));
+    for key in ["sessions", "txns", "committed", "ops", "reads", "writes", "keys", "wr_edges"] {
+        assert!(v.get(key).and_then(Value::as_u64).is_some(), "missing count {key}");
+    }
+}
+
+#[test]
+fn cli_trace_out_emits_covering_chrome_trace() {
+    let dir = std::env::temp_dir().join("polysi-obs-test-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let out = bin()
+        .arg("check")
+        .arg(fixture_path("solver_stress_clique.txt"))
+        .arg("--trace-out")
+        .arg(&trace)
+        .output()
+        .expect("run check");
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let v = parse(&text).expect("trace is valid JSON");
+    let events = v.get("traceEvents").and_then(Value::as_array).expect("traceEvents");
+    assert!(!events.is_empty());
+
+    // The check span must cover ≥95% of the event range, and the stage
+    // begin events must appear in pipeline order inside it.
+    let ts = |e: &Value| e.get("ts").and_then(Value::as_u64).expect("ts");
+    let of = |name: &str, ph: &str| {
+        events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Value::as_str) == Some(name)
+                    && e.get("ph").and_then(Value::as_str) == Some(ph)
+            })
+            .map(ts)
+    };
+    let first = events.iter().map(ts).min().unwrap();
+    let last = events.iter().map(ts).max().unwrap();
+    let (check_b, check_e) = (of("check", "B").unwrap(), of("check", "E").unwrap());
+    assert!(
+        (check_e - check_b) * 100 >= (last - first) * 95,
+        "check span covers {} of {}us event range",
+        check_e - check_b,
+        last - first
+    );
+    let mut prev = check_b;
+    for stage in ["axioms", "construct", "prune", "encode", "solve"] {
+        let b = of(stage, "B").unwrap_or_else(|| panic!("missing {stage} span"));
+        assert!(b >= prev, "{stage} begins out of order");
+        prev = b;
+    }
+}

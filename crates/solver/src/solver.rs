@@ -123,6 +123,9 @@ pub struct Solver {
     /// workers vary it through [`Solver::reseed`].
     restart_base: u64,
     stats: SolverStats,
+    /// Span tracer ([`polysi_obs`]); disabled by default. Clones share the
+    /// sink, so cube/portfolio workers trace into one log.
+    tracer: polysi_obs::Tracer,
 }
 
 const VAR_DECAY: f64 = 1.0 / 0.95;
@@ -159,6 +162,7 @@ impl Solver {
             interrupt: None,
             restart_base: RESTART_BASE,
             stats: SolverStats::default(),
+            tracer: polysi_obs::Tracer::default(),
         }
     }
 
@@ -199,6 +203,13 @@ impl Solver {
     /// Solver statistics.
     pub fn stats(&self) -> &SolverStats {
         &self.stats
+    }
+
+    /// Record `sat.solve` spans into `tracer`. The solve stage hands every
+    /// worker a clone of this solver, so each cube/portfolio attempt traces
+    /// a span on its own thread lane.
+    pub fn set_tracer(&mut self, tracer: polysi_obs::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Abort `solve` with [`SolveResult::Unknown`] once this many conflicts
@@ -590,6 +601,31 @@ impl Solver {
     /// solve stage uses this to hand each worker one cube of selector
     /// polarities over a cloned pre-solve instance.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.tracer.is_enabled() {
+            return self.solve_inner(assumptions);
+        }
+        let tracer = self.tracer.clone();
+        let mut span = tracer.span_kv(
+            "sat.solve",
+            polysi_obs::kv! { vars: self.num_vars(), assumptions: assumptions.len() },
+        );
+        let before = self.stats;
+        let result = self.solve_inner(assumptions);
+        span.attr(
+            "result",
+            match result {
+                SolveResult::Sat(_) => "sat",
+                SolveResult::Unsat => "unsat",
+                SolveResult::Unknown => "unknown",
+            },
+        );
+        span.attr("conflicts", self.stats.conflicts - before.conflicts);
+        span.attr("propagations", self.stats.propagations - before.propagations);
+        result
+    }
+
+    /// The CDCL search loop behind [`Solver::solve_with_assumptions`].
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         if !self.ok {
             return SolveResult::Unsat;
         }
